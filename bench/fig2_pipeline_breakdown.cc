@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Reproduces Figure 2: execution-time breakdown of the three
+ * genomic-analysis pipelines -- primary alignment (BWA-MEM
+ * stand-in), alignment refinement (GATK3-style stages), and
+ * variant calling (Mutect1-style somatic caller) -- including the
+ * primary pipeline's internal stage shares (SMEM generation,
+ * suffix-array lookup, Smith-Waterman seed extension, output).
+ *
+ * Paper shape to reproduce: refinement is the slowest pipeline
+ * (~60 % of total, ~4x the primary pipeline); Smith-Waterman is
+ * only ~5 % of the total and suffix-array lookup ~1.5 %, which is
+ * the argument for accelerating IR instead of primary alignment.
+ */
+
+#include <cstdio>
+
+#include "align/aligner.hh"
+#include "bench_common.hh"
+#include "core/realigner_api.hh"
+#include "refine/pipeline.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "variant/caller.hh"
+
+using namespace iracc;
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("fig2_pipeline_breakdown",
+                  "Figure 2 -- genomic analysis execution time "
+                  "breakdown (three pipelines)");
+
+    // A subset of chromosomes keeps the full three-pipeline run
+    // tractable; the breakdown is a ratio, so the subset preserves
+    // it.
+    WorkloadParams params = bench::standardWorkload();
+    if (params.chromosomes.empty())
+        params.chromosomes = {19, 20, 21, 22};
+    GenomeWorkload wl = buildWorkload(params);
+
+    // ---- Pipeline 1: primary alignment ---------------------------
+    ReadAligner aligner(wl.reference);
+    uint64_t aligned = 0, total_reads = 0;
+    for (const auto &chr : wl.chromosomes) {
+        // Strip the simulator's alignments; the aligner rebuilds
+        // them from scratch, exactly the primary pipeline's job.
+        std::vector<Read> raw = chr.reads;
+        for (Read &r : raw) {
+            r.pos = 0;
+            r.cigar = Cigar();
+        }
+        aligned += aligner.alignAll(raw);
+        total_reads += raw.size();
+    }
+    const AlignerStageTimes &at = aligner.stageTimes();
+    double primary = at.total();
+
+    // ---- Pipeline 2: alignment refinement ------------------------
+    RealignStage gatk3_stage = [](const ReferenceGenome &ref,
+                                  int32_t contig,
+                                  std::vector<Read> &reads) {
+        SoftwareRealignerConfig cfg;
+        cfg.prune = false;
+        cfg.threads = 8;
+        cfg.workAmplification = kJvmWorkAmplification;
+        return SoftwareRealigner(cfg).realignContig(ref, contig,
+                                                    reads);
+    };
+    RefineStageTimes refine_total;
+    std::vector<std::vector<Read>> refined;
+    for (const auto &chr : wl.chromosomes) {
+        std::vector<Read> reads = chr.reads;
+        RefineResult res = runRefinementPipeline(
+            wl.reference, chr.contig, reads, gatk3_stage,
+            chr.truth);
+        refine_total.sortSeconds += res.times.sortSeconds;
+        refine_total.dupMarkSeconds += res.times.dupMarkSeconds;
+        refine_total.realignSeconds += res.times.realignSeconds;
+        refine_total.bqsrSeconds += res.times.bqsrSeconds;
+        refined.push_back(std::move(reads));
+    }
+    double refinement = refine_total.total();
+
+    // ---- Pipeline 3: variant calling -----------------------------
+    Timer vc_timer;
+    uint64_t calls = 0;
+    for (size_t c = 0; c < wl.chromosomes.size(); ++c) {
+        const auto &chr = wl.chromosomes[c];
+        calls += callVariants(
+                     wl.reference, refined[c], chr.contig, 0,
+                     wl.reference.contig(chr.contig).length())
+                     .size();
+    }
+    double calling = vc_timer.seconds();
+
+    double total = primary + refinement + calling;
+
+    std::printf("Pipeline totals (%llu reads, %llu aligned, %llu "
+                "variants called):\n",
+                static_cast<unsigned long long>(total_reads),
+                static_cast<unsigned long long>(aligned),
+                static_cast<unsigned long long>(calls));
+    Table top({"Pipeline", "Seconds", "Share", "Paper share"});
+    top.addRow({"1. Primary alignment", Table::num(primary, 2),
+                Table::pct(primary / total), "~15% (~17h)"});
+    top.addRow({"2. Alignment refinement",
+                Table::num(refinement, 2),
+                Table::pct(refinement / total), "~60% (~72h)"});
+    top.addRow({"3. Variant calling", Table::num(calling, 2),
+                Table::pct(calling / total), "~25% (~36h)"});
+    top.print();
+
+    std::printf("\nStage breakdown (share of grand total):\n");
+    Table stages({"Stage", "Pipeline", "Seconds", "Share",
+                  "Paper"});
+    stages.addRow({"SMEM generation", "primary",
+                   Table::num(at.smemSeconds, 2),
+                   Table::pct(at.smemSeconds / total), "~7%"});
+    stages.addRow({"Suffix array lookup", "primary",
+                   Table::num(at.lookupSeconds, 2),
+                   Table::pct(at.lookupSeconds / total), "~1.5%"});
+    stages.addRow({"Seed extension (SW)", "primary",
+                   Table::num(at.extendSeconds, 2),
+                   Table::pct(at.extendSeconds / total), "~5%"});
+    stages.addRow({"Output + other", "primary",
+                   Table::num(at.outputSeconds + at.otherSeconds, 2),
+                   Table::pct((at.outputSeconds + at.otherSeconds) /
+                              total),
+                   "~1.5%"});
+    stages.addRow({"Sort", "refinement",
+                   Table::num(refine_total.sortSeconds, 2),
+                   Table::pct(refine_total.sortSeconds / total),
+                   "~4%"});
+    stages.addRow({"Duplicate marking", "refinement",
+                   Table::num(refine_total.dupMarkSeconds, 2),
+                   Table::pct(refine_total.dupMarkSeconds / total),
+                   "~7%"});
+    stages.addRow({"INDEL realignment", "refinement",
+                   Table::num(refine_total.realignSeconds, 2),
+                   Table::pct(refine_total.realignSeconds / total),
+                   "~34%"});
+    stages.addRow({"BQSR", "refinement",
+                   Table::num(refine_total.bqsrSeconds, 2),
+                   Table::pct(refine_total.bqsrSeconds / total),
+                   "~15%"});
+    stages.addRow({"Variant calling", "calling",
+                   Table::num(calling, 2),
+                   Table::pct(calling / total), "~25%"});
+    stages.print();
+
+    std::printf("\nKey shape claims to check: refinement is the "
+                "slowest pipeline; INDEL\nrealignment is the "
+                "single largest stage (paper: ~34%% of the total); "
+                "Smith-\nWaterman and SA lookup are small, which "
+                "is why accelerating IR pays more.\n"
+                "Note: native C++ sort/dupmark/BQSR are relatively "
+                "cheaper than their GATK3\nJava counterparts, so "
+                "the non-IR refinement stages under-weigh the "
+                "paper's\nshares (see EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Reproduces Figure 7: synchronous-parallel vs asynchronous-
+ * parallel scheduling of 8 same-sized IR targets on 4 IR units.
+ *
+ * In the paper's toy experiment the targets are stripped-down real
+ * targets from Ch22 (2 consensuses, 8 reads each); although the
+ * *sizes* are equal, computation pruning makes the compute times
+ * vary ~8x, so the synchronous flush leaves 3 of 4 units idle most
+ * of the time while the asynchronous scheme back-fills them.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "host/scheduler.hh"
+#include "realign/marshal.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace iracc;
+
+namespace {
+
+/**
+ * Build 8 same-sized targets (2 consensuses, 8 reads) whose reads
+ * match the consensus at different error densities so pruning cuts
+ * off very different amounts of work -- the Figure 7 setup.
+ */
+std::vector<MarshalledTarget>
+figure7Targets(Rng &rng)
+{
+    std::vector<MarshalledTarget> out;
+    for (int t = 0; t < 8; ++t) {
+        IrTargetInput input;
+        input.windowStart = 10000 + t * 2000;
+        const size_t cons_len = 1200;
+        const size_t read_len = 150;
+        input.windowEnd = input.windowStart +
+                          static_cast<int64_t>(cons_len);
+        BaseSeq ref;
+        for (size_t b = 0; b < cons_len; ++b)
+            ref.push_back(kConcreteBases[rng.below(4)]);
+        input.consensuses.push_back(ref);
+        BaseSeq alt = ref;
+        alt.erase(cons_len / 2, 3);
+        input.consensuses.push_back(alt);
+        input.events.resize(2);
+
+        // Target 3 gets reads unrelated to the consensus: every
+        // offset looks equally bad, pruning helps little, and its
+        // compute time is ~8x the others (the paper's "compute
+        // time for target 3 is about 8 times longer than target
+        // 1").  All other targets' reads come from the consensus,
+        // so pruning cuts them off quickly.  Same sizes, wildly
+        // different runtimes.
+        bool noisy = t == 3;
+        for (int j = 0; j < 8; ++j) {
+            BaseSeq r;
+            if (noisy) {
+                for (size_t b = 0; b < read_len; ++b)
+                    r.push_back(kConcreteBases[rng.below(4)]);
+            } else {
+                size_t off = rng.below(cons_len - read_len);
+                r = ref.substr(off, read_len);
+            }
+            input.readBases.push_back(r);
+            input.readQuals.push_back(QualSeq(read_len, 30));
+            input.readIndices.push_back(static_cast<uint32_t>(j));
+        }
+        out.push_back(marshalTarget(input));
+    }
+    return out;
+}
+
+void
+printTimeline(const char *label, const ScheduleResult &res,
+              double clock_mhz)
+{
+    std::printf("%s (makespan %llu cycles = %.1f us)\n", label,
+                static_cast<unsigned long long>(res.makespan),
+                static_cast<double>(res.makespan) / clock_mhz);
+
+    auto timeline = res.timeline;
+    std::sort(timeline.begin(), timeline.end(),
+              [](const UnitTimelineEntry &a,
+                 const UnitTimelineEntry &b) {
+                  return a.unit != b.unit ? a.unit < b.unit
+                                          : a.dispatched < b.dispatched;
+              });
+    Table t({"Unit", "Target", "Dispatch", "Loaded", "Computed",
+             "Finished"});
+    for (const auto &e : timeline) {
+        t.addRow({std::to_string(e.unit),
+                  std::to_string(e.targetId),
+                  std::to_string(e.dispatched),
+                  std::to_string(e.loaded),
+                  std::to_string(e.computed),
+                  std::to_string(e.finished)});
+    }
+    t.print();
+    std::printf("Mean unit utilization: %s\n\n",
+                Table::pct(res.fpga.meanUnitUtilization).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("fig7_scheduling",
+                  "Figure 7 -- synchronous vs asynchronous "
+                  "scheduling, 8 targets / 4 units");
+
+    Rng rng(0xF16007);
+    auto targets = figure7Targets(rng);
+
+    AccelConfig cfg = AccelConfig::paperOptimized();
+    cfg.numUnits = 4;
+    cfg.dataParallelWidth = 1; // scalar units, as in the paper's toy
+
+    FpgaSystem sync_sys(cfg);
+    ScheduleResult sync_res = scheduleTargets(
+        sync_sys, targets, SchedulePolicy::SynchronousParallel);
+    printTimeline("SYNCHRONOUS-PARALLEL (Figure 7 top)", sync_res,
+                  cfg.clockMhz);
+
+    FpgaSystem async_sys(cfg);
+    ScheduleResult async_res = scheduleTargets(
+        async_sys, targets, SchedulePolicy::AsynchronousParallel);
+    printTimeline("ASYNCHRONOUS-PARALLEL (Figure 7 bottom)",
+                  async_res, cfg.clockMhz);
+
+    double gain = static_cast<double>(sync_res.makespan) /
+                  static_cast<double>(async_res.makespan);
+    std::printf("Async/sync makespan gain on the toy: %s\n",
+                Table::speedup(gain).c_str());
+    std::printf("Paper: async scheduling contributed an average "
+                "6.2x across the full workload.\n");
+    return 0;
+}

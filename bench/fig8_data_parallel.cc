@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces Figure 8 / Section IV "Data Parallelism": cycle-count
+ * comparison of the scalar Hamming distance calculator (Figure 5,
+ * one base compare per cycle) against the 32-wide parallel
+ * calculator (Figure 8, one 32-byte block-RAM row per cycle with
+ * the two-row consensus pipeline).
+ *
+ * The paper reports the data-parallel calculator contributed an
+ * additional ~15x system speedup on top of async scheduling.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "accel/ir_compute.hh"
+#include "bench_common.hh"
+#include "core/workload.hh"
+#include "realign/realigner.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace iracc;
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("fig8_data_parallel",
+                  "Figure 8 -- parallel Hamming distance calculator "
+                  "(32 compares+accumulates/cycle)");
+
+    // Marshal every target of one mid-size chromosome.
+    WorkloadParams params = bench::standardWorkload();
+    params.chromosomes = {20};
+    GenomeWorkload wl = buildWorkload(params);
+    const ChromosomeWorkload &chr = wl.chromosomes[0];
+
+    SoftwareRealigner planner{SoftwareRealignerConfig{}};
+    auto plan = planner.planContig(wl.reference, chr.contig,
+                                   chr.reads);
+    std::vector<MarshalledTarget> targets;
+    for (size_t t = 0; t < plan.targets.size(); ++t) {
+        if (plan.readsPerTarget[t].empty())
+            continue;
+        targets.push_back(marshalTarget(buildTargetInput(
+            wl.reference, chr.reads, plan.targets[t],
+            plan.readsPerTarget[t])));
+    }
+
+    Table table({"Width", "Pruning", "HDC cycles", "Selector",
+                 "Speedup vs scalar", "Comparisons"});
+
+    uint64_t scalar_cycles = 0;
+    for (uint32_t width : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        for (bool prune : {true}) {
+            uint64_t hdc = 0, sel = 0, cmps = 0;
+            for (const auto &t : targets) {
+                IrComputeResult res = irCompute(t, width, prune);
+                hdc += res.hdcCycles;
+                sel += res.selectorCycles;
+                cmps += res.whd.comparisons;
+            }
+            if (width == 1)
+                scalar_cycles = hdc;
+            table.addRow({std::to_string(width),
+                          prune ? "on" : "off",
+                          std::to_string(hdc), std::to_string(sel),
+                          Table::speedup(
+                              static_cast<double>(scalar_cycles) /
+                              static_cast<double>(hdc)),
+                          std::to_string(cmps)});
+        }
+    }
+    table.print();
+
+    std::printf("\nPaper: the 32-wide calculator provided ~15x on "
+                "top of the async system;\nwidth gains saturate "
+                "below 32x because pruning already skips most "
+                "offsets after\none or two 32-byte rows.\n");
+    std::printf("Targets evaluated: %zu (Ch20)\n", targets.size());
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot kernels: the
+ * weighted-Hamming-distance software kernel (with and without
+ * pruning), the accelerator datapath model at several widths, the
+ * Smith-Waterman extension kernel, and target marshalling.  These
+ * quantify the per-base-comparison cost that the Section II-C
+ * compute-bound argument rests on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/ir_compute.hh"
+#include "align/smith_waterman.hh"
+#include "realign/marshal.hh"
+#include "realign/whd.hh"
+#include "util/rng.hh"
+
+namespace iracc {
+namespace {
+
+/** A realistic mid-size target: 4 consensuses, 48 reads. */
+IrTargetInput
+benchInput(size_t num_cons = 4, size_t num_reads = 48,
+           size_t cons_len = 400, size_t read_len = 100)
+{
+    Rng rng(0xBE9C);
+    IrTargetInput input;
+    input.windowStart = 100000;
+    input.windowEnd = input.windowStart +
+                      static_cast<int64_t>(cons_len);
+    BaseSeq ref;
+    for (size_t b = 0; b < cons_len; ++b)
+        ref.push_back(kConcreteBases[rng.below(4)]);
+    input.consensuses.push_back(ref);
+    for (size_t i = 1; i < num_cons; ++i) {
+        BaseSeq alt = ref;
+        alt.erase(cons_len / 2, 1 + i);
+        input.consensuses.push_back(alt);
+    }
+    input.events.resize(input.consensuses.size());
+    for (size_t j = 0; j < num_reads; ++j) {
+        size_t off = rng.below(cons_len - read_len);
+        BaseSeq r = ref.substr(off, read_len);
+        for (int e = 0; e < 3; ++e)
+            r[rng.below(read_len)] = kConcreteBases[rng.below(4)];
+        QualSeq q;
+        for (size_t b = 0; b < read_len; ++b)
+            q.push_back(static_cast<uint8_t>(rng.range(10, 40)));
+        input.readBases.push_back(r);
+        input.readQuals.push_back(q);
+        input.readIndices.push_back(static_cast<uint32_t>(j));
+    }
+    return input;
+}
+
+void
+BM_CalcWhd(benchmark::State &state)
+{
+    IrTargetInput input = benchInput();
+    const BaseSeq &cons = input.consensuses[0];
+    const BaseSeq &read = input.readBases[0];
+    const QualSeq &quals = input.readQuals[0];
+    size_t k = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(calcWhd(cons, read, quals, k));
+        k = (k + 1) % (cons.size() - read.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(read.size()));
+}
+BENCHMARK(BM_CalcWhd);
+
+void
+BM_MinWhd(benchmark::State &state)
+{
+    IrTargetInput input = benchInput();
+    const bool prune = state.range(0) != 0;
+    WhdStats stats;
+    for (auto _ : state) {
+        MinWhdGrid grid = minWhd(input, prune, &stats);
+        benchmark::DoNotOptimize(grid);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(stats.comparisons));
+    state.SetLabel(prune ? "pruned" : "full");
+}
+BENCHMARK(BM_MinWhd)->Arg(0)->Arg(1);
+
+void
+BM_IrComputeWidth(benchmark::State &state)
+{
+    MarshalledTarget target = marshalTarget(benchInput());
+    const uint32_t width = static_cast<uint32_t>(state.range(0));
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        IrComputeResult res = irCompute(target, width, true);
+        cycles = res.totalCycles();
+        benchmark::DoNotOptimize(res);
+    }
+    state.counters["model_cycles"] =
+        static_cast<double>(cycles);
+}
+BENCHMARK(BM_IrComputeWidth)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_MarshalTarget(benchmark::State &state)
+{
+    IrTargetInput input = benchInput();
+    for (auto _ : state) {
+        MarshalledTarget m = marshalTarget(input);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_MarshalTarget);
+
+void
+BM_SmithWaterman(benchmark::State &state)
+{
+    Rng rng(0x5117);
+    BaseSeq window;
+    for (int b = 0; b < 300; ++b)
+        window.push_back(kConcreteBases[rng.below(4)]);
+    BaseSeq read = window.substr(100, 100);
+    read.erase(40, 3);
+    for (auto _ : state) {
+        SwAlignment aln = smithWaterman(window, read);
+        benchmark::DoNotOptimize(aln);
+    }
+}
+BENCHMARK(BM_SmithWaterman);
+
+} // namespace
+} // namespace iracc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * iracc_cli -- command-line front end for the IRACC pipeline.
+ *
+ * Subcommands:
+ *   simulate  synthesize a reference + aligned reads + truth VCF
+ *   realign   run INDEL realignment on a SAM-lite file with any
+ *             registered backend (software or simulated FPGA)
+ *   call      run the somatic variant caller, emit VCF
+ *   stats     summarize a read set
+ *
+ * Typical session:
+ *   iracc_cli simulate --chromosomes 21,22 --scale 2000 --out /tmp/ds
+ *   iracc_cli realign  --dir /tmp/ds --backend iracc
+ *   iracc_cli call     --dir /tmp/ds --reads realigned.samlite
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/realigner_api.hh"
+#include "core/workload.hh"
+#include "genomics/io.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "variant/caller.hh"
+#include "variant/vcf.hh"
+
+using namespace iracc;
+
+namespace {
+
+/** --key value argument bag. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            fatal_if(key.rfind("--", 0) != 0,
+                     "expected --option, got '%s'", key.c_str());
+            fatal_if(i + 1 >= argc, "option %s needs a value",
+                     key.c_str());
+            values[key.substr(2)] = argv[++i];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &dflt) const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? dflt : it->second;
+    }
+
+    int64_t
+    getInt(const std::string &key, int64_t dflt) const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? dflt
+                                  : std::atoll(it->second.c_str());
+    }
+
+    double
+    getDouble(const std::string &key, double dflt) const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? dflt
+                                  : std::atof(it->second.c_str());
+    }
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+std::vector<int>
+parseChromosomes(const std::string &spec)
+{
+    std::vector<int> out;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        out.push_back(std::atoi(spec.substr(pos, comma - pos)
+                                    .c_str()));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+ReferenceGenome
+loadReference(const std::string &path)
+{
+    std::ifstream f(path);
+    fatal_if(!f, "cannot open reference '%s'", path.c_str());
+    return readFasta(f);
+}
+
+std::vector<Read>
+loadReads(const std::string &path, const ReferenceGenome &ref)
+{
+    std::ifstream f(path);
+    fatal_if(!f, "cannot open reads '%s'", path.c_str());
+    return readSamLite(f, ref);
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    std::string out = args.get("out", ".");
+    WorkloadParams params;
+    params.seed = static_cast<uint64_t>(args.getInt("seed",
+                                                    0xADA12878));
+    params.scaleDivisor = args.getInt("scale", 1000);
+    params.coverage = args.getDouble("coverage", 30.0);
+    params.normalCoverage = args.getDouble("normal-coverage", 0.0);
+    params.readSim.pairedEnd = args.getInt("paired", 0) != 0;
+    std::string chroms = args.get("chromosomes", "");
+    if (!chroms.empty())
+        params.chromosomes = parseChromosomes(chroms);
+
+    GenomeWorkload wl = buildWorkload(params);
+
+    std::ofstream fa(out + "/ref.fa");
+    fatal_if(!fa, "cannot write to '%s'", out.c_str());
+    writeFasta(fa, wl.reference);
+
+    std::vector<Read> all_reads;
+    std::vector<Read> all_normal;
+    std::vector<Variant> all_truth;
+    for (const auto &chr : wl.chromosomes) {
+        all_reads.insert(all_reads.end(), chr.reads.begin(),
+                         chr.reads.end());
+        all_normal.insert(all_normal.end(), chr.normalReads.begin(),
+                          chr.normalReads.end());
+        all_truth.insert(all_truth.end(), chr.truth.begin(),
+                         chr.truth.end());
+    }
+    if (!all_normal.empty()) {
+        std::ofstream nf(out + "/normal.samlite");
+        writeSamLite(nf, wl.reference, all_normal);
+    }
+    std::ofstream sam(out + "/aligned.samlite");
+    writeSamLite(sam, wl.reference, all_reads);
+    std::ofstream fq(out + "/reads.fq");
+    writeFastq(fq, all_reads);
+    std::ofstream vcf(out + "/truth.vcf");
+    writeTruthVcf(vcf, wl.reference, all_truth);
+
+    std::printf("wrote %s/{ref.fa, aligned.samlite, reads.fq, "
+                "truth.vcf}\n%zu contigs, %zu reads, %zu truth "
+                "variants\n",
+                out.c_str(), wl.reference.numContigs(),
+                all_reads.size(), all_truth.size());
+    return 0;
+}
+
+int
+cmdRealign(const Args &args)
+{
+    std::string dir = args.get("dir", ".");
+    std::string backend_name = args.get("backend", "iracc");
+    ReferenceGenome ref = loadReference(
+        args.get("ref", dir + "/ref.fa"));
+    std::vector<Read> reads = loadReads(
+        args.get("reads", dir + "/aligned.samlite"), ref);
+
+    auto backend = makeBackend(backend_name);
+    std::printf("backend: %s (%s)\n", backend->name().c_str(),
+                backend->description().c_str());
+
+    RealignStats total;
+    double seconds = 0.0;
+    for (size_t c = 0; c < ref.numContigs(); ++c) {
+        BackendRunResult run = backend->realignContig(
+            ref, static_cast<int32_t>(c), reads);
+        total.merge(run.stats);
+        seconds += run.seconds;
+    }
+    std::string out = args.get("out", dir + "/realigned.samlite");
+    std::ofstream f(out);
+    fatal_if(!f, "cannot write '%s'", out.c_str());
+    writeSamLite(f, ref, reads);
+
+    std::printf("targets: %llu, reads realigned: %llu / %llu "
+                "considered\n",
+                static_cast<unsigned long long>(total.targets),
+                static_cast<unsigned long long>(
+                    total.readsRealigned),
+                static_cast<unsigned long long>(
+                    total.readsConsidered));
+    std::printf("runtime: %.3f s%s\nwrote %s\n", seconds,
+                backend_name.rfind("iracc", 0) == 0 ||
+                        backend_name == "hls"
+                    ? " (simulated FPGA + host)"
+                    : "",
+                out.c_str());
+    return 0;
+}
+
+int
+cmdCall(const Args &args)
+{
+    std::string dir = args.get("dir", ".");
+    ReferenceGenome ref = loadReference(
+        args.get("ref", dir + "/ref.fa"));
+    std::vector<Read> reads = loadReads(
+        args.get("reads", dir + "/realigned.samlite"), ref);
+
+    CallerParams params;
+    params.lodThreshold = args.getDouble("lod", 6.3);
+    params.minDepth = static_cast<uint32_t>(
+        args.getInt("min-depth", 8));
+
+    std::vector<CalledVariant> all_calls;
+    for (size_t c = 0; c < ref.numContigs(); ++c) {
+        auto calls = callVariants(
+            ref, reads, static_cast<int32_t>(c), 0,
+            ref.contig(static_cast<int32_t>(c)).length(), params);
+        all_calls.insert(all_calls.end(), calls.begin(),
+                         calls.end());
+    }
+
+    std::string out = args.get("out", dir + "/calls.vcf");
+    std::ofstream f(out);
+    fatal_if(!f, "cannot write '%s'", out.c_str());
+    writeVcf(f, ref, all_calls);
+
+    int64_t snvs = 0, indels = 0;
+    for (const auto &v : all_calls)
+        (v.type == VariantType::Snv ? snvs : indels) += 1;
+    std::printf("called %zu variants (%lld SNVs, %lld indels)\n"
+                "wrote %s\n",
+                all_calls.size(), static_cast<long long>(snvs),
+                static_cast<long long>(indels), out.c_str());
+    return 0;
+}
+
+int
+cmdStats(const Args &args)
+{
+    std::string dir = args.get("dir", ".");
+    ReferenceGenome ref = loadReference(
+        args.get("ref", dir + "/ref.fa"));
+    std::vector<Read> reads = loadReads(
+        args.get("reads", dir + "/aligned.samlite"), ref);
+
+    Table t({"Contig", "Length", "Reads", "Coverage", "WithIndel",
+             "Duplicates"});
+    for (size_t c = 0; c < ref.numContigs(); ++c) {
+        const Contig &ctg = ref.contig(static_cast<int32_t>(c));
+        int64_t n = 0, bases = 0, indel = 0, dup = 0;
+        for (const Read &r : reads) {
+            if (r.contig != static_cast<int32_t>(c))
+                continue;
+            ++n;
+            bases += static_cast<int64_t>(r.length());
+            indel += r.cigar.hasIndel() ? 1 : 0;
+            dup += r.duplicate ? 1 : 0;
+        }
+        t.addRow({ctg.name, std::to_string(ctg.length()),
+                  std::to_string(n),
+                  Table::num(static_cast<double>(bases) /
+                                 static_cast<double>(ctg.length()),
+                             1) + "x",
+                  std::to_string(indel), std::to_string(dup)});
+    }
+    t.print();
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: iracc_cli <command> [--option value ...]\n\n"
+        "commands:\n"
+        "  simulate  --out DIR [--chromosomes 21,22] [--scale N]\n"
+        "            [--coverage X] [--normal-coverage X]\n"
+        "            [--paired 1] [--seed N]\n"
+        "  realign   --dir DIR [--backend NAME] [--ref F]\n"
+        "            [--reads F] [--out F]\n"
+        "  call      --dir DIR [--ref F] [--reads F] [--out F]\n"
+        "            [--lod X] [--min-depth N]\n"
+        "  stats     --dir DIR [--ref F] [--reads F]\n\n"
+        "backends: gatk3 gatk3-1t adam native iracc iracc-taskp\n"
+        "          iracc-taskp-async hls\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string cmd = argv[1];
+    Args args(argc, argv, 2);
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    if (cmd == "realign")
+        return cmdRealign(args);
+    if (cmd == "call")
+        return cmdCall(args);
+    if (cmd == "stats")
+        return cmdStats(args);
+    usage();
+    return 1;
+}

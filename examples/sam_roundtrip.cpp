@@ -1,0 +1,93 @@
+/**
+ * @file
+ * File-based workflow: generate a data set, persist it as
+ * FASTA/FASTQ/SAM-lite, reload it, and realign -- the shape of a
+ * real deployment where the sequencer output and alignments live
+ * on disk between pipeline stages (as GATK3's file-based flow
+ * does).
+ *
+ *   $ ./build/examples/sam_roundtrip [output_dir=/tmp]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/realigner_api.hh"
+#include "core/workload.hh"
+#include "genomics/io.hh"
+#include "util/logging.hh"
+
+using namespace iracc;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::string dir = argc > 1 ? argv[1] : "/tmp";
+
+    // Synthesize a small sample.
+    WorkloadParams params;
+    params.chromosomes = {22};
+    params.scaleDivisor = 4000;
+    params.minContigLength = 25000;
+    GenomeWorkload wl = buildWorkload(params);
+    const ChromosomeWorkload &chr = wl.chromosome(22);
+
+    const std::string fasta = dir + "/iracc_ref.fa";
+    const std::string fastq = dir + "/iracc_reads.fq";
+    const std::string sam_in = dir + "/iracc_aligned.samlite";
+    const std::string sam_out = dir + "/iracc_realigned.samlite";
+
+    // Persist reference, raw reads, and alignments.
+    {
+        std::ofstream f(fasta);
+        writeFasta(f, wl.reference);
+    }
+    {
+        std::ofstream f(fastq);
+        writeFastq(f, chr.reads);
+    }
+    {
+        std::ofstream f(sam_in);
+        writeSamLite(f, wl.reference, chr.reads);
+    }
+    std::printf("wrote %s (%zu contigs), %s and %s (%zu reads)\n",
+                fasta.c_str(), wl.reference.numContigs(),
+                fastq.c_str(), sam_in.c_str(), chr.reads.size());
+
+    // Reload from disk -- a fresh process would start here.
+    ReferenceGenome ref;
+    {
+        std::ifstream f(fasta);
+        ref = readFasta(f);
+    }
+    std::vector<Read> reads;
+    {
+        std::ifstream f(sam_in);
+        reads = readSamLite(f, ref);
+    }
+    fatal_if(reads.size() != chr.reads.size(),
+             "round-trip lost reads");
+    std::printf("reloaded %zu reads from disk\n", reads.size());
+
+    // Realign on the simulated accelerator and persist the result.
+    int32_t contig = ref.findContig(autosomeName(22));
+    auto backend = makeBackend("iracc");
+    BackendRunResult run = backend->realignContig(ref, contig,
+                                                  reads);
+    {
+        std::ofstream f(sam_out);
+        writeSamLite(f, ref, reads);
+    }
+    std::printf("realigned %llu of %llu considered reads across "
+                "%llu targets\nwrote %s\n",
+                static_cast<unsigned long long>(
+                    run.stats.readsRealigned),
+                static_cast<unsigned long long>(
+                    run.stats.readsConsidered),
+                static_cast<unsigned long long>(run.stats.targets),
+                sam_out.c_str());
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * End-to-end tumor/normal somatic analysis -- the clinical
+ * scenario the paper's introduction motivates (acute-cancer
+ * diagnostics, Section I).
+ *
+ * Simulates a tumor sample with low-allele-fraction somatic
+ * variants plus its matched normal, runs both through the paper's
+ * Figure 1 flow -- primary-alignment artifacts, alignment
+ * refinement (sort -> duplicate marking -> INDEL realignment ->
+ * BQSR) -- then calls somatic variants Mutect1-style (tumor LOD +
+ * germline filtering against the normal), and reports how somatic
+ * indel-calling accuracy changes when the IR stage runs (a) not at
+ * all, (b) on the GATK3-style software realigner, and (c) on the
+ * simulated FPGA-accelerated IR system, including each option's
+ * runtime (both samples must be realigned, doubling the IR bill --
+ * and the reason the accelerated system's minutes-not-hours
+ * matters clinically).
+ *
+ *   $ ./build/examples/somatic_pipeline [chromosome=20]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/realigner_api.hh"
+#include "core/workload.hh"
+#include "refine/pipeline.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "variant/somatic.hh"
+
+using namespace iracc;
+
+namespace {
+
+struct PipelineOutcome
+{
+    double realignSeconds = 0.0; ///< both samples
+    uint64_t readsRealigned = 0;
+    CallAccuracy somaticIndels;
+    size_t calls = 0;
+};
+
+PipelineOutcome
+runPipeline(const GenomeWorkload &wl, const ChromosomeWorkload &chr,
+            const char *backend_name)
+{
+    PipelineOutcome out;
+
+    RealignStage stage;
+    if (backend_name) {
+        stage = [&out, backend_name](const ReferenceGenome &ref,
+                                     int32_t contig,
+                                     std::vector<Read> &rs) {
+            auto b = makeBackend(backend_name);
+            BackendRunResult run = b->realignContig(ref, contig, rs);
+            out.realignSeconds += run.seconds;
+            out.readsRealigned += run.stats.readsRealigned;
+            return run.stats;
+        };
+    } else {
+        stage = [](const ReferenceGenome &, int32_t,
+                   std::vector<Read> &) { return RealignStats{}; };
+    }
+
+    // Refine tumor and matched normal alike (the clinical pipeline
+    // runs both through refinement before somatic calling).
+    std::vector<Read> tumor = chr.reads;
+    std::vector<Read> normal = chr.normalReads;
+    runRefinementPipeline(wl.reference, chr.contig, tumor, stage,
+                          chr.truth);
+    runRefinementPipeline(wl.reference, chr.contig, normal, stage,
+                          chr.truth);
+
+    SomaticCallerParams sp;
+    sp.tumor.minIndelFraction = 0.2;
+    auto calls = callSomaticVariants(
+        wl.reference, tumor, normal, chr.contig, 0,
+        wl.reference.contig(chr.contig).length(), sp);
+    out.calls = calls.size();
+    out.somaticIndels = scoreSomaticCalls(calls, chr.truth,
+                                          /*indels_only=*/true);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    int chromosome = argc > 1 ? std::atoi(argv[1]) : 20;
+    fatal_if(chromosome < 1 || chromosome > kNumAutosomes,
+             "chromosome must be 1..22");
+
+    std::printf("Tumor/normal somatic pipeline on %s\n\n",
+                autosomeName(chromosome).c_str());
+
+    WorkloadParams params;
+    params.chromosomes = {chromosome};
+    params.scaleDivisor = 1000;
+    params.coverage = 40.0;       // tumors sequence deeper
+    params.normalCoverage = 25.0; // matched normal
+    params.variants.somaticFraction = 0.6;
+    GenomeWorkload wl = buildWorkload(params);
+    const ChromosomeWorkload &chr = wl.chromosome(chromosome);
+
+    int64_t somatic_indels = 0, germline_indels = 0;
+    for (const auto &v : chr.truth) {
+        if (!v.isIndel())
+            continue;
+        (v.isSomatic ? somatic_indels : germline_indels) += 1;
+    }
+    std::printf("tumor: %zu reads at %.0fx; normal: %zu reads at "
+                "%.0fx\ntruth: %lld somatic indels (AF 0.15-0.35), "
+                "%lld germline indels to filter\n\n",
+                chr.reads.size(), params.coverage,
+                chr.normalReads.size(), params.normalCoverage,
+                static_cast<long long>(somatic_indels),
+                static_cast<long long>(germline_indels));
+
+    struct Option
+    {
+        const char *label;
+        const char *backend;
+    };
+    const Option options[] = {
+        {"no realignment", nullptr},
+        {"software IR (gatk3, 8T)", "gatk3"},
+        {"FPGA-accelerated IR (iracc)", "iracc"},
+    };
+
+    Table table({"IR stage", "IR time 2 samples(s)",
+                 "Somatic calls", "Indel recall", "Indel precision",
+                 "F1"});
+    for (const Option &opt : options) {
+        PipelineOutcome out = runPipeline(wl, chr, opt.backend);
+        table.addRow({opt.label,
+                      opt.backend
+                          ? Table::num(out.realignSeconds, 3)
+                          : "-",
+                      std::to_string(out.calls),
+                      Table::pct(out.somaticIndels.recall()),
+                      Table::pct(out.somaticIndels.precision()),
+                      Table::num(out.somaticIndels.f1(), 3)});
+    }
+    table.print();
+
+    std::printf("\nThe accelerated system matches the software "
+                "realigner's accuracy at a fraction\nof the "
+                "runtime, across both samples -- the paper's "
+                "clinical argument: hours\nmatter for patients in "
+                "acute blast crisis.\n");
+    return 0;
+}

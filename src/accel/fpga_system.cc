@@ -1,0 +1,210 @@
+#include "accel/fpga_system.hh"
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+FpgaSystem::FpgaSystem(AccelConfig config)
+    : cfg(config), clock(config.clockMhz),
+      dma("pcie-dma", config.dmaBytesPerCycle, config.dmaLatency),
+      axilite("axilite-hub", config.axiliteBytesPerCycle, 0)
+{
+    fatal_if(cfg.numUnits == 0 || cfg.numUnits > 32,
+             "unit count %u outside 1..32 (5-bit RoCC unit id)",
+             cfg.numUnits);
+    fatal_if(cfg.ddrChannels == 0 || cfg.ddrChannels > 4,
+             "F1 exposes 1..4 DDR channels, got %u",
+             cfg.ddrChannels);
+
+    for (uint32_t c = 0; c < cfg.ddrChannels; ++c) {
+        ddr.push_back(std::make_unique<SharedChannel>(
+            "ddr" + std::to_string(c), cfg.ddrBytesPerCycle,
+            cfg.ddrLatency));
+    }
+    for (uint32_t u = 0; u < cfg.numUnits; ++u) {
+        units.push_back(std::make_unique<IrUnitModel>(
+            u, &cfg, &eq, ddr[u % cfg.ddrChannels].get(), &mem));
+    }
+}
+
+bool
+FpgaSystem::unitIdle(uint32_t unit) const
+{
+    panic_if(unit >= units.size(), "unit %u out of range", unit);
+    return !units[unit]->busy();
+}
+
+void
+FpgaSystem::dmaToDevice(uint64_t addr, const void *src,
+                        uint64_t bytes,
+                        std::function<void()> on_done)
+{
+    Cycle done = dma.transfer(eq.now(), bytes);
+    eq.schedule(done, [this, addr, src, bytes,
+                       on_done = std::move(on_done)] {
+        mem.write(addr, src, bytes);
+        on_done();
+    });
+}
+
+void
+FpgaSystem::dmaToDevice(uint64_t bytes, std::function<void()> on_done)
+{
+    Cycle done = dma.transfer(eq.now(), bytes);
+    eq.schedule(done, std::move(on_done));
+}
+
+TargetDescriptor
+FpgaSystem::allocateTarget(const MarshalledTarget &target)
+{
+    TargetDescriptor desc;
+    desc.targetStart = target.targetStart;
+    desc.numConsensuses = target.numConsensuses;
+    desc.numReads = target.numReads;
+    desc.consensusLengths = target.consensusLengths;
+    desc.inputBytes = target.totalInputBytes();
+
+    desc.bufferAddr[static_cast<size_t>(IrBuffer::ConsensusBases)] =
+        mem.allocate(target.consensusData.size());
+    desc.bufferAddr[static_cast<size_t>(IrBuffer::ReadBases)] =
+        mem.allocate(target.readData.size());
+    desc.bufferAddr[static_cast<size_t>(IrBuffer::ReadQuals)] =
+        mem.allocate(target.qualData.size());
+    desc.bufferAddr[static_cast<size_t>(IrBuffer::OutFlags)] =
+        mem.allocate(target.numReads);
+    desc.bufferAddr[static_cast<size_t>(IrBuffer::OutPositions)] =
+        mem.allocate(static_cast<uint64_t>(target.numReads) * 4);
+    return desc;
+}
+
+AccelTargetOutput
+FpgaSystem::readOutputs(const TargetDescriptor &desc)
+{
+    AccelTargetOutput out;
+    out.realignFlags = mem.readVec(
+        desc.bufferAddr[static_cast<size_t>(IrBuffer::OutFlags)],
+        desc.numReads);
+    std::vector<uint8_t> raw = mem.readVec(
+        desc.bufferAddr[static_cast<size_t>(IrBuffer::OutPositions)],
+        static_cast<uint64_t>(desc.numReads) * 4);
+    out.newPositions.resize(desc.numReads);
+    for (uint32_t j = 0; j < desc.numReads; ++j) {
+        out.newPositions[j] =
+            static_cast<uint32_t>(raw[j * 4]) |
+            (static_cast<uint32_t>(raw[j * 4 + 1]) << 8) |
+            (static_cast<uint32_t>(raw[j * 4 + 2]) << 16) |
+            (static_cast<uint32_t>(raw[j * 4 + 3]) << 24);
+    }
+    return out;
+}
+
+void
+FpgaSystem::runTarget(uint32_t unit, const TargetDescriptor &desc,
+                      uint64_t targetId,
+                      std::function<void(IrComputeResult &&)> on_done,
+                      const IrComputeResult *precomputed)
+{
+    panic_if(unit >= units.size(), "unit %u out of range", unit);
+    panic_if(units[unit]->busy(), "unit %u is busy", unit);
+
+    // Encode the full Table I command sequence for this target.
+    std::vector<IrCommand> cmds = buildTargetCommands(
+        static_cast<uint8_t>(unit), desc.bufferAddr,
+        desc.targetStart, desc.numConsensuses, desc.numReads,
+        desc.consensusLengths);
+    numCommands += cmds.size();
+    ++numTargets;
+
+    // The whole sequence streams through the shared AXILite MMIO
+    // hub; command traffic from all units serializes here.
+    Cycle delivered = axilite.transfer(
+        eq.now(), cmds.size() * cfg.bytesPerCommand);
+
+    IrUnitModel *u = units[unit].get();
+    eq.schedule(delivered, [this, u, targetId, precomputed,
+                            cmds = std::move(cmds),
+                            on_done = std::move(on_done)]() mutable {
+        // The command router decodes each instruction word and
+        // routes it to the addressed unit (a genuine encode/decode
+        // round trip through the RoCC format).
+        for (const IrCommand &cmd : cmds) {
+            IrCommand decoded = IrCommand::fromInstruction(
+                RoccInstruction::decode(cmd.instruction().encode()),
+                cmd.rs1Val, cmd.rs2Val);
+            if (decoded.op == IrOpcode::Start) {
+                u->launch(targetId, precomputed,
+                          [this, on_done = std::move(on_done)](
+                              IrComputeResult &&result) mutable {
+                              whdTotal.merge(result.whd);
+                              on_done(std::move(result));
+                          });
+                return;
+            }
+            u->deliver(decoded);
+        }
+        panic("command sequence had no ir_start");
+    });
+}
+
+TargetDescriptor
+FpgaSystem::runMarshalledTarget(
+    uint32_t unit, const MarshalledTarget &target, uint64_t targetId,
+    std::function<void(IrComputeResult &&)> on_done,
+    const IrComputeResult *precomputed)
+{
+    TargetDescriptor desc = allocateTarget(target);
+    mem.write(desc.bufferAddr[static_cast<size_t>(
+                  IrBuffer::ConsensusBases)],
+              target.consensusData.data(),
+              target.consensusData.size());
+    mem.write(desc.bufferAddr[static_cast<size_t>(
+                  IrBuffer::ReadBases)],
+              target.readData.data(), target.readData.size());
+    mem.write(desc.bufferAddr[static_cast<size_t>(
+                  IrBuffer::ReadQuals)],
+              target.qualData.data(), target.qualData.size());
+    runTarget(unit, desc, targetId, std::move(on_done), precomputed);
+    return desc;
+}
+
+Cycle
+FpgaSystem::run()
+{
+    return eq.run();
+}
+
+FpgaRunStats
+FpgaSystem::stats() const
+{
+    FpgaRunStats s;
+    s.totalCycles = eq.now();
+    s.wallSeconds = clock.cyclesToSeconds(eq.now());
+    s.targetsProcessed = numTargets;
+    s.commandsIssued = numCommands;
+    s.dmaBytes = dma.bytesMoved();
+    s.dmaBusyCycles = dma.busyCycles();
+    for (const auto &ch : ddr)
+        s.ddrBusyCycles += ch->busyCycles();
+    double util = 0.0;
+    for (const auto &u : units) {
+        if (eq.now() > 0)
+            util += static_cast<double>(u->busyCycles()) /
+                    static_cast<double>(eq.now());
+    }
+    s.meanUnitUtilization =
+        units.empty() ? 0.0 : util / static_cast<double>(units.size());
+    s.whd = whdTotal;
+    return s;
+}
+
+std::vector<UnitTimelineEntry>
+FpgaSystem::timeline() const
+{
+    std::vector<UnitTimelineEntry> all;
+    for (const auto &u : units)
+        all.insert(all.end(), u->timeline().begin(),
+                   u->timeline().end());
+    return all;
+}
+
+} // namespace iracc

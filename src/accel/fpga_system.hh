@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The assembled accelerator SoC on the F1 FPGA (paper Figure 6): a
+ * sea of IR units, the DDR4 channel(s) behind the arbiter tree and
+ * AXI crossbar, the byte-accurate device memory, the PCIe DMA
+ * engine, and the RoCC command router fed through the AXILite MMIO
+ * hub.
+ *
+ * The host driver (src/host) talks to this class the way the
+ * paper's control program talks to the real FPGA: malloc + DMA the
+ * target's byte arrays to device DDR addresses, push the encoded
+ * RoCC configuration/start commands, poll completion responses,
+ * and read the output buffers back out of device memory.
+ */
+
+#ifndef IRACC_ACCEL_FPGA_SYSTEM_HH
+#define IRACC_ACCEL_FPGA_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "accel/device_memory.hh"
+#include "accel/ir_unit.hh"
+#include "accel/memory.hh"
+#include "accel/params.hh"
+#include "isa/ir_isa.hh"
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+
+namespace iracc {
+
+/** Device-memory placement + geometry of one prepared target. */
+struct TargetDescriptor
+{
+    /** DDR addresses of the five per-target buffers. */
+    uint64_t bufferAddr[kNumIrBuffers] = {};
+
+    /** ir_set_target operand (window start). */
+    uint64_t targetStart = 0;
+
+    uint32_t numConsensuses = 0;
+    uint32_t numReads = 0;
+    std::vector<uint16_t> consensusLengths;
+
+    /** Input bytes the DMA engine must move for this target. */
+    uint64_t inputBytes = 0;
+};
+
+/** Aggregate statistics of one FPGA-system simulation. */
+struct FpgaRunStats
+{
+    Cycle totalCycles = 0;
+    double wallSeconds = 0.0;
+    uint64_t targetsProcessed = 0;
+    uint64_t commandsIssued = 0;
+    uint64_t dmaBytes = 0;
+    Cycle dmaBusyCycles = 0;
+    Cycle ddrBusyCycles = 0;
+    double meanUnitUtilization = 0.0;
+    WhdStats whd;
+};
+
+/**
+ * Event-driven model of the full accelerator system.
+ */
+class FpgaSystem
+{
+  public:
+    explicit FpgaSystem(AccelConfig config);
+
+    const AccelConfig &config() const { return cfg; }
+    uint32_t numUnits() const { return cfg.numUnits; }
+    EventQueue &events() { return eq; }
+    Cycle now() const { return eq.now(); }
+
+    /** The FPGA-attached DDR contents. */
+    DeviceMemory &memory() { return mem; }
+    const DeviceMemory &memory() const { return mem; }
+
+    /** @return true when unit @p unit has no target in flight. */
+    bool unitIdle(uint32_t unit) const;
+
+    /**
+     * DMA host bytes into device memory at @p addr; the bytes land
+     * and @p on_done fires at the transfer-completion event.  The
+     * source range must stay alive until then.
+     */
+    void dmaToDevice(uint64_t addr, const void *src, uint64_t bytes,
+                     std::function<void()> on_done);
+
+    /** Timing-only DMA (no payload), for batched transfers whose
+     *  payloads are written via memory() directly. */
+    void dmaToDevice(uint64_t bytes, std::function<void()> on_done);
+
+    /**
+     * Configure and start one prepared target on a unit: encodes
+     * the full Table I command sequence, models AXILite delivery,
+     * routes the decoded commands to the unit, and launches it.
+     * @p on_done receives the datapath result at the response
+     * event; the architectural outputs are read back from device
+     * memory by the caller.
+     *
+     * @param precomputed optional precomputed datapath result (a
+     *        pure function of the buffer bytes and configuration);
+     *        null = the unit computes from the bytes in memory
+     */
+    void runTarget(uint32_t unit, const TargetDescriptor &desc,
+                   uint64_t targetId,
+                   std::function<void(IrComputeResult &&)> on_done,
+                   const IrComputeResult *precomputed = nullptr);
+
+    /**
+     * Convenience for tests and small tools: place a marshalled
+     * target into device memory (bypassing DMA timing), then run
+     * it.  @return the descriptor used.
+     */
+    TargetDescriptor runMarshalledTarget(
+        uint32_t unit, const MarshalledTarget &target,
+        uint64_t targetId,
+        std::function<void(IrComputeResult &&)> on_done,
+        const IrComputeResult *precomputed = nullptr);
+
+    /**
+     * Allocate device-memory buffers for a marshalled target.
+     * (Does not move any data.)
+     */
+    TargetDescriptor allocateTarget(const MarshalledTarget &target);
+
+    /** Read output buffer #1/#2 back for a completed target. */
+    AccelTargetOutput readOutputs(const TargetDescriptor &desc);
+
+    /** Drain all scheduled events; @return final cycle. */
+    Cycle run();
+
+    /** Collect run statistics (valid after run()). */
+    FpgaRunStats stats() const;
+
+    /** Per-unit timelines (Figure 7 reproduction). */
+    std::vector<UnitTimelineEntry> timeline() const;
+
+    /** Seconds represented by a cycle count at this clock. */
+    double
+    cyclesToSeconds(Cycle cycles) const
+    {
+        return clock.cyclesToSeconds(cycles);
+    }
+
+    /** Commands issued so far (RoCC command router counter). */
+    uint64_t commandsIssued() const { return numCommands; }
+
+  private:
+    AccelConfig cfg;
+    ClockDomain clock;
+    EventQueue eq;
+    DeviceMemory mem;
+    SharedChannel dma;
+    SharedChannel axilite;
+    std::vector<std::unique_ptr<SharedChannel>> ddr;
+    std::vector<std::unique_ptr<IrUnitModel>> units;
+    uint64_t numCommands = 0;
+    uint64_t numTargets = 0;
+    WhdStats whdTotal;
+};
+
+} // namespace iracc
+
+#endif // IRACC_ACCEL_FPGA_SYSTEM_HH

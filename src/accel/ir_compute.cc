@@ -1,0 +1,130 @@
+#include "accel/ir_compute.hh"
+
+#include <algorithm>
+
+#include "realign/limits.hh"
+#include "realign/score.hh"
+#include "util/logging.hh"
+
+namespace iracc {
+
+IrComputeResult
+irCompute(const MarshalledTarget &target, uint32_t width, bool prune)
+{
+    panic_if(width == 0, "data-parallel width must be >= 1");
+    const uint32_t num_cons = target.numConsensuses;
+    const uint32_t num_reads = target.numReads;
+    panic_if(num_cons == 0 || num_cons > kMaxConsensuses,
+             "bad consensus count %u", num_cons);
+    panic_if(num_reads > kMaxReads, "bad read count %u", num_reads);
+
+    // Resolve consensus rows (dense layout, ir_set_len lengths).
+    std::vector<const uint8_t *> cons_ptr(num_cons);
+    std::vector<uint32_t> cons_len(num_cons);
+    {
+        size_t off = 0;
+        for (uint32_t i = 0; i < num_cons; ++i) {
+            cons_ptr[i] = target.consensusData.data() + off;
+            cons_len[i] = target.consensusLengths[i];
+            off += cons_len[i];
+        }
+        panic_if(off != target.consensusData.size(),
+                 "consensus buffer image size mismatch");
+    }
+
+    // Resolve read slots; the end-of-read sentinel (0x00) or the
+    // slot boundary delimits each read.
+    std::vector<const uint8_t *> read_ptr(num_reads);
+    std::vector<const uint8_t *> qual_ptr(num_reads);
+    std::vector<uint32_t> read_len(num_reads);
+    for (uint32_t j = 0; j < num_reads; ++j) {
+        size_t off = static_cast<size_t>(j) * kMaxReadLen;
+        read_ptr[j] = target.readData.data() + off;
+        qual_ptr[j] = target.qualData.data() + off;
+        uint32_t len = 0;
+        while (len < kMaxReadLen && read_ptr[j][len] != 0)
+            ++len;
+        panic_if(len == 0, "empty read slot %u", j);
+        read_len[j] = len;
+    }
+
+    IrComputeResult result;
+    MinWhdGrid grid(num_cons, num_reads);
+
+    // --- Stage 1: Hamming Distance Calculator ---------------------
+    for (uint32_t i = 0; i < num_cons; ++i) {
+        const uint8_t *cons = cons_ptr[i];
+        const uint32_t m = cons_len[i];
+        for (uint32_t j = 0; j < num_reads; ++j) {
+            const uint8_t *read = read_ptr[j];
+            const uint8_t *qual = qual_ptr[j];
+            const uint32_t n = read_len[j];
+            if (n > m)
+                continue; // read cannot slide on this consensus
+
+            uint32_t best = kWhdInfinity;
+            uint32_t best_k = 0;
+            for (uint32_t k = 0; k + n <= m; ++k) {
+                ++result.whd.offsetsEvaluated;
+                result.whd.comparisonsUnpruned += n;
+                ++result.hdcCycles; // offset setup / pointer reset
+
+                uint32_t whd = 0;
+                bool pruned = false;
+                for (uint32_t chunk = 0; chunk < n;
+                     chunk += width) {
+                    uint32_t lanes = std::min(width, n - chunk);
+                    ++result.hdcCycles; // one block-RAM row compare
+                    result.whd.comparisons += lanes;
+                    for (uint32_t lane = 0; lane < lanes; ++lane) {
+                        uint32_t p = chunk + lane;
+                        if (cons[k + p] != read[p])
+                            whd += qual[p];
+                    }
+                    // The running-minimum register is checked once
+                    // per cycle (per chunk): computation pruning.
+                    if (prune && whd >= best) {
+                        pruned = true;
+                        break;
+                    }
+                }
+                if (pruned) {
+                    ++result.whd.offsetsPruned;
+                    continue;
+                }
+                if (whd < best) {
+                    best = whd;
+                    best_k = k;
+                }
+            }
+            grid.set(i, j, best, best_k);
+            result.hdcCycles += 2; // hand min to the selector
+        }
+    }
+
+    // --- Stage 2: Consensus Selector ------------------------------
+    ConsensusDecision decision = scoreAndSelect(grid);
+    result.bestConsensus = decision.bestConsensus;
+    // Single-ported dist/pos buffers: one read per cycle while
+    // scoring each non-reference consensus, then a final pass to
+    // emit the realignment decisions.
+    if (num_cons > 1) {
+        result.selectorCycles +=
+            static_cast<Cycle>(num_cons - 1) * num_reads;
+        result.selectorCycles += 4 * (num_cons - 1); // score update
+    }
+    result.selectorCycles += num_reads; // realignment output pass
+
+    // --- Architectural outputs ------------------------------------
+    result.output.realignFlags = decision.realign;
+    result.output.newPositions.assign(num_reads, 0);
+    for (uint32_t j = 0; j < num_reads; ++j) {
+        if (decision.realign[j]) {
+            result.output.newPositions[j] =
+                decision.newOffset[j] + target.targetStart;
+        }
+    }
+    return result;
+}
+
+} // namespace iracc

@@ -1,0 +1,179 @@
+#include "accel/ir_unit.hh"
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+IrUnitModel::IrUnitModel(uint32_t id, const AccelConfig *config,
+                         EventQueue *queue, SharedChannel *ddr,
+                         DeviceMemory *memory)
+    : unitId(id), cfg(config), eq(queue), ddrChannel(ddr),
+      mem(memory)
+{
+}
+
+void
+IrUnitModel::deliver(const IrCommand &cmd)
+{
+    panic_if(cmd.unit != unitId, "command for unit %u routed to %u",
+             cmd.unit, unitId);
+    panic_if(inFlight,
+             "unit %u reconfigured while a target is in flight",
+             unitId);
+    switch (cmd.op) {
+      case IrOpcode::SetAddr: {
+        panic_if(cmd.rs1Val >= kNumIrBuffers,
+                 "ir_set_addr: buffer index %llu out of range",
+                 static_cast<unsigned long long>(cmd.rs1Val));
+        bufferAddr[cmd.rs1Val] = cmd.rs2Val;
+        bufferAddrSet[cmd.rs1Val] = true;
+        break;
+      }
+      case IrOpcode::SetTarget:
+        targetStart = cmd.rs1Val;
+        break;
+      case IrOpcode::SetSize:
+        panic_if(cmd.rs1Val == 0 || cmd.rs1Val > kMaxConsensuses,
+                 "ir_set_size: bad consensus count");
+        panic_if(cmd.rs2Val > kMaxReads,
+                 "ir_set_size: bad read count");
+        numConsensuses = static_cast<uint32_t>(cmd.rs1Val);
+        numReads = static_cast<uint32_t>(cmd.rs2Val);
+        break;
+      case IrOpcode::SetLen:
+        panic_if(cmd.rs1Val >= kMaxConsensuses,
+                 "ir_set_len: consensus id out of range");
+        panic_if(cmd.rs2Val > kMaxConsensusLen,
+                 "ir_set_len: length exceeds consensus buffer");
+        consensusLen[cmd.rs1Val] =
+            static_cast<uint16_t>(cmd.rs2Val);
+        break;
+      case IrOpcode::Start:
+        panic("ir_start must be dispatched through launch()");
+    }
+}
+
+MarshalledTarget
+IrUnitModel::fetchInputs() const
+{
+    MarshalledTarget m;
+    m.numConsensuses = numConsensuses;
+    m.numReads = numReads;
+    m.targetStart = static_cast<uint32_t>(targetStart);
+
+    uint64_t cons_bytes = 0;
+    for (uint32_t i = 0; i < numConsensuses; ++i) {
+        m.consensusLengths.push_back(consensusLen[i]);
+        cons_bytes += consensusLen[i];
+    }
+    m.consensusData = mem->readVec(
+        bufferAddr[static_cast<size_t>(IrBuffer::ConsensusBases)],
+        cons_bytes);
+    uint64_t read_bytes = static_cast<uint64_t>(numReads) *
+                          kMaxReadLen;
+    m.readData = mem->readVec(
+        bufferAddr[static_cast<size_t>(IrBuffer::ReadBases)],
+        read_bytes);
+    m.qualData = mem->readVec(
+        bufferAddr[static_cast<size_t>(IrBuffer::ReadQuals)],
+        read_bytes);
+    return m;
+}
+
+void
+IrUnitModel::writeOutputs(const AccelTargetOutput &out) const
+{
+    mem->write(bufferAddr[static_cast<size_t>(IrBuffer::OutFlags)],
+               out.realignFlags.data(), out.realignFlags.size());
+    // Positions are stored little-endian, 4 bytes per read
+    // (output buffer #2: 256 x 4 bytes).
+    std::vector<uint8_t> pos_bytes;
+    pos_bytes.reserve(out.newPositions.size() * 4);
+    for (uint32_t p : out.newPositions) {
+        pos_bytes.push_back(static_cast<uint8_t>(p));
+        pos_bytes.push_back(static_cast<uint8_t>(p >> 8));
+        pos_bytes.push_back(static_cast<uint8_t>(p >> 16));
+        pos_bytes.push_back(static_cast<uint8_t>(p >> 24));
+    }
+    mem->write(
+        bufferAddr[static_cast<size_t>(IrBuffer::OutPositions)],
+        pos_bytes.data(), pos_bytes.size());
+}
+
+void
+IrUnitModel::launch(uint64_t targetId,
+                    const IrComputeResult *precomputed,
+                    std::function<void(IrComputeResult &&)>
+                        on_response)
+{
+    panic_if(inFlight, "unit %u started while busy", unitId);
+    for (uint32_t b = 0; b < kNumIrBuffers; ++b)
+        panic_if(!bufferAddrSet[b],
+                 "unit %u started with buffer %u unconfigured",
+                 unitId, b);
+    panic_if(numConsensuses == 0,
+             "unit %u started without ir_set_size", unitId);
+    inFlight = true;
+
+    UnitTimelineEntry entry;
+    entry.unit = unitId;
+    entry.targetId = targetId;
+    entry.dispatched = eq->now();
+
+    // Loading: the three MemReaders stream the input buffer images
+    // through the arbiter tree; in-order service on the shared DDR
+    // channel models the 32:1 arbitration.
+    MarshalledTarget target = fetchInputs();
+    Cycle load_done = ddrChannel->transfer(
+        eq->now(), target.totalInputBytes(),
+        cfg->unitLinkBytesPerCycle);
+
+    eq->schedule(load_done, [this, target = std::move(target),
+                             precomputed, entry,
+                             on_response = std::move(on_response)]()
+                                mutable {
+        entry.loaded = eq->now();
+
+        // Computing: functional datapath model with cycle costs.
+        // The result is a pure function of (bytes, width, prune);
+        // the host may have precomputed it off the event loop.
+        IrComputeResult result = precomputed
+            ? *precomputed
+            : irCompute(target, cfg->dataParallelWidth,
+                        cfg->pruning);
+        Cycle compute_done = eq->now() + result.totalCycles();
+
+        eq->schedule(compute_done, [this, entry,
+                                    result = std::move(result),
+                                    on_response =
+                                        std::move(on_response)]()
+                                       mutable {
+            entry.computed = eq->now();
+
+            // Writing: MemWriters drain output buffers #1/#2 into
+            // device memory, where the host will read them.
+            writeOutputs(result.output);
+            Cycle write_done = ddrChannel->transfer(
+                eq->now(),
+                static_cast<uint64_t>(result.output.realignFlags
+                                          .size()) * 5,
+                cfg->unitLinkBytesPerCycle);
+            Cycle respond = write_done + cfg->cyclesPerResponse;
+
+            eq->schedule(respond, [this, entry,
+                                   result = std::move(result),
+                                   on_response =
+                                       std::move(on_response)]()
+                                      mutable {
+                entry.finished = eq->now();
+                totalBusy += entry.finished - entry.dispatched;
+                ++numTargets;
+                entries.push_back(entry);
+                inFlight = false;
+                on_response(std::move(result));
+            });
+        });
+    });
+}
+
+} // namespace iracc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Event-driven model of one INDEL realigner unit (paper Figure 5)
+ * embedded in the accelerator SoC.
+ *
+ * The unit is configured exclusively through the five RoCC commands
+ * of Table I (delivered by the command router) and exchanges data
+ * exclusively through the FPGA-attached device memory: the three
+ * MemReaders stream the input buffers from the configured DDR
+ * addresses, and the two MemWriters drain the realign-flag and
+ * new-position output buffers back.  A unit cycles through a
+ * simple FSM per target:
+ *
+ *   Idle -> Loading  (input buffers stream in through the 5:1 /
+ *                     32:1 arbiter tree)
+ *        -> Computing (Hamming distance calculator + consensus
+ *                     selector; cycle counts from ir_compute.hh)
+ *        -> Writing  (output buffers drain to device memory)
+ *        -> Responding (completion + picked consensus pushed into
+ *                     the RoCC response queue)
+ */
+
+#ifndef IRACC_ACCEL_IR_UNIT_HH
+#define IRACC_ACCEL_IR_UNIT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "accel/device_memory.hh"
+#include "accel/ir_compute.hh"
+#include "accel/memory.hh"
+#include "accel/params.hh"
+#include "isa/ir_isa.hh"
+#include "realign/limits.hh"
+#include "sim/event_queue.hh"
+
+namespace iracc {
+
+/** One completed-target timeline record (drives Figure 7). */
+struct UnitTimelineEntry
+{
+    uint32_t unit = 0;
+    uint64_t targetId = 0;
+    Cycle dispatched = 0;  ///< commands delivered, FSM leaves Idle
+    Cycle loaded = 0;      ///< input buffers resident
+    Cycle computed = 0;    ///< datapath finished
+    Cycle finished = 0;    ///< outputs written, response queued
+};
+
+/** Event-driven IR unit. */
+class IrUnitModel
+{
+  public:
+    IrUnitModel(uint32_t id, const AccelConfig *config,
+                EventQueue *queue, SharedChannel *ddr,
+                DeviceMemory *memory);
+
+    /** @return true while a target is in flight. */
+    bool busy() const { return inFlight; }
+
+    /**
+     * Decode and apply one configuration command (ir_set_addr,
+     * ir_set_target, ir_set_size, ir_set_len).  ir_start must go
+     * through launch() so the caller can attach the response
+     * callback.
+     */
+    void deliver(const IrCommand &cmd);
+
+    /**
+     * Execute ir_start with the currently-programmed configuration.
+     *
+     * @param targetId    caller's identifier for timeline records
+     * @param precomputed optional datapath result computed ahead of
+     *                    time (a pure function of the buffer bytes
+     *                    and unit configuration); null = compute
+     *                    from the bytes read out of device memory
+     * @param on_response invoked at the response event with the
+     *                    datapath result (the picked consensus is
+     *                    the RoCC response value; flag/position
+     *                    outputs are in device memory)
+     */
+    void launch(uint64_t targetId,
+                const IrComputeResult *precomputed,
+                std::function<void(IrComputeResult &&)> on_response);
+
+    uint32_t id() const { return unitId; }
+    Cycle busyCycles() const { return totalBusy; }
+    uint64_t targetsDone() const { return numTargets; }
+    const std::vector<UnitTimelineEntry> &timeline() const
+    {
+        return entries;
+    }
+
+  private:
+    /** Reassemble the marshalled target from device memory. */
+    MarshalledTarget fetchInputs() const;
+
+    /** Drain output buffers #1/#2 into device memory. */
+    void writeOutputs(const AccelTargetOutput &out) const;
+
+    uint32_t unitId;
+    const AccelConfig *cfg;
+    EventQueue *eq;
+    SharedChannel *ddrChannel;
+    DeviceMemory *mem;
+
+    // Configuration registers, programmed via RoCC commands.
+    uint64_t bufferAddr[kNumIrBuffers] = {};
+    bool bufferAddrSet[kNumIrBuffers] = {};
+    uint64_t targetStart = 0;
+    uint32_t numConsensuses = 0;
+    uint32_t numReads = 0;
+    uint16_t consensusLen[kMaxConsensuses] = {};
+
+    bool inFlight = false;
+    Cycle totalBusy = 0;
+    uint64_t numTargets = 0;
+    std::vector<UnitTimelineEntry> entries;
+};
+
+} // namespace iracc
+
+#endif // IRACC_ACCEL_IR_UNIT_HH

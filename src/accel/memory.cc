@@ -1,0 +1,37 @@
+#include "accel/memory.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+SharedChannel::SharedChannel(std::string name, uint64_t bpc,
+                             uint64_t lat)
+    : channelName(std::move(name)), bytesPerCycle(bpc), latency(lat)
+{
+    panic_if(bpc == 0, "channel %s: zero bandwidth",
+             channelName.c_str());
+}
+
+Cycle
+SharedChannel::transfer(Cycle now, uint64_t bytes, uint64_t link_bpc)
+{
+    if (bytes == 0)
+        return now;
+    Cycle start = std::max(now, busyUntil);
+    Cycle occupancy = ClockDomain::transferCycles(bytes,
+                                                  bytesPerCycle);
+    // A narrow requester link stretches the transfer even though
+    // the channel itself could go faster.
+    if (link_bpc > 0 && link_bpc < bytesPerCycle) {
+        occupancy = ClockDomain::transferCycles(bytes, link_bpc);
+    }
+    busyUntil = start + occupancy;
+    totalBusy += occupancy;
+    totalBytes += bytes;
+    ++numTransfers;
+    return busyUntil + latency;
+}
+
+} // namespace iracc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared-interconnect memory models for the accelerator system
+ * (paper Figure 6): the FPGA-attached DDR4 channels behind the AXI
+ * crossbar and the 32:1 / 5:1 arbiter tree, and the host-to-FPGA
+ * PCIe DMA engine.
+ *
+ * Each shared resource is modeled as a bandwidth-limited channel
+ * with in-order service: a transfer occupies the channel for
+ * ceil(bytes / channel_bytes_per_cycle) cycles starting when the
+ * channel frees up, and completes after an additional fixed
+ * latency.  A per-requester link width (the unit's TileLink
+ * interface) caps the effective rate of any single transfer.
+ * Queueing behind earlier transfers is exactly what the arbiters
+ * introduce, so contention between the 32 units emerges naturally.
+ */
+
+#ifndef IRACC_ACCEL_MEMORY_HH
+#define IRACC_ACCEL_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+
+namespace iracc {
+
+/** A bandwidth-limited, in-order shared channel. */
+class SharedChannel
+{
+  public:
+    /**
+     * @param name      for diagnostics
+     * @param bpc       channel bandwidth in bytes/cycle
+     * @param latency   fixed completion latency in cycles
+     */
+    SharedChannel(std::string name, uint64_t bpc, uint64_t latency);
+
+    /**
+     * Reserve the channel for a transfer issued at cycle @p now.
+     *
+     * @param now      issue cycle
+     * @param bytes    payload size
+     * @param link_bpc requester link width cap (0 = uncapped)
+     * @return completion cycle of the transfer
+     */
+    Cycle transfer(Cycle now, uint64_t bytes, uint64_t link_bpc = 0);
+
+    /** Cycle at which the channel next becomes free. */
+    Cycle freeAt() const { return busyUntil; }
+
+    /** Total payload bytes moved. */
+    uint64_t bytesMoved() const { return totalBytes; }
+
+    /** Cycles the channel spent occupied. */
+    Cycle busyCycles() const { return totalBusy; }
+
+    /** Transfers serviced. */
+    uint64_t transfers() const { return numTransfers; }
+
+    const std::string &name() const { return channelName; }
+
+  private:
+    std::string channelName;
+    uint64_t bytesPerCycle;
+    uint64_t latency;
+    Cycle busyUntil = 0;
+    uint64_t totalBytes = 0;
+    Cycle totalBusy = 0;
+    uint64_t numTransfers = 0;
+};
+
+} // namespace iracc
+
+#endif // IRACC_ACCEL_MEMORY_HH

@@ -1,0 +1,42 @@
+#include "accel/params.hh"
+
+#include <sstream>
+
+namespace iracc {
+
+std::string
+AccelConfig::describe() const
+{
+    std::ostringstream out;
+    out << numUnits << " units @ " << clockMhz << " MHz, "
+        << dataParallelWidth << "-wide HDC, pruning "
+        << (pruning ? "on" : "off") << ", " << ddrChannels
+        << " DDR channel(s)";
+    return out.str();
+}
+
+AccelConfig
+AccelConfig::paperOptimized()
+{
+    return AccelConfig{};
+}
+
+AccelConfig
+AccelConfig::taskParallelOnly()
+{
+    AccelConfig cfg;
+    cfg.dataParallelWidth = 1;
+    return cfg;
+}
+
+AccelConfig
+AccelConfig::hlsSdaccel()
+{
+    AccelConfig cfg;
+    cfg.numUnits = 16;          // Xilinx OpenCL async scheduling cap
+    cfg.dataParallelWidth = 1;  // HLS failed to extract SIMD
+    cfg.pruning = false;        // ambiguous memory deps defeat HLS
+    return cfg;
+}
+
+} // namespace iracc

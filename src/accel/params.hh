@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Configuration of the simulated FPGA accelerator system.
+ *
+ * Defaults reproduce the paper's deployed design point: 32 IR units
+ * at 125 MHz on a Xilinx Virtex UltraScale+ VU9P, one of four DDR4
+ * channels instantiated, 256-bit TileLink unit interfaces, 512-bit
+ * PCIe DMA, 32-wide data-parallel Hamming distance calculators with
+ * computation pruning.
+ */
+
+#ifndef IRACC_ACCEL_PARAMS_HH
+#define IRACC_ACCEL_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace iracc {
+
+/** Parameters of the simulated accelerator system. */
+struct AccelConfig
+{
+    /** Number of IR accelerator units instantiated. */
+    uint32_t numUnits = 32;
+
+    /** Fabric clock in MHz (F1 clock recipes: 125 or 250). */
+    double clockMhz = 125.0;
+
+    /**
+     * Base comparisons (and quality accumulates) per cycle in the
+     * Hamming distance calculator: 1 = scalar (Figure 5), 32 =
+     * data-parallel (Figure 8, one 32-byte block RAM row/cycle).
+     */
+    uint32_t dataParallelWidth = 32;
+
+    /** Enable computation pruning (Section III-A). */
+    bool pruning = true;
+
+    /** DDR4 channels instantiated (paper uses 1 of 4). */
+    uint32_t ddrChannels = 1;
+
+    /**
+     * DDR channel payload bandwidth in bytes per fabric cycle.
+     * 64 B/cycle at 125 MHz = 8 GB/s, the practical AXI4-512
+     * throughput of one F1 DDR4 interface.
+     */
+    uint64_t ddrBytesPerCycle = 64;
+
+    /** Fixed DDR access latency in cycles. */
+    uint64_t ddrLatency = 30;
+
+    /** Per-unit TileLink interface width (256 bits = 32 B/cycle). */
+    uint64_t unitLinkBytesPerCycle = 32;
+
+    /**
+     * PCIe DMA bandwidth in bytes per fabric cycle (512-bit AXI4 at
+     * ~12 GB/s effective = 96 B/cycle at 125 MHz).
+     */
+    uint64_t dmaBytesPerCycle = 96;
+
+    /** PCIe DMA fixed latency in cycles. */
+    uint64_t dmaLatency = 250;
+
+    /**
+     * AXILite MMIO hub bandwidth in bytes per cycle (32-bit
+     * interface = 4 B/cycle).  One RoCC command is 20 bytes
+     * (instruction word + two 64-bit operands), so commands cost 5
+     * cycles each and all units' command traffic serializes on the
+     * hub, as on the real device.
+     */
+    uint64_t axiliteBytesPerCycle = 4;
+
+    /** Bytes per RoCC command on the AXILite hub. */
+    uint64_t bytesPerCommand = 20;
+
+    /** Cycles to poll/drain one response from the MMIO queue. */
+    uint64_t cyclesPerResponse = 8;
+
+    /** @return a short human-readable description. */
+    std::string describe() const;
+
+    /** Paper configuration: 32 units, async, data-parallel. */
+    static AccelConfig paperOptimized();
+
+    /** Task-parallel only: scalar datapath (IRAcc-TaskP). */
+    static AccelConfig taskParallelOnly();
+
+    /**
+     * HLS/SDAccel comparison point (Section V-B): OpenCL limits the
+     * schedulable compute units to 16, and HLS could not extract
+     * the data parallelism or the pruning control flow.
+     */
+    static AccelConfig hlsSdaccel();
+};
+
+} // namespace iracc
+
+#endif // IRACC_ACCEL_PARAMS_HH

@@ -1,0 +1,84 @@
+#include "accel/resource_model.hh"
+
+#include "realign/limits.hh"
+
+namespace iracc {
+
+namespace {
+
+/** Per-unit BRAM blocks spent on MemReader/MemWriter and arbiter
+ *  queues (five decoupled channels, Figure 6-left). */
+constexpr uint32_t kQueueBlocksPerUnit = 11;
+
+/** Practical BRAM ceiling: above ~90 % the placer can no longer
+ *  meet 125 MHz timing (the paper deploys at "close to 90 %"). */
+constexpr double kRoutableBramCeiling = 0.90;
+
+/** System-level BRAM blocks: DDR controller FIFOs, AXI crossbar,
+ *  DMA buffers, RoCC command/response queues. */
+constexpr uint32_t kSystemBlocks = 150;
+
+/** CLB fraction of the static shell + memory system. */
+constexpr double kBaseClb = 0.05;
+
+/** CLB fraction per scalar IR unit (calibrated: 32 units with the
+ *  32-wide datapath measure 32.53 %). */
+constexpr double kClbPerUnitScalar = 0.0057;
+
+/** Additional CLB fraction per comparator lane beyond the first. */
+constexpr double kClbPerLane = 0.000094;
+
+} // anonymous namespace
+
+ResourceEstimate
+estimateResources(const AccelConfig &config)
+{
+    ResourceEstimate est;
+
+    // Buffer inventory of one unit (Figure 6 "Structure Sizes"),
+    // one byte per base / quality score:
+    const uint64_t consensus_bits =
+        uint64_t{kMaxConsensuses} * kMaxConsensusLen * 8;
+    const uint64_t read_bits = uint64_t{kMaxReads} * kMaxReadLen * 8;
+    const uint64_t qual_bits = read_bits;
+    const uint64_t out_flag_bits = uint64_t{kMaxReads} * 8;
+    const uint64_t out_pos_bits = uint64_t{kMaxReads} * 32;
+    // Selector state: dist+pos for REF, CURR and MIN consensus
+    // (three read-length buffers of 32-bit dist + 16-bit pos).
+    const uint64_t selector_bits = 3 * uint64_t{kMaxReads} * (32 + 16);
+
+    est.bramBitsPerUnit = consensus_bits + read_bits + qual_bits +
+                          out_flag_bits + out_pos_bits +
+                          selector_bits;
+
+    const uint32_t data_blocks = static_cast<uint32_t>(
+        (est.bramBitsPerUnit + kBram36Bits - 1) / kBram36Bits);
+    est.bramBlocksPerUnit = data_blocks + kQueueBlocksPerUnit;
+    est.bramBlocksTotal =
+        est.bramBlocksPerUnit * config.numUnits + kSystemBlocks;
+    est.bramUtilization = static_cast<double>(est.bramBlocksTotal) /
+                          static_cast<double>(kVu9pBram36Blocks);
+
+    double lanes = static_cast<double>(config.dataParallelWidth - 1);
+    est.clbUtilization = kBaseClb +
+        config.numUnits * (kClbPerUnitScalar + kClbPerLane * lanes);
+
+    est.fits = est.bramUtilization < kRoutableBramCeiling &&
+               est.clbUtilization < 1.0;
+    return est;
+}
+
+uint32_t
+maxUnitsThatFit(AccelConfig config)
+{
+    uint32_t units = 0;
+    for (uint32_t n = 1; n <= 256; ++n) {
+        config.numUnits = n;
+        if (!estimateResources(config).fits)
+            break;
+        units = n;
+    }
+    return units;
+}
+
+} // namespace iracc

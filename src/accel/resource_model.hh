@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Analytical FPGA resource model for the Xilinx Virtex UltraScale+
+ * VU9P on the AWS EC2 F1 instance.
+ *
+ * The paper reports that the number of IR units is limited by block
+ * RAM: 32 units push BRAM utilization to 87.62 % with CLB logic at
+ * only 32.53 % (Section III-A, footnote 3).  This model derives
+ * BRAM demand from the unit's buffer inventory (Figure 6,
+ * "Structure Sizes") plus per-unit queueing/interconnect overhead
+ * calibrated to the paper's published utilization, and is used to
+ * answer the sizing question "how many units fit?".
+ */
+
+#ifndef IRACC_ACCEL_RESOURCE_MODEL_HH
+#define IRACC_ACCEL_RESOURCE_MODEL_HH
+
+#include <cstdint>
+
+#include "accel/params.hh"
+
+namespace iracc {
+
+/** VU9P block RAM inventory (BRAM36 blocks). */
+constexpr uint32_t kVu9pBram36Blocks = 2160;
+
+/** Bits per BRAM36 block. */
+constexpr uint64_t kBram36Bits = 36 * 1024;
+
+/** Resource usage estimate for one configuration. */
+struct ResourceEstimate
+{
+    uint64_t bramBitsPerUnit = 0;   ///< buffer bits in one IR unit
+    uint32_t bramBlocksPerUnit = 0; ///< incl. queue/FIFO overhead
+    uint32_t bramBlocksTotal = 0;   ///< units + system overhead
+    double bramUtilization = 0.0;   ///< fraction of VU9P BRAM36
+    double clbUtilization = 0.0;    ///< fraction of VU9P CLB logic
+    bool fits = false;              ///< both utilizations < 100 %
+};
+
+/** Estimate resources for a configuration. */
+ResourceEstimate estimateResources(const AccelConfig &config);
+
+/** Largest unit count that fits the VU9P for a configuration. */
+uint32_t maxUnitsThatFit(AccelConfig config);
+
+} // namespace iracc
+
+#endif // IRACC_ACCEL_RESOURCE_MODEL_HH

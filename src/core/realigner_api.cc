@@ -1,0 +1,154 @@
+#include "core/realigner_api.hh"
+
+#include "host/accelerated_system.hh"
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace iracc {
+
+namespace {
+
+/** Software baseline wrapper. */
+class SoftwareBackend : public RealignerBackend
+{
+  public:
+    SoftwareBackend(std::string name, std::string desc,
+                    SoftwareRealignerConfig cfg)
+        : backendName(std::move(name)), desc(std::move(desc)),
+          engine(cfg)
+    {
+    }
+
+    std::string name() const override { return backendName; }
+    std::string description() const override { return desc; }
+
+    BackendRunResult
+    realignContig(const ReferenceGenome &ref, int32_t contig,
+                  std::vector<Read> &reads) const override
+    {
+        BackendRunResult out;
+        Timer t;
+        out.stats = engine.realignContig(ref, contig, reads);
+        out.seconds = t.seconds();
+        out.simulated = false;
+        return out;
+    }
+
+  private:
+    std::string backendName;
+    std::string desc;
+    SoftwareRealigner engine;
+};
+
+/** Simulated-FPGA backend wrapper. */
+class AcceleratedBackend : public RealignerBackend
+{
+  public:
+    AcceleratedBackend(std::string name, std::string desc,
+                       AccelConfig cfg, SchedulePolicy policy)
+        : backendName(std::move(name)), desc(std::move(desc)),
+          system(cfg, policy)
+    {
+    }
+
+    std::string name() const override { return backendName; }
+    std::string description() const override { return desc; }
+
+    BackendRunResult
+    realignContig(const ReferenceGenome &ref, int32_t contig,
+                  std::vector<Read> &reads) const override
+    {
+        AcceleratedRunResult run = system.realignContig(ref, contig,
+                                                        reads);
+        BackendRunResult out;
+        out.stats = run.realign;
+        out.seconds = run.totalSeconds();
+        out.simulated = true;
+        out.fpgaSeconds = run.fpgaSeconds;
+        out.unitUtilization = run.fpga.meanUnitUtilization;
+        if (run.makespan > 0) {
+            out.dmaFraction =
+                static_cast<double>(run.fpga.dmaBusyCycles) /
+                static_cast<double>(run.makespan);
+        }
+        return out;
+    }
+
+  private:
+    std::string backendName;
+    std::string desc;
+    AcceleratedIrSystem system;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<RealignerBackend>
+makeBackend(const std::string &name)
+{
+    SoftwareRealignerConfig sw;
+
+    if (name == "gatk3") {
+        sw.prune = false;
+        sw.threads = 8;
+        sw.workAmplification = kJvmWorkAmplification;
+        return std::make_unique<SoftwareBackend>(
+            name, "GATK3-style software IR, 8 threads", sw);
+    }
+    if (name == "gatk3-1t") {
+        sw.prune = false;
+        sw.threads = 1;
+        sw.workAmplification = kJvmWorkAmplification;
+        return std::make_unique<SoftwareBackend>(
+            name, "GATK3-style software IR, 1 thread", sw);
+    }
+    if (name == "adam") {
+        sw.prune = true;
+        sw.threads = 8;
+        sw.workAmplification = kJvmWorkAmplification;
+        return std::make_unique<SoftwareBackend>(
+            name, "ADAM-style optimized software IR, 8 threads", sw);
+    }
+    if (name == "native") {
+        sw.prune = true;
+        sw.threads = 8;
+        sw.workAmplification = 1;
+        return std::make_unique<SoftwareBackend>(
+            name, "tuned native software IR, 8 threads", sw);
+    }
+    if (name == "iracc") {
+        return std::make_unique<AcceleratedBackend>(
+            name,
+            "32 IR units, 32-wide data parallel, pruning, async",
+            AccelConfig::paperOptimized(),
+            SchedulePolicy::AsynchronousParallel);
+    }
+    if (name == "iracc-taskp") {
+        return std::make_unique<AcceleratedBackend>(
+            name, "32 scalar IR units, synchronous batches",
+            AccelConfig::taskParallelOnly(),
+            SchedulePolicy::SynchronousParallel);
+    }
+    if (name == "iracc-taskp-async") {
+        return std::make_unique<AcceleratedBackend>(
+            name, "32 scalar IR units, async scheduling",
+            AccelConfig::taskParallelOnly(),
+            SchedulePolicy::AsynchronousParallel);
+    }
+    if (name == "hls") {
+        return std::make_unique<AcceleratedBackend>(
+            name, "SDAccel/HLS build: 16 scalar units, no pruning",
+            AccelConfig::hlsSdaccel(),
+            SchedulePolicy::AsynchronousParallel);
+    }
+    fatal("unknown realigner backend '%s'", name.c_str());
+}
+
+std::vector<std::string>
+backendNames()
+{
+    return {"gatk3",       "gatk3-1t",          "adam",
+            "native",      "iracc",             "iracc-taskp",
+            "iracc-taskp-async", "hls"};
+}
+
+} // namespace iracc

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The public realignment API: a uniform backend interface over the
+ * software baselines and the simulated accelerated system, plus a
+ * string-keyed registry mirroring the systems compared in the
+ * paper's evaluation:
+ *
+ *   "gatk3"            GATK3-style software, 8 threads, no pruning,
+ *                      JVM work model (the paper's main baseline)
+ *   "gatk3-1t"         same, single-threaded
+ *   "adam"             optimized software baseline (ADAM stand-in):
+ *                      pruning enabled, 8 threads, JVM work model
+ *   "native"           tuned native software: pruning, 8 threads
+ *   "iracc"            the full accelerated system: 32 units,
+ *                      32-wide data parallel, pruning, async
+ *                      scheduling (paper "IR ACC")
+ *   "iracc-taskp"      32 scalar units, synchronous batches
+ *                      (paper "IRAcc-TaskP")
+ *   "iracc-taskp-async" 32 scalar units, async scheduling
+ *                      (paper "IRAcc-TaskP-Async")
+ *   "hls"              the SDAccel/HLS build: 16 units, scalar, no
+ *                      pruning (paper Section V-B)
+ */
+
+#ifndef IRACC_CORE_REALIGNER_API_HH
+#define IRACC_CORE_REALIGNER_API_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "genomics/read.hh"
+#include "genomics/reference.hh"
+#include "realign/realigner.hh"
+
+namespace iracc {
+
+/** Result of one backend run over a contig. */
+struct BackendRunResult
+{
+    RealignStats stats;
+
+    /**
+     * End-to-end runtime in seconds.  For software backends this
+     * is measured host wall-clock; for accelerated backends it is
+     * the simulated FPGA time (cycles / clock) plus measured host
+     * pre/post-processing, matching the paper's end-to-end
+     * measurement (Section V-A).
+     */
+    double seconds = 0.0;
+
+    /** True when `seconds` came from the cycle-level simulator. */
+    bool simulated = false;
+
+    /** Accelerated backends: simulated-FPGA seconds only. */
+    double fpgaSeconds = 0.0;
+
+    /** Accelerated backends: DMA share of total cycles. */
+    double dmaFraction = 0.0;
+
+    /** Accelerated backends: mean unit utilization. */
+    double unitUtilization = 0.0;
+};
+
+/** Uniform realignment backend. */
+class RealignerBackend
+{
+  public:
+    virtual ~RealignerBackend() = default;
+
+    /** Short registry name, e.g. "gatk3". */
+    virtual std::string name() const = 0;
+
+    /** Human-readable description for reports. */
+    virtual std::string description() const = 0;
+
+    /** Realign one contig's reads in place. */
+    virtual BackendRunResult realignContig(
+        const ReferenceGenome &ref, int32_t contig,
+        std::vector<Read> &reads) const = 0;
+};
+
+/**
+ * Create a backend by registry name; fatal() on unknown names.
+ */
+std::unique_ptr<RealignerBackend> makeBackend(
+    const std::string &name);
+
+/** All registry names in display order. */
+std::vector<std::string> backendNames();
+
+/**
+ * Work-model multiplier applied to the JVM-based baselines
+ * (GATK3, ADAM) to account for interpreted-framework overhead
+ * relative to this repository's native kernel.  Documented in
+ * DESIGN.md as part of the software-baseline substitution.
+ */
+constexpr double kJvmWorkAmplification = 1.5;
+
+} // namespace iracc
+
+#endif // IRACC_CORE_REALIGNER_API_HH

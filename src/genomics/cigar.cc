@@ -1,0 +1,138 @@
+#include "genomics/cigar.hh"
+
+#include <cctype>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+char
+cigarOpChar(CigarOp op)
+{
+    switch (op) {
+      case CigarOp::Match:    return 'M';
+      case CigarOp::Insert:   return 'I';
+      case CigarOp::Delete:   return 'D';
+      case CigarOp::SoftClip: return 'S';
+    }
+    panic("invalid CigarOp %d", static_cast<int>(op));
+}
+
+CigarOp
+charToCigarOp(char c)
+{
+    switch (c) {
+      case 'M': return CigarOp::Match;
+      case 'I': return CigarOp::Insert;
+      case 'D': return CigarOp::Delete;
+      case 'S': return CigarOp::SoftClip;
+      default:
+        panic("unsupported CIGAR op '%c'", c);
+    }
+}
+
+Cigar::Cigar(std::vector<CigarElem> raw)
+{
+    for (const auto &e : raw) {
+        if (e.length == 0)
+            continue;
+        if (!elems.empty() && elems.back().op == e.op)
+            elems.back().length += e.length;
+        else
+            elems.push_back(e);
+    }
+}
+
+Cigar
+Cigar::fromString(const std::string &s)
+{
+    std::vector<CigarElem> elems;
+    if (s == "*" || s.empty())
+        return Cigar();
+    uint32_t len = 0;
+    bool have_len = false;
+    for (char c : s) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            len = len * 10 + static_cast<uint32_t>(c - '0');
+            have_len = true;
+        } else {
+            panic_if(!have_len, "CIGAR op '%c' without a length", c);
+            elems.push_back({len, charToCigarOp(c)});
+            len = 0;
+            have_len = false;
+        }
+    }
+    panic_if(have_len, "trailing length in CIGAR string '%s'",
+             s.c_str());
+    return Cigar(std::move(elems));
+}
+
+Cigar
+Cigar::simpleMatch(uint32_t read_length)
+{
+    return Cigar({{read_length, CigarOp::Match}});
+}
+
+std::string
+Cigar::toString() const
+{
+    if (elems.empty())
+        return "*";
+    std::string out;
+    for (const auto &e : elems) {
+        out += std::to_string(e.length);
+        out.push_back(cigarOpChar(e.op));
+    }
+    return out;
+}
+
+uint32_t
+Cigar::referenceLength() const
+{
+    uint32_t len = 0;
+    for (const auto &e : elems)
+        if (e.op == CigarOp::Match || e.op == CigarOp::Delete)
+            len += e.length;
+    return len;
+}
+
+uint32_t
+Cigar::readLength() const
+{
+    uint32_t len = 0;
+    for (const auto &e : elems)
+        if (e.op != CigarOp::Delete)
+            len += e.length;
+    return len;
+}
+
+uint32_t
+Cigar::alignedLength() const
+{
+    uint32_t len = 0;
+    for (const auto &e : elems)
+        if (e.op == CigarOp::Match)
+            len += e.length;
+    return len;
+}
+
+bool
+Cigar::hasIndel() const
+{
+    for (const auto &e : elems)
+        if (e.op == CigarOp::Insert || e.op == CigarOp::Delete)
+            return true;
+    return false;
+}
+
+uint32_t
+Cigar::indelBases() const
+{
+    uint32_t len = 0;
+    for (const auto &e : elems)
+        if (e.op == CigarOp::Insert || e.op == CigarOp::Delete)
+            len += e.length;
+    return len;
+}
+
+} // namespace iracc

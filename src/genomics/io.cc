@@ -1,0 +1,146 @@
+#include "genomics/io.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+void
+writeFasta(std::ostream &os, const ReferenceGenome &ref)
+{
+    for (size_t i = 0; i < ref.numContigs(); ++i) {
+        const Contig &c = ref.contig(static_cast<int32_t>(i));
+        os << '>' << c.name << '\n';
+        for (size_t off = 0; off < c.seq.size(); off += 60)
+            os << c.seq.substr(off, 60) << '\n';
+    }
+}
+
+ReferenceGenome
+readFasta(std::istream &is)
+{
+    ReferenceGenome ref;
+    std::string line, name, seq;
+    auto flush = [&] {
+        if (!name.empty())
+            ref.addContig(name, seq);
+        name.clear();
+        seq.clear();
+    };
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            flush();
+            // Contig name is the first whitespace-delimited token.
+            size_t end = line.find_first_of(" \t", 1);
+            name = line.substr(1, end == std::string::npos
+                                  ? std::string::npos : end - 1);
+            fatal_if(name.empty(), "FASTA record with empty name");
+        } else {
+            fatal_if(name.empty(),
+                     "FASTA sequence data before any header");
+            seq += line;
+        }
+    }
+    flush();
+    return ref;
+}
+
+void
+writeFastq(std::ostream &os, const std::vector<Read> &reads)
+{
+    for (const Read &r : reads) {
+        os << '@' << r.name << '\n'
+           << r.bases << '\n'
+           << "+\n"
+           << qualsToAscii(r.quals) << '\n';
+    }
+}
+
+std::vector<Read>
+readFastq(std::istream &is)
+{
+    std::vector<Read> reads;
+    std::string header, bases, plus, quals;
+    while (std::getline(is, header)) {
+        if (header.empty())
+            continue;
+        fatal_if(header[0] != '@', "malformed FASTQ header '%s'",
+                 header.c_str());
+        fatal_if(!std::getline(is, bases) || !std::getline(is, plus) ||
+                 !std::getline(is, quals),
+                 "truncated FASTQ record '%s'", header.c_str());
+        fatal_if(bases.size() != quals.size(),
+                 "FASTQ record '%s': base/quality length mismatch",
+                 header.c_str());
+        Read r;
+        r.name = header.substr(1);
+        r.bases = bases;
+        r.quals = asciiToQuals(quals);
+        r.cigar = Cigar();
+        reads.push_back(std::move(r));
+    }
+    return reads;
+}
+
+void
+writeSamLite(std::ostream &os, const ReferenceGenome &ref,
+             const std::vector<Read> &reads)
+{
+    for (const Read &r : reads) {
+        int flags = (r.reverse ? 0x10 : 0) |
+                    (r.duplicate ? 0x400 : 0) |
+                    (r.paired ? 0x1 : 0) |
+                    (r.paired && r.firstOfPair ? 0x40 : 0) |
+                    (r.paired && !r.firstOfPair ? 0x80 : 0);
+        os << r.name << '\t'
+           << ref.contig(r.contig).name << '\t'
+           << (r.pos + 1) << '\t'
+           << static_cast<int>(r.mapq) << '\t'
+           << r.cigar.toString() << '\t'
+           << flags << '\t'
+           << r.bases << '\t'
+           << qualsToAscii(r.quals) << '\n';
+    }
+}
+
+std::vector<Read>
+readSamLite(std::istream &is, const ReferenceGenome &ref)
+{
+    std::vector<Read> reads;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string name, contig_name, cigar_str, bases, qual_str;
+        int64_t pos1;
+        int mapq, flags;
+        fatal_if(!(fields >> name >> contig_name >> pos1 >> mapq >>
+                   cigar_str >> flags >> bases >> qual_str),
+                 "malformed SAM-lite line '%s'", line.c_str());
+        Read r;
+        r.name = name;
+        r.contig = ref.findContig(contig_name);
+        fatal_if(r.contig < 0, "unknown contig '%s' in SAM-lite",
+                 contig_name.c_str());
+        r.pos = pos1 - 1;
+        r.mapq = static_cast<uint8_t>(mapq);
+        r.cigar = Cigar::fromString(cigar_str);
+        r.reverse = (flags & 0x10) != 0;
+        r.duplicate = (flags & 0x400) != 0;
+        r.paired = (flags & 0x1) != 0;
+        r.firstOfPair = (flags & 0x40) != 0;
+        r.bases = bases;
+        r.quals = asciiToQuals(qual_str);
+        r.assertValid();
+        reads.push_back(std::move(r));
+    }
+    return reads;
+}
+
+} // namespace iracc

@@ -1,0 +1,54 @@
+#include "genomics/karyotype.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+namespace {
+
+/** GRCh37 autosome lengths in base pairs, chr1..chr22. */
+const int64_t kGrch37Lengths[kNumAutosomes] = {
+    249250621, 243199373, 198022430, 191154276, 180915260,
+    171115067, 159138663, 146364022, 141213431, 135534747,
+    135006516, 133851895, 115169878, 107349540, 102531392,
+     90354753,  81195210,  78077248,  59128983,  63025520,
+     48129895,  51304566,
+};
+
+} // anonymous namespace
+
+int64_t
+grch37AutosomeLength(int n)
+{
+    panic_if(n < 1 || n > kNumAutosomes,
+             "autosome number %d out of range 1..%d", n,
+             kNumAutosomes);
+    return kGrch37Lengths[n - 1];
+}
+
+std::string
+autosomeName(int n)
+{
+    panic_if(n < 1 || n > kNumAutosomes,
+             "autosome number %d out of range 1..%d", n,
+             kNumAutosomes);
+    return "Ch" + std::to_string(n);
+}
+
+std::vector<ScaledContig>
+scaledKaryotype(int64_t scale_divisor, int64_t min_length)
+{
+    panic_if(scale_divisor <= 0, "scale divisor must be positive");
+    std::vector<ScaledContig> out;
+    out.reserve(kNumAutosomes);
+    for (int n = 1; n <= kNumAutosomes; ++n) {
+        int64_t len = std::max(min_length,
+                               grch37AutosomeLength(n) / scale_divisor);
+        out.push_back({n, autosomeName(n), len});
+    }
+    return out;
+}
+
+} // namespace iracc

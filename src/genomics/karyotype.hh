@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Human (hg19 / GRCh37) autosome karyotype, scaled.
+ *
+ * The paper evaluates chromosomes 1-22 of NA12878 against GRCh37.
+ * We reproduce the *relative* chromosome sizes -- which drive
+ * per-chromosome target counts and runtimes in Figures 3 and 9 --
+ * by scaling the real GRCh37 autosome lengths by a configurable
+ * divisor (default 2000) so a whole-"genome" run fits on a laptop.
+ * All reported paper comparisons are ratios, which scaling
+ * preserves.
+ */
+
+#ifndef IRACC_GENOMICS_KARYOTYPE_HH
+#define IRACC_GENOMICS_KARYOTYPE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iracc {
+
+/** Number of human autosomes evaluated in the paper. */
+constexpr int kNumAutosomes = 22;
+
+/** @return the true GRCh37 length in bp of autosome n (1-based). */
+int64_t grch37AutosomeLength(int n);
+
+/** @return display name, e.g. "Ch21". */
+std::string autosomeName(int n);
+
+/** Description of one scaled chromosome to synthesize. */
+struct ScaledContig
+{
+    int number;        ///< 1-based autosome number
+    std::string name;  ///< "Ch1".."Ch22"
+    int64_t length;    ///< scaled length in bp
+};
+
+/**
+ * @param scale_divisor every chromosome length is divided by this
+ * @param min_length    floor applied after scaling
+ * @return all 22 scaled autosomes in order
+ */
+std::vector<ScaledContig> scaledKaryotype(int64_t scale_divisor = 2000,
+                                          int64_t min_length = 20000);
+
+} // namespace iracc
+
+#endif // IRACC_GENOMICS_KARYOTYPE_HH

@@ -1,0 +1,308 @@
+#include "genomics/mutator.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+DonorContig::DonorContig(const BaseSeq &reference,
+                         std::vector<Variant> variants)
+    : vars(std::move(variants))
+{
+    std::sort(vars.begin(), vars.end());
+
+    const int64_t ref_len = static_cast<int64_t>(reference.size());
+    int64_t ref_cursor = 0;    // next reference base to copy
+    int64_t seg_ref_start = 0; // reference start of the open segment
+    int64_t seg_donor_start = 0;
+
+    auto close_segment = [&](int64_t matched_end_ref, int64_t inserted,
+                             int64_t deleted) {
+        Segment seg;
+        seg.donorStart = seg_donor_start;
+        seg.refStart = seg_ref_start;
+        seg.length = matched_end_ref - seg_ref_start;
+        seg.deletedAfter = deleted;
+        panic_if(seg.length < 0, "negative segment length");
+        segments.push_back(seg);
+        seg_donor_start += seg.length + inserted;
+        seg_ref_start = matched_end_ref + deleted;
+    };
+
+    for (const Variant &v : vars) {
+        panic_if(v.pos < ref_cursor,
+                 "variants overlap or are unsorted at pos %lld",
+                 static_cast<long long>(v.pos));
+        panic_if(v.pos >= ref_len, "variant beyond contig end");
+
+        switch (v.type) {
+          case VariantType::Snv:
+            // Copy up to the SNV, substitute the base.  SNVs do not
+            // perturb the coordinate mapping, so no segment break.
+            donorSeq.append(reference, static_cast<size_t>(ref_cursor),
+                            static_cast<size_t>(v.pos - ref_cursor));
+            panic_if(v.alt.size() != 1, "SNV alt must be one base");
+            donorSeq.push_back(v.alt[0]);
+            ref_cursor = v.pos + 1;
+            break;
+
+          case VariantType::Insertion:
+            // Copy through the anchor base, then the inserted bases.
+            donorSeq.append(reference, static_cast<size_t>(ref_cursor),
+                            static_cast<size_t>(v.pos + 1 -
+                                                ref_cursor));
+            close_segment(v.pos + 1,
+                          static_cast<int64_t>(v.alt.size()), 0);
+            donorSeq.append(v.alt);
+            ref_cursor = v.pos + 1;
+            break;
+
+          case VariantType::Deletion:
+            panic_if(v.pos + 1 + v.delLength > ref_len,
+                     "deletion runs past contig end");
+            donorSeq.append(reference, static_cast<size_t>(ref_cursor),
+                            static_cast<size_t>(v.pos + 1 -
+                                                ref_cursor));
+            close_segment(v.pos + 1, 0, v.delLength);
+            ref_cursor = v.pos + 1 + v.delLength;
+            break;
+        }
+    }
+
+    donorSeq.append(reference, static_cast<size_t>(ref_cursor),
+                    static_cast<size_t>(ref_len - ref_cursor));
+    close_segment(ref_len, 0, 0);
+
+    // Record the donor-range of inserted bases per segment by
+    // deriving insertedAfter from successive donorStart values; we
+    // stored only deletedAfter above, so recompute inserted spans.
+    // (Inserted span of segment i =
+    //   segments[i+1].donorStart - segments[i].donorStart
+    //   - segments[i].length.)
+}
+
+size_t
+DonorContig::findSegment(int64_t donor_pos) const
+{
+    panic_if(donor_pos < 0 ||
+             donor_pos >= static_cast<int64_t>(donorSeq.size()),
+             "donor position %lld out of range",
+             static_cast<long long>(donor_pos));
+    // Binary search over donorStart.
+    size_t lo = 0, hi = segments.size();
+    while (hi - lo > 1) {
+        size_t mid = (lo + hi) / 2;
+        if (segments[mid].donorStart <= donor_pos)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+int64_t
+DonorContig::donorToRef(int64_t donor_pos) const
+{
+    size_t i = findSegment(donor_pos);
+    const Segment &seg = segments[i];
+    int64_t within = donor_pos - seg.donorStart;
+    if (within < seg.length)
+        return seg.refStart + within;
+    // Inside inserted bases: anchor to the last matched base.
+    return seg.refStart + std::max<int64_t>(0, seg.length - 1);
+}
+
+int64_t
+DonorContig::refToDonor(int64_t ref_pos) const
+{
+    panic_if(ref_pos < 0, "negative reference position");
+    // Binary search over refStart.
+    size_t lo = 0, hi = segments.size();
+    while (hi - lo > 1) {
+        size_t mid = (lo + hi) / 2;
+        if (segments[mid].refStart <= ref_pos)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const Segment &seg = segments[lo];
+    int64_t within = ref_pos - seg.refStart;
+    if (within < seg.length)
+        return seg.donorStart + within;
+    // Inside the deleted run after this segment: first donor base
+    // following the run (clamped to donor end).
+    int64_t after = seg.donorStart + seg.length;
+    return std::min(after, static_cast<int64_t>(donorSeq.size()) - 1);
+}
+
+void
+DonorContig::idealAlignment(int64_t donor_start, int64_t length,
+                            int64_t &ref_start, Cigar &cigar) const
+{
+    panic_if(length <= 0, "idealAlignment of empty fragment");
+    panic_if(donor_start + length >
+             static_cast<int64_t>(donorSeq.size()),
+             "fragment runs past donor end");
+
+    std::vector<CigarElem> elems;
+    size_t i = findSegment(donor_start);
+    int64_t d = donor_start;
+    int64_t remaining = length;
+    bool started = false;
+    ref_start = -1;
+
+    while (remaining > 0) {
+        panic_if(i >= segments.size(), "ran past last donor segment");
+        const Segment &seg = segments[i];
+        int64_t matched_end = seg.donorStart + seg.length;
+        int64_t inserted_end = (i + 1 < segments.size())
+            ? segments[i + 1].donorStart
+            : matched_end;
+
+        if (d < matched_end) {
+            int64_t take = std::min(remaining, matched_end - d);
+            if (!started) {
+                ref_start = seg.refStart + (d - seg.donorStart);
+                started = true;
+            }
+            elems.push_back({static_cast<uint32_t>(take),
+                             CigarOp::Match});
+            d += take;
+            remaining -= take;
+        }
+        if (remaining > 0 && d < inserted_end) {
+            int64_t take = std::min(remaining, inserted_end - d);
+            if (!started) {
+                // Read begins inside inserted bases: soft-clip them
+                // and anchor the alignment at the next segment.
+                elems.push_back({static_cast<uint32_t>(take),
+                                 CigarOp::SoftClip});
+            } else {
+                elems.push_back({static_cast<uint32_t>(take),
+                                 CigarOp::Insert});
+            }
+            d += take;
+            remaining -= take;
+        }
+        if (d >= inserted_end) {
+            if (remaining > 0 && seg.deletedAfter > 0 && started) {
+                elems.push_back({
+                    static_cast<uint32_t>(seg.deletedAfter),
+                    CigarOp::Delete});
+            }
+            ++i;
+            if (!started && remaining > 0 && i < segments.size())
+                ref_start = segments[i].refStart;
+        }
+    }
+
+    panic_if(!started && ref_start < 0, "could not anchor fragment");
+    if (!started && ref_start < 0)
+        ref_start = 0;
+    cigar = Cigar(std::move(elems));
+}
+
+std::vector<Variant>
+generateVariants(const BaseSeq &reference, int32_t contig,
+                 const VariantGenParams &params, Rng &rng)
+{
+    std::vector<Variant> out;
+    const int64_t len = static_cast<int64_t>(reference.size());
+    const int64_t edge = 200;
+    int64_t last_indel_pos = -params.minIndelSpacing;
+    int64_t last_any_pos = -2;
+
+    for (int64_t pos = edge; pos < len - edge; ++pos) {
+        if (pos <= last_any_pos + 1)
+            continue;
+        double r = rng.uniform();
+        Variant v;
+        v.contig = contig;
+        v.pos = pos;
+
+        bool is_somatic = rng.chance(params.somaticFraction);
+        v.isSomatic = is_somatic;
+        v.alleleFraction = is_somatic
+            ? 0.15 + 0.2 * rng.uniform()
+            : (rng.chance(0.3) ? 1.0 : 0.5);
+
+        // Fill in the indel-specific fields of v at position p.
+        // @return false when the indel cannot be placed there.
+        auto make_indel = [&](Variant &iv, int64_t p,
+                              bool is_ins) -> bool {
+            iv.pos = p;
+            int32_t ind_len = static_cast<int32_t>(
+                rng.range(1, params.maxIndelLen));
+            if (is_ins) {
+                iv.type = VariantType::Insertion;
+                if (rng.chance(0.5) && p >= ind_len) {
+                    // Tandem duplication of the preceding bases --
+                    // the ambiguous-placement case IR exists for.
+                    iv.alt = reference.substr(
+                        static_cast<size_t>(p - ind_len + 1),
+                        static_cast<size_t>(ind_len));
+                } else {
+                    iv.alt.clear();
+                    for (int32_t i = 0; i < ind_len; ++i)
+                        iv.alt.push_back(
+                            kConcreteBases[rng.below(4)]);
+                }
+            } else {
+                if (p + 1 + ind_len >= len - edge)
+                    return false;
+                iv.type = VariantType::Deletion;
+                iv.delLength = ind_len;
+            }
+            return true;
+        };
+
+        if (r < params.snvRate) {
+            v.type = VariantType::Snv;
+            char ref_base = reference[static_cast<size_t>(pos)];
+            char alt;
+            do {
+                alt = kConcreteBases[rng.below(4)];
+            } while (alt == ref_base);
+            v.alt = BaseSeq(1, alt);
+            out.push_back(v);
+            last_any_pos = pos;
+        } else if (r < params.snvRate + params.insRate + params.delRate
+                   && pos >= last_indel_pos + params.minIndelSpacing) {
+            bool is_ins = r < params.snvRate + params.insRate;
+            if (!make_indel(v, pos, is_ins))
+                continue;
+            out.push_back(v);
+            last_indel_pos = pos;
+            last_any_pos = pos + (v.type == VariantType::Deletion
+                                  ? v.delLength : 0);
+
+            // Indel clusters: the realistic heavy-tail that makes
+            // some IR targets enormously more expensive.
+            if (params.clusterProb > 0.0 &&
+                rng.chance(params.clusterProb)) {
+                int64_t extra = rng.range(1, params.clusterMaxExtra);
+                int64_t p = last_any_pos;
+                for (int64_t e = 0; e < extra; ++e) {
+                    p += rng.range(params.clusterSpacingMin,
+                                   params.clusterSpacingMax);
+                    if (p >= len - edge)
+                        break;
+                    Variant cv;
+                    cv.contig = contig;
+                    cv.alleleFraction = v.alleleFraction;
+                    if (!make_indel(cv, p, rng.chance(0.5)))
+                        break;
+                    out.push_back(cv);
+                    p += cv.type == VariantType::Deletion
+                        ? cv.delLength : 0;
+                    last_indel_pos = p;
+                    last_any_pos = p;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace iracc

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Donor genome construction.
+ *
+ * The mutator applies a variant list to the reference to obtain the
+ * "subject under test" haplotype, and keeps the piecewise coordinate
+ * mapping between donor and reference positions so the read
+ * simulator can emit ground-truth alignments (position + ideal
+ * CIGAR) for each sampled read.
+ */
+
+#ifndef IRACC_GENOMICS_MUTATOR_HH
+#define IRACC_GENOMICS_MUTATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/cigar.hh"
+#include "genomics/reference.hh"
+#include "genomics/variant.hh"
+#include "util/rng.hh"
+
+namespace iracc {
+
+/**
+ * The variant haplotype of one contig with donor<->reference
+ * coordinate mapping.
+ */
+class DonorContig
+{
+  public:
+    /**
+     * @param reference the reference contig sequence
+     * @param variants  variants on this contig, sorted by position,
+     *                  non-overlapping
+     */
+    DonorContig(const BaseSeq &reference,
+                std::vector<Variant> variants);
+
+    const BaseSeq &seq() const { return donorSeq; }
+
+    /**
+     * Map a donor coordinate back to the reference coordinate of
+     * the same (or anchoring) base.
+     */
+    int64_t donorToRef(int64_t donor_pos) const;
+
+    /**
+     * Map a reference coordinate to the donor coordinate of the
+     * same base; positions inside a deleted run map to the first
+     * donor base after the deletion.
+     */
+    int64_t refToDonor(int64_t ref_pos) const;
+
+    /**
+     * Compute the ideal alignment of a donor fragment
+     * [donor_start, donor_start + length) against the reference:
+     * the true start position and the CIGAR that represents every
+     * spanned variant exactly.
+     */
+    void idealAlignment(int64_t donor_start, int64_t length,
+                        int64_t &ref_start, Cigar &cigar) const;
+
+    const std::vector<Variant> &variants() const { return vars; }
+
+  private:
+    /**
+     * One maximal run of donor sequence with a constant
+     * donor-to-reference offset.
+     */
+    struct Segment
+    {
+        int64_t donorStart; ///< first donor position of the run
+        int64_t refStart;   ///< corresponding reference position
+        int64_t length;     ///< run length in bases
+        /** Reference bases deleted immediately after this run. */
+        int64_t deletedAfter;
+    };
+
+    BaseSeq donorSeq;
+    std::vector<Variant> vars;
+    std::vector<Segment> segments;
+
+    /** @return index of the segment containing donor_pos. */
+    size_t findSegment(int64_t donor_pos) const;
+};
+
+/**
+ * Generate a deterministic, well-spaced variant set for a contig.
+ * Indels are kept far enough apart that each lands in its own IR
+ * target.
+ */
+struct VariantGenParams
+{
+    double snvRate = 1e-3;        ///< SNVs per reference base
+    double insRate = 5e-4;        ///< insertions per reference base
+    double delRate = 5e-4;        ///< deletions per reference base
+    int32_t maxIndelLen = 12;     ///< max inserted/deleted bases
+    int64_t minIndelSpacing = 250;///< min bp between isolated indels
+    double somaticFraction = 0.3; ///< fraction given low allele freq
+
+    /**
+     * Indels cluster in real genomes (repetitive regions), which is
+     * what makes IR target sizes "vary wildly" (paper Section IV):
+     * with this probability an indel spawns a cluster of follow-up
+     * indels tens of bp apart, merging into one large target with
+     * many consensuses.
+     */
+    double clusterProb = 0.3;
+    int32_t clusterMaxExtra = 2;     ///< extra indels per cluster
+    int64_t clusterSpacingMin = 40;  ///< bp between cluster members
+    int64_t clusterSpacingMax = 160;
+};
+
+/** @return sorted, non-overlapping variants for one contig. */
+std::vector<Variant> generateVariants(const BaseSeq &reference,
+                                      int32_t contig,
+                                      const VariantGenParams &params,
+                                      Rng &rng);
+
+} // namespace iracc
+
+#endif // IRACC_GENOMICS_MUTATOR_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Aligned short-read record (SAM-lite).
+ *
+ * A Read carries the sequenced bases, their Phred qualities, and the
+ * current alignment (contig, 0-based start position, CIGAR).  The
+ * record additionally keeps the ground-truth sampling position from
+ * the read simulator so tests and the variant-caller evaluation can
+ * measure how much INDEL realignment improves alignment consistency.
+ */
+
+#ifndef IRACC_GENOMICS_READ_HH
+#define IRACC_GENOMICS_READ_HH
+
+#include <cstdint>
+#include <string>
+
+#include "genomics/base.hh"
+#include "genomics/cigar.hh"
+#include "genomics/quality.hh"
+
+namespace iracc {
+
+/** Coordinate on the reference: contig index + 0-based offset. */
+struct GenomePos
+{
+    int32_t contig = 0;
+    int64_t offset = 0;
+
+    bool
+    operator==(const GenomePos &o) const
+    {
+        return contig == o.contig && offset == o.offset;
+    }
+
+    bool
+    operator<(const GenomePos &o) const
+    {
+        return contig != o.contig ? contig < o.contig
+                                  : offset < o.offset;
+    }
+};
+
+/** One aligned short read. */
+struct Read
+{
+    /** Query template name. */
+    std::string name;
+
+    /** Base sequence, one byte per base. */
+    BaseSeq bases;
+
+    /** Raw Phred scores, parallel to bases. */
+    QualSeq quals;
+
+    /** Alignment contig index into the reference genome. */
+    int32_t contig = 0;
+
+    /** 0-based alignment start position on the contig. */
+    int64_t pos = 0;
+
+    /** Alignment description. */
+    Cigar cigar;
+
+    /** Phred-scaled mapping quality. */
+    uint8_t mapq = 60;
+
+    /** Reverse-strand flag (bases are already re-complemented). */
+    bool reverse = false;
+
+    /** PCR/optical duplicate flag (set by duplicate marking). */
+    bool duplicate = false;
+
+    /** Part of a read pair (paired-end sequencing). */
+    bool paired = false;
+
+    /** First read of the pair (R1); false = second (R2). */
+    bool firstOfPair = false;
+
+    /** Mate's alignment start (-1 = unpaired/unknown).  Held in
+     *  memory only; SAM-lite does not serialize it. */
+    int64_t matePos = -1;
+
+    /** Ground truth: position the simulator sampled the read from. */
+    int64_t truePos = -1;
+
+    /** @return length of the read in bases. */
+    size_t length() const { return bases.size(); }
+
+    /** @return 0-based exclusive end position on the reference. */
+    int64_t
+    endPos() const
+    {
+        return pos + static_cast<int64_t>(cigar.referenceLength());
+    }
+
+    /** @return alignment start as a GenomePos. */
+    GenomePos startPos() const { return {contig, pos}; }
+
+    /**
+     * @return true when the read overlaps the half-open reference
+     * interval [start, end) on the given contig, i.e. its start or
+     * end lands inside the interval (the paper's definition of a
+     * read belonging to an IR target, see Appendix Figure 10).
+     */
+    bool overlaps(int32_t c, int64_t start, int64_t end) const;
+
+    /** Internal-consistency check; panics on violation. */
+    void assertValid() const;
+};
+
+} // namespace iracc
+
+#endif // IRACC_GENOMICS_READ_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Illumina-like short-read simulator with a primary-alignment model.
+ *
+ * Substitutes for the paper's NA12878 dataset (763M reads, 60-65x
+ * coverage, BWA-MEM aligned).  For each contig the simulator:
+ *
+ *  1. samples fragments from either the reference haplotype or the
+ *     donor (variant) haplotype according to each variant's allele
+ *     fraction;
+ *  2. applies a positional Phred quality model and injects base-call
+ *     errors at the implied probabilities (the paper's 0.5-2 % raw
+ *     error band);
+ *  3. emits an *aligned* read, reproducing the characteristic
+ *     primary-alignment artifact that INDEL realignment exists to
+ *     fix: reads carrying an indel are mapped to the right region
+ *     but locally misaligned -- the indel is shifted within the
+ *     CIGAR or collapsed into mismatches (Section II-A);
+ *  4. skews per-locus depth with Zipf-distributed hotspots,
+ *     reproducing the imbalanced distribution the paper cites when
+ *     dismissing GPU execution (Section II-C).
+ */
+
+#ifndef IRACC_GENOMICS_READ_SIMULATOR_HH
+#define IRACC_GENOMICS_READ_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/mutator.hh"
+#include "genomics/read.hh"
+#include "genomics/reference.hh"
+#include "genomics/variant.hh"
+#include "util/rng.hh"
+
+namespace iracc {
+
+/** Tunable knobs of the read simulator. */
+struct ReadSimParams
+{
+    /** Read length in bases (paper: Illumina short reads, <=256). */
+    int32_t readLength = 100;
+
+    /** Mean sequencing depth. */
+    double coverage = 30.0;
+
+    /** Mean base quality at the 5' end of a read. */
+    double qualMean = 34.0;
+
+    /** Linear per-base quality decay toward the 3' end. */
+    double qualDecay = 8.0;
+
+    /** Per-base quality jitter (stddev). */
+    double qualJitter = 3.0;
+
+    /**
+     * Among donor-haplotype reads spanning an indel, fraction whose
+     * alignment shifts the indel within the repeat (still an I/D in
+     * the CIGAR, wrong offset).
+     */
+    double indelShiftProb = 0.35;
+
+    /**
+     * Among donor-haplotype reads spanning an indel, fraction whose
+     * alignment drops the indel entirely (pure-match CIGAR with the
+     * event smeared into mismatches).
+     */
+    double indelDropProb = 0.35;
+
+    /** Max bases an indel representation shifts when misplaced. */
+    int32_t maxIndelShift = 6;
+
+    /** Fraction of reads drawn from Zipf depth hotspots. */
+    double hotspotFraction = 0.25;
+
+    /** Zipf exponent for hotspot rank selection (must be > 1). */
+    double zipfExponent = 1.5;
+
+    /** Number of hotspot loci per contig. */
+    int32_t hotspotCount = 64;
+
+    /** Fraction of reads flagged reverse-strand. */
+    double reverseProb = 0.5;
+
+    /**
+     * Emit paired-end fragments: each sampled fragment yields an
+     * R1 at its 5' end and a reverse-flagged R2 at its 3' end
+     * (Illumina FR orientation).  Coverage counts both mates.
+     */
+    bool pairedEnd = false;
+
+    /** Mean fragment (insert) length for paired-end mode. */
+    int32_t fragmentMean = 320;
+
+    /** Fragment length standard deviation. */
+    int32_t fragmentStddev = 40;
+};
+
+/** Simulated reads plus the invariant truth they were drawn from. */
+struct SimulatedReads
+{
+    std::vector<Read> reads;
+
+    /** Reads that carry an indel and were emitted misaligned. */
+    int64_t misalignedIndelReads = 0;
+
+    /** Reads that span an indel (on the donor haplotype). */
+    int64_t indelSpanningReads = 0;
+};
+
+/**
+ * Deterministic read simulation for one contig.
+ */
+class ReadSimulator
+{
+  public:
+    ReadSimulator(ReadSimParams params, uint64_t seed);
+
+    /**
+     * Simulate reads over one contig.
+     *
+     * @param ref        the reference genome
+     * @param contig_idx contig to simulate
+     * @param variants   donor variants on this contig (sorted)
+     * @return aligned reads in arbitrary order
+     */
+    SimulatedReads simulateContig(const ReferenceGenome &ref,
+                                  int32_t contig_idx,
+                                  const std::vector<Variant> &variants);
+
+  private:
+    ReadSimParams params;
+    Rng rng;
+
+    /** Sample the per-base quality string for one read. */
+    QualSeq sampleQuals();
+
+    /** Inject base-call errors implied by the qualities. */
+    void injectErrors(BaseSeq &bases, const QualSeq &quals);
+};
+
+} // namespace iracc
+
+#endif // IRACC_GENOMICS_READ_SIMULATOR_HH

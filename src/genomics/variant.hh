@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sequence variant description shared by the donor-genome mutator,
+ * the read simulator, and the variant caller.
+ */
+
+#ifndef IRACC_GENOMICS_VARIANT_HH
+#define IRACC_GENOMICS_VARIANT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "genomics/base.hh"
+
+namespace iracc {
+
+/** Kind of sequence edit. */
+enum class VariantType : uint8_t {
+    Snv,       ///< single-nucleotide substitution
+    Insertion, ///< bases inserted after the anchor position
+    Deletion,  ///< bases deleted after the anchor position
+};
+
+/** @return short name, "SNV"/"INS"/"DEL". */
+const char *variantTypeName(VariantType t);
+
+/**
+ * One variant, VCF-style anchored: @c pos is the 0-based reference
+ * position of the anchor base.  For an SNV the substitution is at
+ * @c pos itself; for an insertion @c alt is inserted immediately
+ * after @c pos; for a deletion @c length reference bases immediately
+ * after @c pos are removed.
+ */
+struct Variant
+{
+    int32_t contig = 0;
+    int64_t pos = 0;
+    VariantType type = VariantType::Snv;
+
+    /** SNV replacement base, or inserted sequence for an insertion. */
+    BaseSeq alt;
+
+    /** Deleted base count (deletions only). */
+    int32_t delLength = 0;
+
+    /**
+     * Fraction of reads carrying the variant: 0.5 for a germline
+     * heterozygote, ~1.0 homozygote, lower values model somatic
+     * subclones (the hard, low-frequency case IR exists for).
+     */
+    double alleleFraction = 0.5;
+
+    /**
+     * True for somatic (tumor-only) variants; false for germline
+     * variants present in the matched normal as well.
+     */
+    bool isSomatic = false;
+
+    /** @return true for insertions and deletions. */
+    bool
+    isIndel() const
+    {
+        return type != VariantType::Snv;
+    }
+
+    /** Net donor-vs-reference length change at this variant. */
+    int64_t
+    lengthDelta() const
+    {
+        switch (type) {
+          case VariantType::Snv:       return 0;
+          case VariantType::Insertion:
+            return static_cast<int64_t>(alt.size());
+          case VariantType::Deletion:  return -delLength;
+        }
+        return 0;
+    }
+
+    bool
+    operator<(const Variant &o) const
+    {
+        return contig != o.contig ? contig < o.contig : pos < o.pos;
+    }
+};
+
+} // namespace iracc
+
+#endif // IRACC_GENOMICS_VARIANT_HH

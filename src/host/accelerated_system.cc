@@ -1,0 +1,73 @@
+#include "host/accelerated_system.hh"
+
+#include "realign/marshal.hh"
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace iracc {
+
+AcceleratedIrSystem::AcceleratedIrSystem(AccelConfig config,
+                                         SchedulePolicy policy,
+                                         TargetCreationParams targets)
+    : cfg(config), schedPolicy(policy), targetParams(targets)
+{
+}
+
+AcceleratedRunResult
+AcceleratedIrSystem::realignContig(const ReferenceGenome &ref,
+                                   int32_t contig,
+                                   std::vector<Read> &reads) const
+{
+    AcceleratedRunResult out;
+    Timer host_timer;
+
+    // Host preprocessing: target creation, read assignment, input
+    // assembly, and marshalling into DMA-able byte arrays.
+    SoftwareRealignerConfig plan_cfg;
+    plan_cfg.targetParams = targetParams;
+    SoftwareRealigner planner(plan_cfg);
+    auto plan = planner.planContig(ref, contig, reads);
+
+    std::vector<IrTargetInput> inputs;
+    std::vector<MarshalledTarget> marshalled;
+    inputs.reserve(plan.targets.size());
+    marshalled.reserve(plan.targets.size());
+    for (size_t t = 0; t < plan.targets.size(); ++t) {
+        if (plan.readsPerTarget[t].empty())
+            continue;
+        inputs.push_back(buildTargetInput(ref, reads, plan.targets[t],
+                                          plan.readsPerTarget[t]));
+        marshalled.push_back(marshalTarget(inputs.back()));
+    }
+    out.hostSeconds += host_timer.seconds();
+
+    // Simulated FPGA execution.
+    FpgaSystem sys(cfg);
+    ScheduleResult sched = scheduleTargets(sys, marshalled,
+                                           schedPolicy);
+
+    // Host postprocessing: translate raw accelerator outputs into
+    // read updates (shared applyDecision path).
+    host_timer.restart();
+    out.realign.targets = inputs.size();
+    for (size_t t = 0; t < inputs.size(); ++t) {
+        const IrComputeResult &res = sched.results[t];
+        ConsensusDecision decision = outputToDecision(
+            inputs[t], res.bestConsensus, res.output);
+        out.realign.readsRealigned +=
+            applyDecision(inputs[t], decision, reads);
+        out.realign.readsConsidered += inputs[t].numReads();
+        out.realign.consensusesEvaluated +=
+            inputs[t].numConsensuses();
+    }
+    out.hostSeconds += host_timer.seconds();
+
+    out.fpga = sched.fpga;
+    out.realign.whd = sched.fpga.whd;
+    out.makespan = sched.makespan;
+    out.fpgaSeconds = sys.cyclesToSeconds(sched.makespan);
+    out.timeline = std::move(sched.timeline);
+    return out;
+}
+
+} // namespace iracc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * End-to-end accelerated INDEL realignment -- the paper's deployed
+ * system (Section V): the host control program that mallocs and
+ * marshals the per-target byte arrays, DMAs them to FPGA DDR,
+ * configures and starts the IR units with RoCC commands, polls the
+ * responses, and applies the realignment decisions to the read
+ * set.  Functionally interchangeable with SoftwareRealigner; the
+ * integration tests assert byte-equal read updates.
+ */
+
+#ifndef IRACC_HOST_ACCELERATED_SYSTEM_HH
+#define IRACC_HOST_ACCELERATED_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/fpga_system.hh"
+#include "host/scheduler.hh"
+#include "realign/realigner.hh"
+
+namespace iracc {
+
+/** Result of one accelerated realignment run. */
+struct AcceleratedRunResult
+{
+    /** Algorithmic statistics (targets, realigned reads, WHD). */
+    RealignStats realign;
+
+    /** FPGA-system statistics (cycles, DMA, utilization). */
+    FpgaRunStats fpga;
+
+    /** Last-response cycle of the run. */
+    Cycle makespan = 0;
+
+    /** Simulated FPGA wall-clock seconds (makespan / clock). */
+    double fpgaSeconds = 0.0;
+
+    /** Measured host-side seconds (planning, marshalling, apply). */
+    double hostSeconds = 0.0;
+
+    /** Per-unit timeline (for scheduling analyses). */
+    std::vector<UnitTimelineEntry> timeline;
+
+    /**
+     * End-to-end runtime the paper reports: host preprocessing +
+     * transfer + compute + response.
+     */
+    double
+    totalSeconds() const
+    {
+        return fpgaSeconds + hostSeconds;
+    }
+};
+
+/** The accelerated IR system facade. */
+class AcceleratedIrSystem
+{
+  public:
+    /**
+     * @param config  accelerator configuration (units, width, ...)
+     * @param policy  target scheduling policy
+     * @param targets target-creation knobs (shared with software)
+     */
+    AcceleratedIrSystem(AccelConfig config, SchedulePolicy policy,
+                        TargetCreationParams targets = {});
+
+    /**
+     * Realign one contig's reads in place using the simulated
+     * FPGA system.
+     */
+    AcceleratedRunResult realignContig(const ReferenceGenome &ref,
+                                       int32_t contig,
+                                       std::vector<Read> &reads) const;
+
+    const AccelConfig &config() const { return cfg; }
+    SchedulePolicy policy() const { return schedPolicy; }
+
+  private:
+    AccelConfig cfg;
+    SchedulePolicy schedPolicy;
+    TargetCreationParams targetParams;
+};
+
+} // namespace iracc
+
+#endif // IRACC_HOST_ACCELERATED_SYSTEM_HH

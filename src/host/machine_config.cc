@@ -1,0 +1,53 @@
+#include "host/machine_config.hh"
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+const InstanceType &
+f1_2xlarge()
+{
+    static const InstanceType inst = {
+        "f1.2xlarge",
+        "Intel Xeon E5-2686 v4 (Broadwell)",
+        4, 8, 2.2, 122.0,
+        true, 64.0,
+        1.65,
+    };
+    return inst;
+}
+
+const InstanceType &
+r3_2xlarge()
+{
+    static const InstanceType inst = {
+        "r3.2xlarge",
+        "Intel Xeon E5-2670 v2 (Ivy Bridge)",
+        4, 8, 2.5, 61.0,
+        false, 0.0,
+        0.665,
+    };
+    return inst;
+}
+
+const InstanceType &
+p3_2xlarge()
+{
+    static const InstanceType inst = {
+        "p3.2xlarge",
+        "Intel Xeon E5-2686 v4 + NVIDIA V100",
+        4, 8, 2.3, 61.0,
+        false, 0.0,
+        3.06,
+    };
+    return inst;
+}
+
+double
+runCostUsd(double seconds, const InstanceType &instance)
+{
+    panic_if(seconds < 0.0, "negative runtime");
+    return seconds / 3600.0 * instance.hourlyUsd;
+}
+
+} // namespace iracc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Machine configurations and cloud pricing -- paper Table II and
+ * Section V-B cost methodology.
+ *
+ * The paper prices runs with the actual AWS on-demand rates:
+ * Amazon prices EC2 instances proportionally to total cost of
+ * ownership, so dollar cost is used directly as the objective cost
+ * measure (r3.2xlarge $0.665/hr for the software baselines,
+ * f1.2xlarge $1.65/hr for the accelerated system).
+ */
+
+#ifndef IRACC_HOST_MACHINE_CONFIG_HH
+#define IRACC_HOST_MACHINE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace iracc {
+
+/** One EC2 instance type's hardware and price (Table II). */
+struct InstanceType
+{
+    std::string name;        ///< e.g. "f1.2xlarge"
+    std::string processor;   ///< host CPU description
+    uint32_t cores = 0;      ///< physical cores
+    uint32_t threads = 0;    ///< hardware threads
+    double cpuGhz = 0.0;     ///< base clock
+    double memoryGiB = 0.0;  ///< host memory
+    bool hasFpga = false;    ///< carries the VU9P
+    double fpgaMemoryGiB = 0.0;
+    double hourlyUsd = 0.0;  ///< on-demand price used in the paper
+};
+
+/** The F1 instance the accelerated IR system deploys on. */
+const InstanceType &f1_2xlarge();
+
+/** The R3 instance the GATK3/ADAM baselines run on (GATK3 does not
+ *  scale beyond 8 threads, making this the most cost-efficient
+ *  choice). */
+const InstanceType &r3_2xlarge();
+
+/** High-end GPU instance used in the Section V-B GPU discussion. */
+const InstanceType &p3_2xlarge();
+
+/** Dollar cost of running for @p seconds on @p instance. */
+double runCostUsd(double seconds, const InstanceType &instance);
+
+} // namespace iracc
+
+#endif // IRACC_HOST_MACHINE_CONFIG_HH

@@ -1,0 +1,191 @@
+#include "host/scheduler.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "accel/ir_compute.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace iracc {
+
+const char *
+schedulePolicyName(SchedulePolicy policy)
+{
+    switch (policy) {
+      case SchedulePolicy::SynchronousParallel:
+        return "synchronous-parallel";
+      case SchedulePolicy::AsynchronousParallel:
+        return "asynchronous-parallel";
+    }
+    panic("invalid SchedulePolicy");
+}
+
+namespace {
+
+/** Shared dispatch state for one scheduling run. */
+struct RunState
+{
+    FpgaSystem *sys;
+    const std::vector<MarshalledTarget> *targets;
+    const std::vector<IrComputeResult> *precomputed;
+    std::vector<TargetDescriptor> descriptors;
+    ScheduleResult *out;
+    size_t nextTarget = 0;
+    size_t completed = 0;
+
+    // Synchronous mode bookkeeping.
+    size_t batchOutstanding = 0;
+
+    /** DMA one target's three input arrays to its buffers. */
+    void
+    transferInputs(size_t t, std::function<void()> on_done)
+    {
+        const MarshalledTarget &mt = (*targets)[t];
+        const TargetDescriptor &desc = descriptors[t];
+        // The three arrays move as one burst; payloads land in
+        // device memory at the completion event.
+        sys->dmaToDevice(
+            desc.bufferAddr[static_cast<size_t>(
+                IrBuffer::ConsensusBases)],
+            mt.consensusData.data(), mt.consensusData.size(),
+            [] {});
+        sys->dmaToDevice(
+            desc.bufferAddr[static_cast<size_t>(
+                IrBuffer::ReadBases)],
+            mt.readData.data(), mt.readData.size(), [] {});
+        sys->dmaToDevice(
+            desc.bufferAddr[static_cast<size_t>(
+                IrBuffer::ReadQuals)],
+            mt.qualData.data(), mt.qualData.size(),
+            std::move(on_done));
+    }
+
+    /** Collect one completed target: outputs come back out of
+     *  device memory, cycle/work counters from the response. */
+    void
+    collect(size_t t, IrComputeResult &&res)
+    {
+        res.output = sys->readOutputs(descriptors[t]);
+        out->results[t] = std::move(res);
+        ++completed;
+    }
+};
+
+/**
+ * Asynchronous-parallel: feed @p unit the next pending target; its
+ * completion response immediately recurses.
+ */
+void
+asyncFeed(RunState &st, uint32_t unit)
+{
+    if (st.nextTarget >= st.targets->size())
+        return;
+    size_t t = st.nextTarget++;
+    st.transferInputs(t, [&st, unit, t] {
+        st.sys->runTarget(unit, st.descriptors[t], t,
+                          [&st, unit, t](IrComputeResult &&res) {
+                              st.collect(t, std::move(res));
+                              asyncFeed(st, unit);
+                          },
+                          &(*st.precomputed)[t]);
+    });
+}
+
+/** Synchronous-parallel: transfer + run one full batch, barrier,
+ *  recurse into the next batch. */
+void
+syncBatch(RunState &st)
+{
+    if (st.nextTarget >= st.targets->size())
+        return;
+    size_t batch_begin = st.nextTarget;
+    size_t batch_size = std::min<size_t>(
+        st.sys->numUnits(), st.targets->size() - batch_begin);
+    st.nextTarget += batch_size;
+    st.batchOutstanding = batch_size;
+
+    // The paper's initial design transferred the whole batch's
+    // data before launching any unit; chain the per-target bursts
+    // and launch everything at the last completion.
+    for (size_t i = 0; i + 1 < batch_size; ++i)
+        st.transferInputs(batch_begin + i, [] {});
+    st.transferInputs(
+        batch_begin + batch_size - 1,
+        [&st, batch_begin, batch_size] {
+            for (size_t i = 0; i < batch_size; ++i) {
+                size_t t = batch_begin + i;
+                st.sys->runTarget(
+                    static_cast<uint32_t>(i), st.descriptors[t], t,
+                    [&st, t](IrComputeResult &&res) {
+                        st.collect(t, std::move(res));
+                        // Synchronous flush: only when the whole
+                        // batch drains does the next batch start.
+                        if (--st.batchOutstanding == 0)
+                            syncBatch(st);
+                    },
+                    &(*st.precomputed)[t]);
+            }
+        });
+}
+
+} // anonymous namespace
+
+ScheduleResult
+scheduleTargets(FpgaSystem &sys,
+                const std::vector<MarshalledTarget> &targets,
+                SchedulePolicy policy)
+{
+    ScheduleResult out;
+    out.results.resize(targets.size());
+
+    // The datapath result of each target is a pure function of its
+    // marshalled bytes and the unit configuration; evaluate them on
+    // worker threads up front so the event-driven scheduling model
+    // only replays the (deterministic) cycle costs.  Architectural
+    // outputs still travel through device memory.
+    std::vector<IrComputeResult> precomputed(targets.size());
+    {
+        const AccelConfig &cfg = sys.config();
+        ThreadPool pool(std::min<size_t>(
+            8, std::max<size_t>(
+                   1, std::thread::hardware_concurrency())));
+        pool.parallelFor(targets.size(), [&](size_t t) {
+            precomputed[t] = irCompute(targets[t],
+                                       cfg.dataParallelWidth,
+                                       cfg.pruning);
+        });
+    }
+
+    RunState st;
+    st.sys = &sys;
+    st.targets = &targets;
+    st.precomputed = &precomputed;
+    st.out = &out;
+    st.descriptors.reserve(targets.size());
+    for (const MarshalledTarget &mt : targets)
+        st.descriptors.push_back(sys.allocateTarget(mt));
+
+    switch (policy) {
+      case SchedulePolicy::AsynchronousParallel:
+        for (uint32_t u = 0;
+             u < sys.numUnits() && st.nextTarget < targets.size();
+             ++u) {
+            asyncFeed(st, u);
+        }
+        break;
+      case SchedulePolicy::SynchronousParallel:
+        syncBatch(st);
+        break;
+    }
+
+    out.makespan = sys.run();
+    panic_if(st.completed != targets.size(),
+             "scheduler finished with %zu/%zu targets complete",
+             st.completed, targets.size());
+    out.timeline = sys.timeline();
+    out.fpga = sys.stats();
+    return out;
+}
+
+} // namespace iracc

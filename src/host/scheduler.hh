@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Host-side target scheduling over the sea of IR units -- paper
+ * Figure 7 and Section IV.
+ *
+ * Two policies are modeled:
+ *
+ *  - SynchronousParallel: transfer a batch of numUnits targets,
+ *    launch all units, and wait for every unit to finish before
+ *    flushing and starting the next batch.  Pruning-induced
+ *    runtime variance leaves most units idle waiting for the
+ *    slowest target.
+ *
+ *  - AsynchronousParallel: each unit's completion response (polled
+ *    from the MMIO "response valid" register) immediately triggers
+ *    the DMA + launch of the next pending target on that unit,
+ *    keeping all units busy (the paper's 6.2x average gain).
+ */
+
+#ifndef IRACC_HOST_SCHEDULER_HH
+#define IRACC_HOST_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/fpga_system.hh"
+#include "realign/marshal.hh"
+
+namespace iracc {
+
+/** Scheduling policy for dispatching targets to units. */
+enum class SchedulePolicy {
+    SynchronousParallel,
+    AsynchronousParallel,
+};
+
+/** @return display name of a policy. */
+const char *schedulePolicyName(SchedulePolicy policy);
+
+/** Outcome of scheduling a target list onto the FPGA. */
+struct ScheduleResult
+{
+    /** Per-target datapath results, indexed like the input list. */
+    std::vector<IrComputeResult> results;
+
+    /** Final cycle when the last response was collected. */
+    Cycle makespan = 0;
+
+    /** Per-unit, per-target execution records. */
+    std::vector<UnitTimelineEntry> timeline;
+
+    /** System statistics snapshot. */
+    FpgaRunStats fpga;
+};
+
+/**
+ * Run every marshalled target through the FPGA system under the
+ * given policy.  The call drives the event queue to completion.
+ */
+ScheduleResult scheduleTargets(
+    FpgaSystem &sys, const std::vector<MarshalledTarget> &targets,
+    SchedulePolicy policy);
+
+} // namespace iracc
+
+#endif // IRACC_HOST_SCHEDULER_HH

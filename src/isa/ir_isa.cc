@@ -1,0 +1,147 @@
+#include "isa/ir_isa.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+const char *
+irOpcodeName(IrOpcode op)
+{
+    switch (op) {
+      case IrOpcode::SetAddr:   return "ir_set_addr";
+      case IrOpcode::SetTarget: return "ir_set_target";
+      case IrOpcode::SetSize:   return "ir_set_size";
+      case IrOpcode::SetLen:    return "ir_set_len";
+      case IrOpcode::Start:     return "ir_start";
+    }
+    panic("invalid IrOpcode %d", static_cast<int>(op));
+}
+
+namespace {
+
+/** Compose the fixed RoCC word for a command/unit pair. */
+RoccInstruction
+roccFor(IrOpcode op, uint8_t unit)
+{
+    RoccInstruction inst;
+    inst.funct7 = static_cast<uint8_t>(op);
+    inst.opcode = kCustom0Opcode;
+    inst.rd = unit;
+    // Register-specifier fields are fixed in this encoding; the
+    // value transfer happens through the MMIO command queue.
+    inst.rs1 = 1;
+    inst.rs2 = 2;
+    inst.xs1 = true;
+    inst.xs2 = op == IrOpcode::SetAddr || op == IrOpcode::SetSize ||
+               op == IrOpcode::SetLen;
+    inst.xd = op == IrOpcode::Start;
+    return inst;
+}
+
+} // anonymous namespace
+
+RoccInstruction
+IrCommand::instruction() const
+{
+    panic_if(unit > 31, "unit id %u exceeds 5-bit rd field", unit);
+    return roccFor(op, unit);
+}
+
+IrCommand
+IrCommand::fromInstruction(const RoccInstruction &inst, uint64_t rs1,
+                           uint64_t rs2)
+{
+    panic_if(inst.opcode != kCustom0Opcode,
+             "not an IR accelerator instruction (opcode 0x%02x)",
+             inst.opcode);
+    panic_if(inst.funct7 > static_cast<uint8_t>(IrOpcode::Start),
+             "unknown IR funct7 %u", inst.funct7);
+    IrCommand cmd;
+    cmd.op = static_cast<IrOpcode>(inst.funct7);
+    cmd.unit = inst.rd;
+    cmd.rs1Val = rs1;
+    cmd.rs2Val = rs2;
+    return cmd;
+}
+
+std::string
+IrCommand::disassemble() const
+{
+    std::ostringstream out;
+    out << irOpcodeName(op) << " unit=" << static_cast<int>(unit);
+    switch (op) {
+      case IrOpcode::SetAddr:
+        out << " buffer=" << rs1Val << " addr=0x" << std::hex
+            << rs2Val;
+        break;
+      case IrOpcode::SetTarget:
+        out << " target_start=" << rs1Val;
+        break;
+      case IrOpcode::SetSize:
+        out << " consensuses=" << rs1Val << " reads=" << rs2Val;
+        break;
+      case IrOpcode::SetLen:
+        out << " consensus=" << rs1Val << " length=" << rs2Val;
+        break;
+      case IrOpcode::Start:
+        break;
+    }
+    return out.str();
+}
+
+std::vector<IrCommand>
+buildTargetCommands(uint8_t unit,
+                    const uint64_t buffer_addrs[kNumIrBuffers],
+                    uint64_t target_start, uint32_t num_consensuses,
+                    uint32_t num_reads,
+                    const std::vector<uint16_t> &consensus_lens)
+{
+    panic_if(consensus_lens.size() != num_consensuses,
+             "consensus length list size mismatch");
+    std::vector<IrCommand> cmds;
+    cmds.reserve(kNumIrBuffers + 2 + num_consensuses + 1);
+
+    for (uint32_t b = 0; b < kNumIrBuffers; ++b) {
+        IrCommand c;
+        c.op = IrOpcode::SetAddr;
+        c.unit = unit;
+        c.rs1Val = b;
+        c.rs2Val = buffer_addrs[b];
+        cmds.push_back(c);
+    }
+    {
+        IrCommand c;
+        c.op = IrOpcode::SetTarget;
+        c.unit = unit;
+        c.rs1Val = target_start;
+        cmds.push_back(c);
+    }
+    {
+        IrCommand c;
+        c.op = IrOpcode::SetSize;
+        c.unit = unit;
+        c.rs1Val = num_consensuses;
+        c.rs2Val = num_reads;
+        cmds.push_back(c);
+    }
+    for (uint32_t i = 0; i < num_consensuses; ++i) {
+        IrCommand c;
+        c.op = IrOpcode::SetLen;
+        c.unit = unit;
+        c.rs1Val = i;
+        c.rs2Val = consensus_lens[i];
+        cmds.push_back(c);
+    }
+    {
+        IrCommand c;
+        c.op = IrOpcode::Start;
+        c.unit = unit;
+        c.rs1Val = unit;
+        cmds.push_back(c);
+    }
+    return cmds;
+}
+
+} // namespace iracc

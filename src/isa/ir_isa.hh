@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The IR accelerator's five-command instruction set (paper Table I)
+ * layered on the RoCC format.
+ *
+ * A command as delivered to the FPGA consists of the 32-bit RoCC
+ * instruction word plus the two 64-bit source register values (the
+ * AXI hub marshals all three through MMIO registers).  The funct7
+ * field selects the command; the rd field addresses the target IR
+ * unit (5 bits exactly covers the 32 units on the UltraScale+).
+ *
+ *   ir_set_addr   rs1 = buffer index (0..4), rs2 = memory address
+ *   ir_set_target rs1 = target start position
+ *   ir_set_size   rs1 = #consensuses,        rs2 = #reads
+ *   ir_set_len    rs1 = consensus id,        rs2 = length in bytes
+ *   ir_start      rs1 = unit id; xd=1, the response returns the
+ *                 picked consensus index on completion
+ */
+
+#ifndef IRACC_ISA_IR_ISA_HH
+#define IRACC_ISA_IR_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/rocc.hh"
+
+namespace iracc {
+
+/** The five IR accelerator commands (funct7 values). */
+enum class IrOpcode : uint8_t {
+    SetAddr = 0,
+    SetTarget = 1,
+    SetSize = 2,
+    SetLen = 3,
+    Start = 4,
+};
+
+/** @return mnemonic, e.g. "ir_set_addr". */
+const char *irOpcodeName(IrOpcode op);
+
+/** The five per-unit data buffers addressed by ir_set_addr. */
+enum class IrBuffer : uint8_t {
+    ConsensusBases = 0, ///< input buffer #1
+    ReadBases = 1,      ///< input buffer #2
+    ReadQuals = 2,      ///< input buffer #3
+    OutFlags = 3,       ///< output buffer #1
+    OutPositions = 4,   ///< output buffer #2
+};
+
+/** Number of per-unit buffers (ir_set_addr invocations/target). */
+constexpr uint32_t kNumIrBuffers = 5;
+
+/** A fully-specified IR command: instruction + register values. */
+struct IrCommand
+{
+    IrOpcode op = IrOpcode::Start;
+    uint8_t unit = 0;    ///< destination IR unit (0..31)
+    uint64_t rs1Val = 0; ///< first operand value
+    uint64_t rs2Val = 0; ///< second operand value
+
+    /** Encode the RoCC instruction word for this command. */
+    RoccInstruction instruction() const;
+
+    /** Decode a command from instruction word + register values. */
+    static IrCommand fromInstruction(const RoccInstruction &inst,
+                                     uint64_t rs1, uint64_t rs2);
+
+    /** Human-readable disassembly. */
+    std::string disassemble() const;
+
+    bool operator==(const IrCommand &o) const = default;
+};
+
+/**
+ * Build the full configuration + start command sequence for one
+ * target (5 x ir_set_addr, ir_set_target, ir_set_size, per-consensus
+ * ir_set_len, ir_start), exactly the dispatch order of the paper's
+ * host control program (Section V-A).
+ *
+ * @param unit            destination unit
+ * @param buffer_addrs    DDR addresses for the five buffers
+ * @param target_start    window start position
+ * @param num_consensuses consensus count
+ * @param num_reads       read count
+ * @param consensus_lens  per-consensus byte lengths
+ */
+std::vector<IrCommand> buildTargetCommands(
+    uint8_t unit, const uint64_t buffer_addrs[kNumIrBuffers],
+    uint64_t target_start, uint32_t num_consensuses,
+    uint32_t num_reads, const std::vector<uint16_t> &consensus_lens);
+
+} // namespace iracc
+
+#endif // IRACC_ISA_IR_ISA_HH

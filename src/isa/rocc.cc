@@ -1,0 +1,43 @@
+#include "isa/rocc.hh"
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+uint32_t
+RoccInstruction::encode() const
+{
+    panic_if(funct7 > 0x7F, "funct7 %u exceeds 7 bits", funct7);
+    panic_if(rs2 > 0x1F, "rs2 %u exceeds 5 bits", rs2);
+    panic_if(rs1 > 0x1F, "rs1 %u exceeds 5 bits", rs1);
+    panic_if(rd > 0x1F, "rd %u exceeds 5 bits", rd);
+    panic_if(opcode > 0x7F, "opcode %u exceeds 7 bits", opcode);
+
+    uint32_t word = 0;
+    word |= static_cast<uint32_t>(funct7) << 25;
+    word |= static_cast<uint32_t>(rs2) << 20;
+    word |= static_cast<uint32_t>(rs1) << 15;
+    word |= static_cast<uint32_t>(xd ? 1 : 0) << 14;
+    word |= static_cast<uint32_t>(xs1 ? 1 : 0) << 13;
+    word |= static_cast<uint32_t>(xs2 ? 1 : 0) << 12;
+    word |= static_cast<uint32_t>(rd) << 7;
+    word |= static_cast<uint32_t>(opcode);
+    return word;
+}
+
+RoccInstruction
+RoccInstruction::decode(uint32_t word)
+{
+    RoccInstruction inst;
+    inst.funct7 = static_cast<uint8_t>((word >> 25) & 0x7F);
+    inst.rs2 = static_cast<uint8_t>((word >> 20) & 0x1F);
+    inst.rs1 = static_cast<uint8_t>((word >> 15) & 0x1F);
+    inst.xd = ((word >> 14) & 1) != 0;
+    inst.xs1 = ((word >> 13) & 1) != 0;
+    inst.xs2 = ((word >> 12) & 1) != 0;
+    inst.rd = static_cast<uint8_t>((word >> 7) & 0x1F);
+    inst.opcode = static_cast<uint8_t>(word & 0x7F);
+    return inst;
+}
+
+} // namespace iracc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * RoCC (Rocket chip Custom Coprocessor) instruction format --
+ * paper Table I.
+ *
+ * The fixed 32-bit layout:
+ *
+ *   [31:25] funct7   accelerator-defined function
+ *   [24:20] rs2      source register 2 specifier
+ *   [19:15] rs1      source register 1 specifier
+ *   [14]    xd       instruction has a destination register
+ *   [13]    xs1      instruction uses rs1
+ *   [12]    xs2      instruction uses rs2
+ *   [11:7]  rd       destination register specifier
+ *   [6:0]   opcode   custom opcode; selects the accelerator type
+ *
+ * The paper notes the opcode field distinguishes accelerator types
+ * (unused here since the system only contains IR accelerators) and
+ * the funct field encodes the accelerator configuration command.
+ */
+
+#ifndef IRACC_ISA_ROCC_HH
+#define IRACC_ISA_ROCC_HH
+
+#include <cstdint>
+
+namespace iracc {
+
+/** Decoded 32-bit RoCC instruction word. */
+struct RoccInstruction
+{
+    uint8_t funct7 = 0; ///< 7-bit function code
+    uint8_t rs2 = 0;    ///< 5-bit source register 2
+    uint8_t rs1 = 0;    ///< 5-bit source register 1
+    bool xd = false;    ///< has destination
+    bool xs1 = false;   ///< uses rs1
+    bool xs2 = false;   ///< uses rs2
+    uint8_t rd = 0;     ///< 5-bit destination register
+    uint8_t opcode = 0; ///< 7-bit custom opcode
+
+    /** Pack into the 32-bit instruction word. */
+    uint32_t encode() const;
+
+    /** Unpack a 32-bit instruction word. */
+    static RoccInstruction decode(uint32_t word);
+
+    bool operator==(const RoccInstruction &o) const = default;
+};
+
+/** RISC-V custom-0 opcode used for the IR accelerator. */
+constexpr uint8_t kCustom0Opcode = 0x0B;
+
+} // namespace iracc
+
+#endif // IRACC_ISA_ROCC_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The IR accelerator's architectural capacity limits (paper
+ * Sections II-B/C and III-A).  These bounds size the on-FPGA block
+ * RAM input buffers and are enforced identically by the software
+ * baselines so that hardware and software process the same
+ * workloads.
+ */
+
+#ifndef IRACC_REALIGN_LIMITS_HH
+#define IRACC_REALIGN_LIMITS_HH
+
+#include <cstdint>
+
+namespace iracc {
+
+/** Max consensuses per IR target, including the reference. */
+constexpr uint32_t kMaxConsensuses = 32;
+
+/** Max reads per IR target. */
+constexpr uint32_t kMaxReads = 256;
+
+/** Max consensus length in bases (input buffer #1 row size). */
+constexpr uint32_t kMaxConsensusLen = 2048;
+
+/** Max read length in bases (input buffer #2/#3 row size). */
+constexpr uint32_t kMaxReadLen = 256;
+
+} // namespace iracc
+
+#endif // IRACC_REALIGN_LIMITS_HH

@@ -1,0 +1,112 @@
+#include "realign/marshal.hh"
+
+#include "realign/limits.hh"
+#include "util/logging.hh"
+
+namespace iracc {
+
+uint64_t
+MarshalledTarget::totalInputBytes() const
+{
+    return consensusData.size() + readData.size() + qualData.size();
+}
+
+uint64_t
+MarshalledTarget::totalOutputBytes() const
+{
+    // Output buffer #1 (1 B/read) + #2 (4 B/read).
+    return static_cast<uint64_t>(numReads) * (1 + 4);
+}
+
+BaseSeq
+MarshalledTarget::consensusAt(uint32_t i) const
+{
+    panic_if(i >= numConsensuses, "consensus %u out of range", i);
+    size_t off = 0;
+    for (uint32_t c = 0; c < i; ++c)
+        off += consensusLengths[c];
+    return BaseSeq(reinterpret_cast<const char *>(&consensusData[off]),
+                   consensusLengths[i]);
+}
+
+BaseSeq
+MarshalledTarget::readAt(uint32_t j) const
+{
+    panic_if(j >= numReads, "read %u out of range", j);
+    size_t off = static_cast<size_t>(j) * kMaxReadLen;
+    size_t len = 0;
+    while (len < kMaxReadLen && readData[off + len] != 0)
+        ++len;
+    return BaseSeq(reinterpret_cast<const char *>(&readData[off]),
+                   len);
+}
+
+QualSeq
+MarshalledTarget::qualsAt(uint32_t j) const
+{
+    panic_if(j >= numReads, "read %u out of range", j);
+    size_t off = static_cast<size_t>(j) * kMaxReadLen;
+    size_t len = 0;
+    while (len < kMaxReadLen && readData[off + len] != 0)
+        ++len;
+    return QualSeq(qualData.begin() + static_cast<long>(off),
+                   qualData.begin() + static_cast<long>(off + len));
+}
+
+MarshalledTarget
+marshalTarget(const IrTargetInput &input)
+{
+    input.assertWithinLimits();
+
+    MarshalledTarget m;
+    m.numConsensuses = static_cast<uint32_t>(input.numConsensuses());
+    m.numReads = static_cast<uint32_t>(input.numReads());
+    m.targetStart = static_cast<uint32_t>(input.windowStart);
+
+    for (const BaseSeq &cons : input.consensuses) {
+        m.consensusLengths.push_back(
+            static_cast<uint16_t>(cons.size()));
+        m.consensusData.insert(m.consensusData.end(), cons.begin(),
+                               cons.end());
+    }
+
+    m.readData.assign(static_cast<size_t>(m.numReads) * kMaxReadLen,
+                      0);
+    m.qualData.assign(static_cast<size_t>(m.numReads) * kMaxReadLen,
+                      0);
+    for (uint32_t j = 0; j < m.numReads; ++j) {
+        const BaseSeq &bases = input.readBases[j];
+        const QualSeq &quals = input.readQuals[j];
+        size_t off = static_cast<size_t>(j) * kMaxReadLen;
+        for (size_t n = 0; n < bases.size(); ++n) {
+            m.readData[off + n] = static_cast<uint8_t>(bases[n]);
+            m.qualData[off + n] = quals[n];
+        }
+        // Remaining slot bytes stay 0x00: the end-of-read sentinel.
+    }
+    return m;
+}
+
+ConsensusDecision
+outputToDecision(const IrTargetInput &input, uint32_t best_consensus,
+                 const AccelTargetOutput &out)
+{
+    panic_if(out.realignFlags.size() != input.numReads() ||
+             out.newPositions.size() != input.numReads(),
+             "accelerator output size mismatch");
+    ConsensusDecision d;
+    d.bestConsensus = best_consensus;
+    d.realign = out.realignFlags;
+    d.newOffset.resize(input.numReads(), 0);
+    for (size_t j = 0; j < input.numReads(); ++j) {
+        if (!out.realignFlags[j])
+            continue;
+        uint32_t pos = out.newPositions[j];
+        uint32_t start = static_cast<uint32_t>(input.windowStart);
+        panic_if(pos < start, "accelerator position under window");
+        d.newOffset[j] = pos - start;
+    }
+    return d;
+}
+
+} // namespace iracc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Byte-level marshalling of an IR target into the accelerator's
+ * memory layout (paper Figure 6, "Structure Sizes").
+ *
+ * The host control program mallocs consecutive byte arrays -- one
+ * byte per consensus base, read base, and quality score -- then DMAs
+ * them to the FPGA-attached DDR before starting a unit:
+ *
+ *   input buffer #1: up to 32 consensuses (dense rows, lengths
+ *                    programmed with ir_set_len, max 2048 B each)
+ *   input buffer #2: up to 256 reads at a fixed 256-byte stride
+ *   input buffer #3: quality scores, parallel to buffer #2
+ *   output buffer #1: 256 x 1 B realign flags
+ *   output buffer #2: 256 x 4 B new read positions
+ *
+ * Within a read slot, the end of the read is marked by a 0x00
+ * sentinel byte (never a valid ASCII base) or by the end of the
+ * 256-byte slot, which is how the unit's "End of Read?" logic
+ * (Figure 5) detects read boundaries without per-read length
+ * commands.
+ */
+
+#ifndef IRACC_REALIGN_MARSHAL_HH
+#define IRACC_REALIGN_MARSHAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "realign/consensus.hh"
+#include "realign/score.hh"
+
+namespace iracc {
+
+/** One IR target packed into DMA-able byte arrays. */
+struct MarshalledTarget
+{
+    uint32_t numConsensuses = 0;
+    uint32_t numReads = 0;
+
+    /** ir_set_target operand: window start reference position. */
+    uint32_t targetStart = 0;
+
+    /** ir_set_len operands, one per consensus. */
+    std::vector<uint16_t> consensusLengths;
+
+    /** Input buffer #1 image: consensuses concatenated densely. */
+    std::vector<uint8_t> consensusData;
+
+    /** Input buffer #2 image: reads at kMaxReadLen stride. */
+    std::vector<uint8_t> readData;
+
+    /** Input buffer #3 image: qualities at kMaxReadLen stride. */
+    std::vector<uint8_t> qualData;
+
+    /** Total bytes transferred over DMA for this target. */
+    uint64_t totalInputBytes() const;
+
+    /** Output bytes transferred back (flags + positions). */
+    uint64_t totalOutputBytes() const;
+
+    /** Reconstruct consensus i (for verification). */
+    BaseSeq consensusAt(uint32_t i) const;
+
+    /** Reconstruct read j's bases (sentinel-delimited). */
+    BaseSeq readAt(uint32_t j) const;
+
+    /** Reconstruct read j's quality scores. */
+    QualSeq qualsAt(uint32_t j) const;
+};
+
+/** Raw accelerator outputs for one target (output buffers #1/#2). */
+struct AccelTargetOutput
+{
+    /** 1 = realign this read (output buffer #1). */
+    std::vector<uint8_t> realignFlags;
+
+    /**
+     * New read position: window offset k + target start (output
+     * buffer #2, the paper's Algorithm 2 line 25).
+     */
+    std::vector<uint32_t> newPositions;
+};
+
+/** Pack a target input into the accelerator layout. */
+MarshalledTarget marshalTarget(const IrTargetInput &input);
+
+/**
+ * Convert raw accelerator outputs into a ConsensusDecision
+ * compatible with applyDecision(), given the target input (which
+ * carries the window start for un-biasing positions).
+ */
+ConsensusDecision outputToDecision(const IrTargetInput &input,
+                                   uint32_t best_consensus,
+                                   const AccelTargetOutput &out);
+
+} // namespace iracc
+
+#endif // IRACC_REALIGN_MARSHAL_HH

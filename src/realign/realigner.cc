@@ -1,0 +1,245 @@
+#include "realign/realigner.hh"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+
+#include "realign/limits.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace iracc {
+
+void
+mapOffsetToAlignment(const IrTargetInput &input, uint32_t cons_idx,
+                     uint32_t offset, uint32_t read_len,
+                     int64_t &new_pos, Cigar &new_cigar)
+{
+    const int64_t w = input.windowStart;
+    const int64_t k = offset;
+    const int64_t n = read_len;
+
+    if (cons_idx == 0) {
+        new_pos = w + k;
+        new_cigar = Cigar::simpleMatch(read_len);
+        return;
+    }
+
+    panic_if(cons_idx >= input.events.size(),
+             "consensus index %u out of range", cons_idx);
+    const IndelEvent &ev = input.events[cons_idx];
+    // Window-relative position of the anchor base.
+    const int64_t a = ev.anchor - w;
+
+    if (ev.isInsertion) {
+        const int64_t len =
+            static_cast<int64_t>(ev.insertedBases.size());
+        // Inserted bases occupy consensus positions [a+1, a+len].
+        if (k + n - 1 <= a) {
+            // Entirely before the insertion.
+            new_pos = w + k;
+            new_cigar = Cigar::simpleMatch(read_len);
+        } else if (k > a + len) {
+            // Entirely after: consensus runs len long vs reference.
+            new_pos = w + k - len;
+            new_cigar = Cigar::simpleMatch(read_len);
+        } else if (k > a) {
+            // Starts inside the inserted bases: soft-clip the
+            // leading inserted bases, anchor after the insertion.
+            int64_t clip = std::min(a + len - k + 1, n);
+            panic_if(clip <= 0, "bad insertion clip");
+            new_pos = w + a + 1;
+            std::vector<CigarElem> elems = {
+                {static_cast<uint32_t>(clip), CigarOp::SoftClip}};
+            // A read that fits entirely inside the insertion ends
+            // up fully clipped (anchored after the insertion).
+            if (clip < n)
+                elems.push_back({static_cast<uint32_t>(n - clip),
+                                 CigarOp::Match});
+            new_cigar = Cigar(std::move(elems));
+        } else {
+            // Spans the insertion point.
+            int64_t pre = a - k + 1;
+            int64_t ins = std::min(len, k + n - 1 - a);
+            int64_t post = n - pre - ins;
+            panic_if(pre <= 0 || ins <= 0 || post < 0,
+                     "bad insertion span decomposition");
+            std::vector<CigarElem> elems = {
+                {static_cast<uint32_t>(pre), CigarOp::Match},
+                {static_cast<uint32_t>(ins), CigarOp::Insert}};
+            if (post > 0)
+                elems.push_back({static_cast<uint32_t>(post),
+                                 CigarOp::Match});
+            new_pos = w + k;
+            new_cigar = Cigar(std::move(elems));
+        }
+    } else {
+        const int64_t len = ev.delLength;
+        // Consensus position a is the last base before the deleted
+        // reference run [a+1, a+len].
+        if (k + n - 1 <= a) {
+            new_pos = w + k;
+            new_cigar = Cigar::simpleMatch(read_len);
+        } else if (k > a) {
+            // Entirely after the deletion: reference is len longer.
+            new_pos = w + k + len;
+            new_cigar = Cigar::simpleMatch(read_len);
+        } else {
+            // Spans the deletion point.
+            int64_t pre = a - k + 1;
+            int64_t post = n - pre;
+            panic_if(pre <= 0 || post <= 0,
+                     "bad deletion span decomposition");
+            new_pos = w + k;
+            new_cigar = Cigar({
+                {static_cast<uint32_t>(pre), CigarOp::Match},
+                {static_cast<uint32_t>(len), CigarOp::Delete},
+                {static_cast<uint32_t>(post), CigarOp::Match}});
+        }
+    }
+}
+
+uint32_t
+applyDecision(const IrTargetInput &input,
+              const ConsensusDecision &decision,
+              std::vector<Read> &reads)
+{
+    uint32_t updated = 0;
+    for (size_t j = 0; j < input.readIndices.size(); ++j) {
+        if (!decision.realign[j])
+            continue;
+        Read &read = reads[input.readIndices[j]];
+        int64_t new_pos = 0;
+        Cigar new_cigar;
+        mapOffsetToAlignment(input, decision.bestConsensus,
+                             decision.newOffset[j],
+                             static_cast<uint32_t>(read.length()),
+                             new_pos, new_cigar);
+        read.pos = new_pos;
+        read.cigar = new_cigar;
+        read.assertValid();
+        ++updated;
+    }
+    return updated;
+}
+
+SoftwareRealigner::SoftwareRealigner(SoftwareRealignerConfig config)
+    : cfg(std::move(config))
+{
+    fatal_if(cfg.threads == 0, "realigner needs >= 1 thread");
+    fatal_if(cfg.workAmplification < 1.0,
+             "work amplification must be >= 1.0");
+}
+
+SoftwareRealigner::ContigPlan
+SoftwareRealigner::planContig(const ReferenceGenome &ref,
+                              int32_t contig,
+                              const std::vector<Read> &reads) const
+{
+    ContigPlan plan;
+    plan.targets = createTargets(reads, contig,
+                                 ref.contig(contig).length(),
+                                 cfg.targetParams);
+
+    // Sort read indices by start position for range queries.
+    std::vector<uint32_t> order(reads.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&reads](uint32_t a, uint32_t b) {
+                  return reads[a].pos != reads[b].pos
+                      ? reads[a].pos < reads[b].pos
+                      : a < b;
+              });
+
+    // A read may straddle two targets; the first target claims it so
+    // targets never share (and never race on) a read.
+    std::vector<char> claimed(reads.size(), 0);
+    // No read spans more than its length plus the largest deletion
+    // we model; 4 KiB of slack is conservative.
+    const int64_t max_span = kMaxReadLen + 4096;
+
+    plan.readsPerTarget.reserve(plan.targets.size());
+    for (const IrTarget &target : plan.targets) {
+        std::vector<uint32_t> assigned;
+        auto first = std::lower_bound(
+            order.begin(), order.end(), target.start - max_span,
+            [&reads](uint32_t idx, int64_t pos) {
+                return reads[idx].pos < pos;
+            });
+        for (auto it = first; it != order.end(); ++it) {
+            const Read &read = reads[*it];
+            if (read.pos >= target.end)
+                break;
+            if (read.contig != contig || read.duplicate ||
+                claimed[*it]) {
+                continue;
+            }
+            if (!read.overlaps(contig, target.start, target.end))
+                continue;
+            if (assigned.size() >= kMaxReads)
+                break;
+            claimed[*it] = 1;
+            assigned.push_back(*it);
+        }
+        plan.readsPerTarget.push_back(std::move(assigned));
+    }
+    return plan;
+}
+
+RealignStats
+SoftwareRealigner::realignContig(const ReferenceGenome &ref,
+                                 int32_t contig,
+                                 std::vector<Read> &reads) const
+{
+    ContigPlan plan = planContig(ref, contig, reads);
+
+    RealignStats stats;
+    std::mutex stats_mtx;
+
+    auto process_target = [&](size_t t) {
+        const auto &indices = plan.readsPerTarget[t];
+        if (indices.empty())
+            return;
+        IrTargetInput input = buildTargetInput(ref, reads,
+                                               plan.targets[t],
+                                               indices);
+        RealignStats local;
+        local.targets = 1;
+        local.readsConsidered = input.numReads();
+        local.consensusesEvaluated = input.numConsensuses();
+
+        MinWhdGrid grid = minWhd(input, cfg.prune, &local.whd);
+        // Model heavier per-comparison cost of the JVM/Spark
+        // baselines by redoing the kernel; results are identical.
+        // Fractional amplification re-runs a deterministic subset
+        // of targets (target index modulo the fractional part).
+        uint32_t reps = static_cast<uint32_t>(cfg.workAmplification);
+        double frac = cfg.workAmplification - reps;
+        if (frac > 0.0 &&
+            static_cast<double>(t % 16) < frac * 16.0) {
+            ++reps;
+        }
+        for (uint32_t extra = 1; extra < reps; ++extra) {
+            WhdStats scratch;
+            MinWhdGrid again = minWhd(input, cfg.prune, &scratch);
+            panic_if(!(again == grid),
+                     "WHD kernel is non-deterministic");
+        }
+        ConsensusDecision decision = scoreAndSelect(grid);
+        local.readsRealigned = applyDecision(input, decision, reads);
+
+        std::lock_guard<std::mutex> lock(stats_mtx);
+        stats.merge(local);
+    };
+
+    if (cfg.threads == 1) {
+        for (size_t t = 0; t < plan.targets.size(); ++t)
+            process_target(t);
+    } else {
+        ThreadPool pool(cfg.threads);
+        pool.parallelFor(plan.targets.size(), process_target);
+    }
+    return stats;
+}
+
+} // namespace iracc

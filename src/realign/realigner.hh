@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Software INDEL realigner -- the GATK3 / ADAM baseline analog.
+ *
+ * Orchestrates the full per-contig flow: target creation, read
+ * assignment, consensus generation, the WHD kernel (Algorithm 1),
+ * consensus selection (Algorithm 2), and application of the
+ * realignment decisions to the read set.  A configuration flag
+ * selects the paper's two software baselines:
+ *
+ *  - prune = false : faithful GATK3-style full evaluation
+ *  - prune = true  : the "most optimized software" comparator
+ *                    (plays the role of ADAM in the paper)
+ *
+ * The decision-application code is shared with the FPGA-system
+ * host driver so software and accelerated paths produce bit-equal
+ * read updates (asserted by integration tests).
+ */
+
+#ifndef IRACC_REALIGN_REALIGNER_HH
+#define IRACC_REALIGN_REALIGNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genomics/read.hh"
+#include "genomics/reference.hh"
+#include "realign/consensus.hh"
+#include "realign/score.hh"
+#include "realign/target.hh"
+#include "realign/whd.hh"
+
+namespace iracc {
+
+/** Aggregate statistics from realigning one or more contigs. */
+struct RealignStats
+{
+    uint64_t targets = 0;
+    uint64_t readsConsidered = 0;
+    uint64_t readsRealigned = 0;
+    uint64_t consensusesEvaluated = 0;
+    WhdStats whd;
+
+    void
+    merge(const RealignStats &o)
+    {
+        targets += o.targets;
+        readsConsidered += o.readsConsidered;
+        readsRealigned += o.readsRealigned;
+        consensusesEvaluated += o.consensusesEvaluated;
+        whd.merge(o.whd);
+    }
+};
+
+/**
+ * Map a window-relative consensus offset back to a reference
+ * position and CIGAR for one read, accounting for the indel the
+ * consensus carries.
+ *
+ * @param input     the target input the decision was computed on
+ * @param cons_idx  the picked consensus
+ * @param offset    the read's placement offset k on that consensus
+ * @param read_len  the read length
+ * @param new_pos   out: 0-based reference start position
+ * @param new_cigar out: alignment CIGAR
+ */
+void mapOffsetToAlignment(const IrTargetInput &input, uint32_t cons_idx,
+                          uint32_t offset, uint32_t read_len,
+                          int64_t &new_pos, Cigar &new_cigar);
+
+/**
+ * Apply a consensus decision to the caller's read set: every read
+ * flagged realign gets its position and CIGAR rewritten.
+ *
+ * @return number of reads updated
+ */
+uint32_t applyDecision(const IrTargetInput &input,
+                       const ConsensusDecision &decision,
+                       std::vector<Read> &reads);
+
+/** Configuration of the software realigner. */
+struct SoftwareRealignerConfig
+{
+    /** Enable computation pruning in the WHD kernel. */
+    bool prune = false;
+
+    /** Worker threads (1 = fully serial). */
+    uint32_t threads = 1;
+
+    /** Target creation knobs. */
+    TargetCreationParams targetParams;
+
+    /**
+     * Artificial work multiplier used only to model the
+     * interpreted-framework overhead of the Java/Spark baselines
+     * relative to tuned native code; 1.0 = none.  Fractional
+     * values re-run the kernel on a deterministic fraction of
+     * targets (e.g. 1.5 re-runs every other target once).
+     */
+    double workAmplification = 1.0;
+};
+
+/**
+ * The software realignment engine.
+ */
+class SoftwareRealigner
+{
+  public:
+    explicit SoftwareRealigner(SoftwareRealignerConfig config);
+
+    /**
+     * Plan the per-target read assignment for one contig: targets
+     * plus, per target, the claimed read indices.  Each read is
+     * claimed by at most one target so targets stay independent.
+     */
+    struct ContigPlan
+    {
+        std::vector<IrTarget> targets;
+        std::vector<std::vector<uint32_t>> readsPerTarget;
+    };
+
+    /** Build the plan for one contig (no mutation). */
+    ContigPlan planContig(const ReferenceGenome &ref, int32_t contig,
+                          const std::vector<Read> &reads) const;
+
+    /**
+     * Realign every target on one contig, mutating @p reads in
+     * place.
+     */
+    RealignStats realignContig(const ReferenceGenome &ref,
+                               int32_t contig,
+                               std::vector<Read> &reads) const;
+
+    const SoftwareRealignerConfig &config() const { return cfg; }
+
+  private:
+    SoftwareRealignerConfig cfg;
+};
+
+} // namespace iracc
+
+#endif // IRACC_REALIGN_REALIGNER_HH

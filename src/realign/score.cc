@@ -1,0 +1,68 @@
+#include "realign/score.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+uint32_t
+ConsensusDecision::numRealigned() const
+{
+    uint32_t n = 0;
+    for (uint8_t f : realign)
+        n += f ? 1 : 0;
+    return n;
+}
+
+ConsensusDecision
+scoreAndSelect(const MinWhdGrid &grid)
+{
+    const size_t num_cons = grid.numConsensuses();
+    const size_t num_reads = grid.numReads();
+
+    ConsensusDecision out;
+    out.scores.assign(num_cons, 0);
+    out.realign.assign(num_reads, 0);
+    out.newOffset.assign(num_reads, 0);
+
+    if (num_cons < 2 || num_reads == 0)
+        return out; // nothing to select; keep the reference
+
+    // Part 2: score each alternative consensus against the
+    // reference (consensus 0) and keep the minimum.
+    uint64_t best_score = 0;
+    uint32_t best_cons = 0;
+    for (size_t i = 1; i < num_cons; ++i) {
+        uint64_t score = 0;
+        for (size_t j = 0; j < num_reads; ++j) {
+            uint32_t ref_whd = grid.whd(0, j);
+            uint32_t cur_whd = grid.whd(i, j);
+            if (ref_whd == kWhdInfinity || cur_whd == kWhdInfinity)
+                continue;
+            score += ref_whd > cur_whd
+                ? static_cast<uint64_t>(ref_whd - cur_whd)
+                : static_cast<uint64_t>(cur_whd - ref_whd);
+        }
+        out.scores[i] = score;
+        if (best_cons == 0 || score < best_score) {
+            best_score = score;
+            best_cons = static_cast<uint32_t>(i);
+        }
+    }
+    out.bestConsensus = best_cons;
+
+    // Update reads where the picked consensus beats the reference.
+    for (size_t j = 0; j < num_reads; ++j) {
+        uint32_t ref_whd = grid.whd(0, j);
+        uint32_t cur_whd = grid.whd(best_cons, j);
+        if (cur_whd != kWhdInfinity &&
+            (ref_whd == kWhdInfinity || cur_whd < ref_whd)) {
+            out.realign[j] = 1;
+            out.newOffset[j] = grid.idx(best_cons, j);
+        }
+    }
+    return out;
+}
+
+} // namespace iracc

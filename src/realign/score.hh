@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Consensus selection and read realignment -- paper Algorithm 2.
+ *
+ * Each non-reference consensus is scored against the reference by
+ * summing, over all reads, the absolute difference between the
+ * read's min-WHD on that consensus and on the reference.  The
+ * lowest-scoring consensus is picked; a read is then realigned iff
+ * the picked consensus fits it strictly better than the reference,
+ * with its new position derived from the offset where the minimum
+ * occurred.
+ */
+
+#ifndef IRACC_REALIGN_SCORE_HH
+#define IRACC_REALIGN_SCORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "realign/whd.hh"
+
+namespace iracc {
+
+/** Output of Algorithm 2 for one target. */
+struct ConsensusDecision
+{
+    /** Index of the picked consensus (0 = no alternative existed). */
+    uint32_t bestConsensus = 0;
+
+    /** Scores for consensuses 1..C-1 (index 0 unused, 0). */
+    std::vector<uint64_t> scores;
+
+    /** Per-read realign flag (accelerator output buffer #1). */
+    std::vector<uint8_t> realign;
+
+    /** Per-read new offset k within the window, valid when
+     *  realign[j] != 0 (pre-target-base form of output buffer #2). */
+    std::vector<uint32_t> newOffset;
+
+    /** @return count of reads flagged for realignment. */
+    uint32_t numRealigned() const;
+};
+
+/**
+ * Run Algorithm 2 on a filled min-WHD grid.
+ *
+ * Infeasible grid entries (kWhdInfinity) contribute nothing to a
+ * consensus score and never trigger a realignment.
+ */
+ConsensusDecision scoreAndSelect(const MinWhdGrid &grid);
+
+} // namespace iracc
+
+#endif // IRACC_REALIGN_SCORE_HH

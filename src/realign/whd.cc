@@ -1,0 +1,92 @@
+#include "realign/whd.hh"
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+MinWhdGrid::MinWhdGrid(size_t num_cons, size_t num_reads)
+    : cons(num_cons), reads(num_reads),
+      vals(num_cons * num_reads, kWhdInfinity),
+      idxs(num_cons * num_reads, 0)
+{
+}
+
+bool
+MinWhdGrid::operator==(const MinWhdGrid &o) const
+{
+    return cons == o.cons && reads == o.reads && vals == o.vals &&
+           idxs == o.idxs;
+}
+
+uint32_t
+calcWhd(const BaseSeq &cons, const BaseSeq &read, const QualSeq &quals,
+        size_t k)
+{
+    panic_if(k + read.size() > cons.size(),
+             "calcWhd offset %zu overruns consensus", k);
+    uint32_t whd = 0;
+    for (size_t n = 0; n < read.size(); ++n) {
+        if (cons[k + n] != read[n])
+            whd += quals[n];
+    }
+    return whd;
+}
+
+MinWhdGrid
+minWhd(const IrTargetInput &input, bool prune, WhdStats *stats)
+{
+    const size_t num_cons = input.numConsensuses();
+    const size_t num_reads = input.numReads();
+    MinWhdGrid grid(num_cons, num_reads);
+
+    WhdStats local;
+    for (size_t i = 0; i < num_cons; ++i) {
+        const BaseSeq &cons = input.consensuses[i];
+        for (size_t j = 0; j < num_reads; ++j) {
+            const BaseSeq &read = input.readBases[j];
+            const QualSeq &quals = input.readQuals[j];
+            if (read.size() > cons.size()) {
+                // Read cannot be placed on this consensus; leave the
+                // grid entry at infinity (never wins a comparison).
+                continue;
+            }
+            const size_t max_k = cons.size() - read.size();
+            uint32_t best = kWhdInfinity;
+            uint32_t best_k = 0;
+            for (size_t k = 0; k <= max_k; ++k) {
+                ++local.offsetsEvaluated;
+                local.comparisonsUnpruned += read.size();
+                uint32_t whd = 0;
+                bool pruned = false;
+                for (size_t n = 0; n < read.size(); ++n) {
+                    ++local.comparisons;
+                    if (cons[k + n] != read[n]) {
+                        whd += quals[n];
+                        if (prune && whd >= best) {
+                            // Cannot improve on the running minimum:
+                            // abandon this offset (paper's
+                            // computation pruning).
+                            pruned = true;
+                            break;
+                        }
+                    }
+                }
+                if (pruned) {
+                    ++local.offsetsPruned;
+                    continue;
+                }
+                if (whd < best) {
+                    best = whd;
+                    best_k = static_cast<uint32_t>(k);
+                }
+            }
+            grid.set(i, j, best, best_k);
+        }
+    }
+
+    if (stats)
+        stats->merge(local);
+    return grid;
+}
+
+} // namespace iracc

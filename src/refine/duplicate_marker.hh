@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Duplicate marking -- the "Duplicate Removal" stage of the
+ * alignment-refinement pipeline (paper Figure 1).
+ *
+ * PCR and optical duplicates are reads whose fragments start at the
+ * same position on the same strand; keeping more than one biases
+ * variant calling.  Following the standard (Picard-style) policy,
+ * reads are grouped by (contig, unclipped start, strand) and all
+ * but the highest-base-quality read of each group are flagged
+ * duplicate.
+ */
+
+#ifndef IRACC_REFINE_DUPLICATE_MARKER_HH
+#define IRACC_REFINE_DUPLICATE_MARKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/read.hh"
+
+namespace iracc {
+
+/**
+ * Flag duplicates in a coordinate-sorted read set.
+ * @return number of reads marked duplicate
+ */
+uint64_t markDuplicates(std::vector<Read> &reads);
+
+} // namespace iracc
+
+#endif // IRACC_REFINE_DUPLICATE_MARKER_HH

@@ -1,0 +1,48 @@
+#include "refine/pipeline.hh"
+
+#include "refine/bqsr.hh"
+#include "refine/duplicate_marker.hh"
+#include "refine/sort.hh"
+#include "util/timer.hh"
+
+namespace iracc {
+
+RefineResult
+runRefinementPipeline(const ReferenceGenome &ref, int32_t contig,
+                      std::vector<Read> &reads,
+                      const RealignStage &realigner,
+                      const std::vector<Variant> &known_sites)
+{
+    RefineResult out;
+    Timer t;
+
+    // Stage 1: coordinate sort.
+    coordinateSort(reads);
+    out.times.sortSeconds = t.seconds();
+
+    // Stage 2: duplicate marking.
+    t.restart();
+    out.duplicatesMarked = markDuplicates(reads);
+    out.times.dupMarkSeconds = t.seconds();
+
+    // Stage 3: INDEL realignment (the accelerated stage).  Like
+    // GATK3's IndelRealigner, the stage emits coordinate-sorted
+    // output: realigned start positions move within their target
+    // window, so a reorder pass restores the invariant downstream
+    // stages assume.
+    t.restart();
+    out.realign = realigner(ref, contig, reads);
+    coordinateSort(reads);
+    out.times.realignSeconds = t.seconds();
+
+    // Stage 4: base quality score recalibration.
+    t.restart();
+    BqsrTable table;
+    table.observe(ref, reads, known_sites);
+    table.recalibrate(reads);
+    out.times.bqsrSeconds = t.seconds();
+
+    return out;
+}
+
+} // namespace iracc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The alignment-refinement pipeline driver (paper Figure 1, stage
+ * 2): Sort -> Duplicate Removal -> INDEL Realignment -> Base
+ * Quality Score Recalibration, with per-stage wall-clock timing.
+ * The IR stage is pluggable so the pipeline can run on top of the
+ * software realigner or the accelerated system; the per-stage
+ * timings drive the Figure 2/3 benches.
+ */
+
+#ifndef IRACC_REFINE_PIPELINE_HH
+#define IRACC_REFINE_PIPELINE_HH
+
+#include <functional>
+#include <vector>
+
+#include "genomics/read.hh"
+#include "genomics/reference.hh"
+#include "genomics/variant.hh"
+#include "realign/realigner.hh"
+
+namespace iracc {
+
+/** Per-stage seconds of one refinement run. */
+struct RefineStageTimes
+{
+    double sortSeconds = 0.0;
+    double dupMarkSeconds = 0.0;
+    double realignSeconds = 0.0;
+    double bqsrSeconds = 0.0;
+
+    double
+    total() const
+    {
+        return sortSeconds + dupMarkSeconds + realignSeconds +
+               bqsrSeconds;
+    }
+
+    /** Fraction of refinement time spent in INDEL realignment
+     *  (the Figure 3 metric). */
+    double
+    irFraction() const
+    {
+        double t = total();
+        return t > 0.0 ? realignSeconds / t : 0.0;
+    }
+};
+
+/** Result of one refinement-pipeline run over a contig. */
+struct RefineResult
+{
+    RefineStageTimes times;
+    uint64_t duplicatesMarked = 0;
+    RealignStats realign;
+};
+
+/**
+ * The realignment stage as a callable: mutates the read set and
+ * returns statistics.  Allows software and FPGA backends.
+ */
+using RealignStage = std::function<RealignStats(
+    const ReferenceGenome &, int32_t, std::vector<Read> &)>;
+
+/**
+ * Run the full refinement pipeline on one contig's reads.
+ *
+ * @param ref         reference genome
+ * @param contig      contig id
+ * @param reads       read set, mutated in place
+ * @param realigner   the IR stage implementation
+ * @param known_sites known variants masked during BQSR
+ */
+RefineResult runRefinementPipeline(
+    const ReferenceGenome &ref, int32_t contig,
+    std::vector<Read> &reads, const RealignStage &realigner,
+    const std::vector<Variant> &known_sites);
+
+} // namespace iracc
+
+#endif // IRACC_REFINE_PIPELINE_HH

@@ -1,0 +1,36 @@
+#include "refine/sort.hh"
+
+#include <algorithm>
+
+namespace iracc {
+
+namespace {
+
+bool
+coordLess(const Read &a, const Read &b)
+{
+    if (a.contig != b.contig)
+        return a.contig < b.contig;
+    if (a.pos != b.pos)
+        return a.pos < b.pos;
+    return a.name < b.name;
+}
+
+} // anonymous namespace
+
+void
+coordinateSort(std::vector<Read> &reads)
+{
+    std::sort(reads.begin(), reads.end(), coordLess);
+}
+
+bool
+isCoordinateSorted(const std::vector<Read> &reads)
+{
+    for (size_t i = 1; i < reads.size(); ++i)
+        if (coordLess(reads[i], reads[i - 1]))
+            return false;
+    return true;
+}
+
+} // namespace iracc

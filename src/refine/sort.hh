@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Coordinate sort -- the "Sort" stage of the alignment-refinement
+ * pipeline (paper Figures 1 and 2).
+ */
+
+#ifndef IRACC_REFINE_SORT_HH
+#define IRACC_REFINE_SORT_HH
+
+#include <vector>
+
+#include "genomics/read.hh"
+
+namespace iracc {
+
+/**
+ * Sort reads by (contig, position, name) -- the stable coordinate
+ * order every downstream refinement stage assumes.
+ */
+void coordinateSort(std::vector<Read> &reads);
+
+/** @return true when reads are in coordinate order. */
+bool isCoordinateSorted(const std::vector<Read> &reads);
+
+} // namespace iracc
+
+#endif // IRACC_REFINE_SORT_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Clock-domain arithmetic: conversions between cycles of the FPGA
+ * fabric clock and wall-clock seconds, and between byte counts and
+ * the cycles a fixed-width interface needs to move them.
+ */
+
+#ifndef IRACC_SIM_CLOCK_HH
+#define IRACC_SIM_CLOCK_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+
+namespace iracc {
+
+/** A fixed-frequency clock domain. */
+class ClockDomain
+{
+  public:
+    /** @param mhz fabric frequency in MHz (F1 recipes: 125 or 250) */
+    explicit ClockDomain(double mhz) : freqMhz(mhz) {}
+
+    double mhz() const { return freqMhz; }
+
+    /** Seconds represented by a cycle count. */
+    double
+    cyclesToSeconds(Cycle cycles) const
+    {
+        return static_cast<double>(cycles) / (freqMhz * 1e6);
+    }
+
+    /** Cycles needed for an interface moving @p bpc bytes/cycle to
+     *  transfer @p bytes (rounded up, minimum 1 for bytes > 0). */
+    static Cycle
+    transferCycles(uint64_t bytes, uint64_t bpc)
+    {
+        if (bytes == 0)
+            return 0;
+        return (bytes + bpc - 1) / bpc;
+    }
+
+  private:
+    double freqMhz;
+};
+
+} // namespace iracc
+
+#endif // IRACC_SIM_CLOCK_HH

@@ -1,0 +1,56 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+void
+EventQueue::schedule(Cycle when, std::function<void()> fn)
+{
+    panic_if(when < currentCycle,
+             "scheduling into the past (%llu < %llu)",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(currentCycle));
+    events.push({when, nextSeq++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(Cycle delta, std::function<void()> fn)
+{
+    schedule(currentCycle + delta, std::move(fn));
+}
+
+Cycle
+EventQueue::run()
+{
+    while (!events.empty()) {
+        // priority_queue::top() is const; move via const_cast is
+        // safe because pop() immediately discards the slot.
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        currentCycle = ev.when;
+        ++numExecuted;
+        ev.fn();
+    }
+    return currentCycle;
+}
+
+Cycle
+EventQueue::runUntil(Cycle limit)
+{
+    while (!events.empty() && events.top().when <= limit) {
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        currentCycle = ev.when;
+        ++numExecuted;
+        ev.fn();
+    }
+    if (currentCycle < limit && events.empty())
+        return currentCycle;
+    currentCycle = std::max(currentCycle, limit);
+    return currentCycle;
+}
+
+} // namespace iracc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * The accelerator system model is event-driven at component
+ * granularity: units, arbiters, the DMA engine, and the host driver
+ * schedule callbacks at absolute cycle times of the FPGA clock
+ * domain (125 MHz by default).  Events at the same cycle execute in
+ * scheduling order, which makes every simulation bit-reproducible.
+ */
+
+#ifndef IRACC_SIM_EVENT_QUEUE_HH
+#define IRACC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace iracc {
+
+/** Absolute cycle count in the accelerator clock domain. */
+using Cycle = uint64_t;
+
+/**
+ * A min-heap of (cycle, sequence) ordered callbacks.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn at absolute cycle @p when (>= now). */
+    void schedule(Cycle when, std::function<void()> fn);
+
+    /** Schedule @p fn @p delta cycles after now. */
+    void scheduleAfter(Cycle delta, std::function<void()> fn);
+
+    /** @return the current simulation cycle. */
+    Cycle now() const { return currentCycle; }
+
+    /** Run until no events remain; @return final cycle. */
+    Cycle run();
+
+    /**
+     * Run until the queue drains or @p limit is reached (safety
+     * valve against accidental livelock in tests).
+     */
+    Cycle runUntil(Cycle limit);
+
+    bool empty() const { return events.empty(); }
+    size_t pending() const { return events.size(); }
+
+    /** Total events executed (for kernel statistics). */
+    uint64_t executed() const { return numExecuted; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Cycle currentCycle = 0;
+    uint64_t nextSeq = 0;
+    uint64_t numExecuted = 0;
+};
+
+} // namespace iracc
+
+#endif // IRACC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status/error reporting helpers following the gem5 logging idiom.
+ *
+ * Two terminating reporters are provided with distinct semantics:
+ *
+ *  - panic():  an internal invariant was violated -- a bug in IRACC
+ *              itself, never the user's fault.  Calls std::abort() so
+ *              a core/backtrace can be captured.
+ *  - fatal():  the run cannot continue because of a user-facing
+ *              condition (bad configuration, out-of-range parameter).
+ *              Exits with status 1.
+ *
+ * Non-terminating reporters: warn() for suspicious-but-survivable
+ * conditions and inform() for ordinary status messages.
+ */
+
+#ifndef IRACC_UTIL_LOGGING_HH
+#define IRACC_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace iracc {
+
+/** Print "panic: <msg>" with location info and abort. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print "fatal: <msg>" with location info and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print "warn: <msg>" to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() are suppressed. */
+bool quiet();
+
+#define panic(...) ::iracc::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::iracc::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            panic(__VA_ARGS__);                                        \
+    } while (0)
+
+/** fatal() when the user-facing condition is violated. */
+#define fatal_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            fatal(__VA_ARGS__);                                        \
+    } while (0)
+
+} // namespace iracc
+
+#endif // IRACC_UTIL_LOGGING_HH

@@ -1,0 +1,153 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+namespace {
+
+/** SplitMix64 step used to expand the user seed into xoshiro state. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    panic_if(bound == 0, "Rng::below() requires bound > 0");
+    // Lemire-style rejection to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    panic_if(lo > hi, "Rng::range() requires lo <= hi");
+    return lo + static_cast<int64_t>(
+        below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    if (haveSpareNormal) {
+        haveSpareNormal = false;
+        return mean + stddev * spareNormal;
+    }
+    double u, v, sq;
+    do {
+        u = 2.0 * uniform() - 1.0;
+        v = 2.0 * uniform() - 1.0;
+        sq = u * u + v * v;
+    } while (sq >= 1.0 || sq == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(sq) / sq);
+    spareNormal = v * mul;
+    haveSpareNormal = true;
+    return mean + stddev * u * mul;
+}
+
+uint64_t
+Rng::geometric(double p)
+{
+    panic_if(p <= 0.0 || p > 1.0, "geometric() requires p in (0, 1]");
+    if (p == 1.0)
+        return 0;
+    double u = uniform();
+    return static_cast<uint64_t>(
+        std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+uint64_t
+Rng::zipf(uint64_t n, double s)
+{
+    panic_if(n == 0, "zipf() requires n > 0");
+    panic_if(s <= 1.0, "zipf() rejection sampler requires s > 1");
+    // Rejection-inversion sampling (Hormann & Derflinger) is overkill
+    // for the sizes we use; a simple inverse-CDF walk over a cached
+    // normalizer would be O(n) per sample.  Instead use the standard
+    // rejection method with the integral envelope, O(1) expected.
+    if (n == 1)
+        return 1;
+    const double b = std::pow(2.0, s - 1.0);
+    for (;;) {
+        double u = uniform();
+        double v = uniform();
+        double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+        if (x > static_cast<double>(n) || x < 1.0)
+            continue;
+        double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+        if (v * x * (t - 1.0) / (b - 1.0) <= t / b)
+            return static_cast<uint64_t>(x);
+    }
+}
+
+Rng
+Rng::fork()
+{
+    // A fresh generator seeded from this one's stream is independent
+    // enough for workload-synthesis purposes.
+    return Rng(next());
+}
+
+} // namespace iracc

@@ -1,0 +1,84 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+Table::Table(std::vector<std::string> header) : head(std::move(header))
+{
+    panic_if(head.empty(), "Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panic_if(row.size() != head.size(),
+             "Table row width %zu != header width %zu",
+             row.size(), head.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> width(head.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            out << cells[c];
+            if (c + 1 < cells.size())
+                out << std::string(width[c] - cells[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emit(head);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::speedup(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", decimals, v);
+    return buf;
+}
+
+} // namespace iracc

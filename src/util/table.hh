@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness.  Every bench
+ * binary prints the rows/series of the paper table or figure it
+ * regenerates; Table gives them a consistent, aligned format.
+ */
+
+#ifndef IRACC_UTIL_TABLE_HH
+#define IRACC_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace iracc {
+
+/**
+ * Column-aligned text table.  Cells are strings; helpers format
+ * numbers with a fixed precision.
+ */
+class Table
+{
+  public:
+    /** @param header column titles */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format a value as a percentage string, e.g. "58.3%". */
+    static std::string pct(double fraction, int decimals = 1);
+
+    /** Format a speedup, e.g. "81.3x". */
+    static std::string speedup(double v, int decimals = 1);
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace iracc
+
+#endif // IRACC_UTIL_TABLE_HH

@@ -1,0 +1,93 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    panic_if(num_threads == 0, "ThreadPool requires >= 1 thread");
+    workers.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    taskAvailable.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        tasks.push(std::move(task));
+    }
+    taskAvailable.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allIdle.wait(lock, [this] {
+        return tasks.empty() && activeTasks == 0;
+    });
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    size_t chunks = std::min(n, numThreads() * 4);
+    size_t per = (n + chunks - 1) / chunks;
+    for (size_t c = 0; c < chunks; ++c) {
+        size_t begin = c * per;
+        size_t end = std::min(n, begin + per);
+        if (begin >= end)
+            break;
+        submit([&fn, begin, end] {
+            for (size_t i = begin; i < end; ++i)
+                fn(i);
+        });
+    }
+    waitIdle();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            taskAvailable.wait(lock, [this] {
+                return stopping || !tasks.empty();
+            });
+            if (stopping && tasks.empty())
+                return;
+            task = std::move(tasks.front());
+            tasks.pop();
+            ++activeTasks;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --activeTasks;
+            if (tasks.empty() && activeTasks == 0)
+                allIdle.notify_all();
+        }
+    }
+}
+
+} // namespace iracc

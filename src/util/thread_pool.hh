@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-size worker pool used by the multithreaded software
+ * realigners.  GATK3 "does not scale beyond 8 threads" (paper
+ * Section II-A footnote); the pool lets baselines run at a configured
+ * thread count so the comparison methodology matches the paper.
+ */
+
+#ifndef IRACC_UTIL_THREAD_POOL_HH
+#define IRACC_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace iracc {
+
+/**
+ * A minimal task-queue thread pool.  Tasks are void() callables;
+ * waitIdle() provides a barrier for fork-join usage.
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads worker count; must be >= 1 */
+    explicit ThreadPool(size_t num_threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and all workers are idle. */
+    void waitIdle();
+
+    /**
+     * Convenience fork-join: run fn(i) for i in [0, n) across the
+     * pool and wait for completion.  Work is dealt in contiguous
+     * chunks to limit queue overhead.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    size_t numThreads() const { return workers.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::queue<std::function<void()>> tasks;
+    std::mutex mtx;
+    std::condition_variable taskAvailable;
+    std::condition_variable allIdle;
+    size_t activeTasks = 0;
+    bool stopping = false;
+};
+
+} // namespace iracc
+
+#endif // IRACC_UTIL_THREAD_POOL_HH

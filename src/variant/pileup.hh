@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Pileup engine: per-reference-position evidence assembled from
+ * aligned reads, the substrate of the position-based variant caller
+ * (the class of caller -- GATK3 UnifiedGenotyper / Mutect1-style --
+ * that depends on INDEL realignment for accuracy).
+ */
+
+#ifndef IRACC_VARIANT_PILEUP_HH
+#define IRACC_VARIANT_PILEUP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "genomics/read.hh"
+#include "genomics/reference.hh"
+
+namespace iracc {
+
+/** One observed base at a pileup column. */
+struct PileupObservation
+{
+    uint8_t baseIdx; ///< baseIndex() of the called base
+    uint8_t qual;    ///< Phred quality of the call
+};
+
+/** Evidence at one reference position. */
+struct PileupColumn
+{
+    /** Quality-weighted base support, indexed by baseIndex(). */
+    std::array<uint64_t, 4> baseQualSum = {};
+
+    /** Individual base observations (for likelihood models). */
+    std::vector<PileupObservation> observations;
+
+    /** Raw base counts, indexed by baseIndex(). */
+    std::array<uint32_t, 4> baseCount = {};
+
+    /** Reads whose alignment opens an insertion right after this
+     *  position. */
+    uint32_t insStarts = 0;
+
+    /** Reads whose alignment deletes bases right after this
+     *  position. */
+    uint32_t delStarts = 0;
+
+    /** Total reads covering the position. */
+    uint32_t depth = 0;
+
+    uint32_t
+    indelStarts() const
+    {
+        return insStarts + delStarts;
+    }
+};
+
+/**
+ * Build pileup columns for the half-open interval [start, end) of
+ * one contig from non-duplicate reads.
+ */
+std::vector<PileupColumn> buildPileup(const std::vector<Read> &reads,
+                                      int32_t contig, int64_t start,
+                                      int64_t end);
+
+} // namespace iracc
+
+#endif // IRACC_VARIANT_PILEUP_HH

@@ -1,0 +1,130 @@
+#include "variant/somatic.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+namespace {
+
+/**
+ * Log10 odds that the normal pileup is reference-only at this
+ * column against the hypothesis that it carries the alt at a
+ * germline-heterozygote fraction: high values mean "confidently
+ * not in the normal".
+ */
+double
+normalRefLod(const PileupColumn &col, int ref_idx, int alt_idx)
+{
+    double lod = 0.0;
+    for (const PileupObservation &obs : col.observations) {
+        double e = std::pow(10.0,
+                            -static_cast<double>(obs.qual) / 10.0);
+        auto p_given = [&](int allele) {
+            return obs.baseIdx == allele ? 1.0 - e : e / 3.0;
+        };
+        double p_ref = p_given(ref_idx);
+        double p_het = 0.5 * p_given(alt_idx) + 0.5 * p_ref;
+        lod += std::log10(p_ref) - std::log10(p_het);
+    }
+    return lod;
+}
+
+} // anonymous namespace
+
+std::vector<SomaticCall>
+callSomaticVariants(const ReferenceGenome &ref,
+                    const std::vector<Read> &tumor_reads,
+                    const std::vector<Read> &normal_reads,
+                    int32_t contig, int64_t start, int64_t end,
+                    const SomaticCallerParams &params)
+{
+    // Candidate generation on the tumor sample.
+    std::vector<CalledVariant> tumor_calls = callVariants(
+        ref, tumor_reads, contig, start, end, params.tumor);
+    if (tumor_calls.empty())
+        return {};
+
+    std::vector<PileupColumn> normal = buildPileup(
+        normal_reads, contig, start, end);
+    const Contig &ctg = ref.contig(contig);
+
+    std::vector<SomaticCall> out;
+    for (const CalledVariant &cand : tumor_calls) {
+        if (cand.pos < start || cand.pos >= end)
+            continue;
+        const PileupColumn &ncol =
+            normal[static_cast<size_t>(cand.pos - start)];
+
+        SomaticCall call;
+        call.variant = cand;
+        call.normalDepth = ncol.depth;
+
+        if (cand.type == VariantType::Snv) {
+            char ref_base = ctg.seq[static_cast<size_t>(cand.pos)];
+            if (ref_base == 'N')
+                continue;
+            int ref_idx = baseIndex(ref_base);
+            int alt_idx = baseIndex(cand.altBase);
+            uint32_t alt_count =
+                ncol.baseCount[static_cast<size_t>(alt_idx)];
+            call.normalAltFraction = ncol.depth
+                ? static_cast<double>(alt_count) /
+                      static_cast<double>(ncol.depth)
+                : 0.0;
+            call.normalLod = normalRefLod(ncol, ref_idx, alt_idx);
+
+            if (ncol.depth < params.minNormalDepth)
+                continue; // cannot establish somatic status
+            if (call.normalAltFraction >
+                    params.maxNormalAltFraction ||
+                call.normalLod < params.normalLodThreshold) {
+                continue; // germline or ambiguous
+            }
+        } else {
+            // Indels: gate on the normal's indel evidence at the
+            // same anchor.
+            uint32_t cov = std::max(ncol.depth, ncol.indelStarts());
+            call.normalAltFraction = cov
+                ? static_cast<double>(ncol.indelStarts()) /
+                      static_cast<double>(cov)
+                : 0.0;
+            // Reference-confidence proxy: scaled depth with the
+            // observed indel fraction subtracted.
+            call.normalLod = ncol.depth
+                ? (1.0 - call.normalAltFraction) *
+                      std::log10(1.0 + ncol.depth)
+                : 0.0;
+            if (ncol.depth < params.minNormalDepth)
+                continue;
+            if (call.normalAltFraction >
+                params.maxNormalAltFraction) {
+                continue;
+            }
+        }
+        out.push_back(call);
+    }
+    return out;
+}
+
+CallAccuracy
+scoreSomaticCalls(const std::vector<SomaticCall> &calls,
+                  const std::vector<Variant> &truth,
+                  bool indels_only, int64_t tolerance)
+{
+    // Somatic truth only; a germline variant in the call set is a
+    // false positive for a somatic caller.
+    std::vector<Variant> somatic_truth;
+    for (const Variant &v : truth)
+        if (v.isSomatic)
+            somatic_truth.push_back(v);
+
+    std::vector<CalledVariant> plain;
+    plain.reserve(calls.size());
+    for (const SomaticCall &c : calls)
+        plain.push_back(c.variant);
+    return scoreCalls(plain, somatic_truth, indels_only, tolerance);
+}
+
+} // namespace iracc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tumor/normal somatic variant calling -- the Mutect1 workflow the
+ * paper's clinical motivation rests on (Sections I and II-A).
+ *
+ * Somatic mutations exist in the tumor sample only; a candidate is
+ * emitted when (a) the tumor pileup supports the variant at its
+ * observed allele fraction (tumor LOD, threshold 6.3 as in
+ * Mutect1) and (b) the matched-normal pileup is confidently
+ * reference at the same site (normal LOD, threshold 2.3),
+ * filtering out the germline variants both samples share.
+ */
+
+#ifndef IRACC_VARIANT_SOMATIC_HH
+#define IRACC_VARIANT_SOMATIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "variant/caller.hh"
+
+namespace iracc {
+
+/** Tumor/normal caller thresholds (Mutect1-style defaults). */
+struct SomaticCallerParams
+{
+    CallerParams tumor;          ///< tumor-side evidence gates
+
+    /** Min normal-is-reference log-odds to accept a somatic call
+     *  (Mutect1's normal LOD threshold). */
+    double normalLodThreshold = 2.3;
+
+    /** Min normal-sample depth to trust the germline filter. */
+    uint32_t minNormalDepth = 6;
+
+    /** Max alt-read fraction tolerated in the normal. */
+    double maxNormalAltFraction = 0.08;
+};
+
+/** A somatic call: the tumor call plus normal-side evidence. */
+struct SomaticCall
+{
+    CalledVariant variant;
+    double normalLod = 0.0;      ///< normal-is-reference odds
+    uint32_t normalDepth = 0;
+    double normalAltFraction = 0.0;
+};
+
+/**
+ * Call somatic variants over [start, end) of one contig from a
+ * tumor read set with a matched normal.
+ */
+std::vector<SomaticCall> callSomaticVariants(
+    const ReferenceGenome &ref, const std::vector<Read> &tumor_reads,
+    const std::vector<Read> &normal_reads, int32_t contig,
+    int64_t start, int64_t end,
+    const SomaticCallerParams &params = {});
+
+/**
+ * Score somatic calls against the simulation truth, counting only
+ * somatic truth variants (germline variants found are false
+ * positives for a somatic caller).
+ */
+CallAccuracy scoreSomaticCalls(const std::vector<SomaticCall> &calls,
+                               const std::vector<Variant> &truth,
+                               bool indels_only,
+                               int64_t tolerance = 5);
+
+} // namespace iracc
+
+#endif // IRACC_VARIANT_SOMATIC_HH

@@ -1,0 +1,104 @@
+#include "variant/vcf.hh"
+
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+namespace {
+
+void
+writeHeader(std::ostream &os, const ReferenceGenome &ref)
+{
+    os << "##fileformat=VCFv4.2\n";
+    os << "##source=IRACC\n";
+    for (size_t c = 0; c < ref.numContigs(); ++c) {
+        const Contig &ctg = ref.contig(static_cast<int32_t>(c));
+        os << "##contig=<ID=" << ctg.name << ",length="
+           << ctg.length() << ">\n";
+    }
+    os << "##INFO=<ID=AF,Number=1,Type=Float,Description=\"Allele "
+          "fraction\">\n";
+    os << "##INFO=<ID=DP,Number=1,Type=Integer,Description=\"Read "
+          "depth\">\n";
+    os << "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n";
+}
+
+/** Reference/alt allele strings for an anchored variant. */
+void
+alleleStrings(const ReferenceGenome &ref, int32_t contig,
+              int64_t pos, VariantType type, const BaseSeq &alt_seq,
+              int32_t del_len, char snv_alt, std::string &ref_out,
+              std::string &alt_out)
+{
+    const Contig &ctg = ref.contig(contig);
+    char anchor = ctg.seq[static_cast<size_t>(pos)];
+    switch (type) {
+      case VariantType::Snv:
+        ref_out = std::string(1, anchor);
+        alt_out = std::string(1, snv_alt != 'N'
+                                     ? snv_alt
+                                     : (alt_seq.empty()
+                                            ? 'N'
+                                            : alt_seq[0]));
+        break;
+      case VariantType::Insertion:
+        ref_out = std::string(1, anchor);
+        alt_out = std::string(1, anchor) +
+                  (alt_seq.empty() ? std::string("N") : alt_seq);
+        break;
+      case VariantType::Deletion: {
+        int64_t len = del_len > 0 ? del_len : 1;
+        ref_out = ctg.seq.substr(static_cast<size_t>(pos),
+                                 static_cast<size_t>(1 + len));
+        alt_out = std::string(1, anchor);
+        break;
+      }
+    }
+}
+
+} // anonymous namespace
+
+void
+writeVcf(std::ostream &os, const ReferenceGenome &ref,
+         const std::vector<CalledVariant> &calls)
+{
+    writeHeader(os, ref);
+    for (const CalledVariant &v : calls) {
+        std::string r, a;
+        // Called indels have a position and type but no assembled
+        // allele; emit a symbolic single-base representation.
+        alleleStrings(ref, v.contig, v.pos, v.type, BaseSeq(),
+                      v.type == VariantType::Deletion ? 1 : 0,
+                      v.altBase, r, a);
+        os << ref.contig(v.contig).name << '\t' << (v.pos + 1)
+           << "\t.\t" << r << '\t' << a << "\t.\tPASS\tAF=";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", v.alleleFraction);
+        os << buf << ";DP=" << v.depth << '\n';
+    }
+}
+
+void
+writeTruthVcf(std::ostream &os, const ReferenceGenome &ref,
+              const std::vector<Variant> &truth)
+{
+    writeHeader(os, ref);
+    for (const Variant &v : truth) {
+        std::string r, a;
+        alleleStrings(ref, v.contig, v.pos, v.type, v.alt,
+                      v.delLength,
+                      v.type == VariantType::Snv && !v.alt.empty()
+                          ? v.alt[0]
+                          : 'N',
+                      r, a);
+        os << ref.contig(v.contig).name << '\t' << (v.pos + 1)
+           << "\t.\t" << r << '\t' << a << "\t.\tPASS\tAF=";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", v.alleleFraction);
+        os << buf << ";DP=.\n";
+    }
+}
+
+} // namespace iracc

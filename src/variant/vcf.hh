@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Minimal VCF 4.2 serialization for called and truth variants --
+ * the interchange format a downstream user of the pipeline
+ * actually consumes.
+ */
+
+#ifndef IRACC_VARIANT_VCF_HH
+#define IRACC_VARIANT_VCF_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "genomics/reference.hh"
+#include "genomics/variant.hh"
+#include "variant/caller.hh"
+
+namespace iracc {
+
+/** Write a call set as VCF 4.2 (with header). */
+void writeVcf(std::ostream &os, const ReferenceGenome &ref,
+              const std::vector<CalledVariant> &calls);
+
+/** Write a truth variant set as VCF 4.2 (with header). */
+void writeTruthVcf(std::ostream &os, const ReferenceGenome &ref,
+                   const std::vector<Variant> &truth);
+
+} // namespace iracc
+
+#endif // IRACC_VARIANT_VCF_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the genomics data model: bases, qualities, CIGARs, and
+ * read records.
+ */
+
+#include <gtest/gtest.h>
+
+#include "genomics/base.hh"
+#include "genomics/cigar.hh"
+#include "genomics/quality.hh"
+#include "genomics/read.hh"
+#include "util/rng.hh"
+
+namespace iracc {
+namespace {
+
+TEST(Base, CharRoundTrip)
+{
+    for (char c : {'A', 'C', 'G', 'T', 'N'})
+        EXPECT_EQ(baseToChar(charToBase(c)), c);
+    EXPECT_EQ(baseToChar(charToBase('a')), 'A');
+}
+
+TEST(Base, Validity)
+{
+    EXPECT_TRUE(isValidSequence("ACGTN"));
+    EXPECT_TRUE(isValidSequence("acgt"));
+    EXPECT_FALSE(isValidSequence("ACGU"));
+    EXPECT_FALSE(isValidSequence("AC-GT"));
+}
+
+TEST(Base, Complement)
+{
+    EXPECT_EQ(complement('A'), 'T');
+    EXPECT_EQ(complement('T'), 'A');
+    EXPECT_EQ(complement('C'), 'G');
+    EXPECT_EQ(complement('G'), 'C');
+    EXPECT_EQ(complement('N'), 'N');
+}
+
+TEST(Base, ReverseComplementInvolution)
+{
+    Rng rng(3);
+    for (int t = 0; t < 20; ++t) {
+        BaseSeq s;
+        for (int i = 0; i < 50; ++i)
+            s.push_back(kConcreteBases[rng.below(4)]);
+        EXPECT_EQ(reverseComplement(reverseComplement(s)), s);
+    }
+}
+
+TEST(Quality, PhredErrorProb)
+{
+    EXPECT_NEAR(phredToErrorProb(10), 0.1, 1e-12);
+    EXPECT_NEAR(phredToErrorProb(20), 0.01, 1e-12);
+    EXPECT_NEAR(phredToErrorProb(60), 1e-6, 1e-15);
+}
+
+TEST(Quality, RoundTripThroughProb)
+{
+    for (uint8_t q = 0; q <= 60; ++q)
+        EXPECT_EQ(errorProbToPhred(phredToErrorProb(q)), q);
+}
+
+TEST(Quality, AsciiEncoding)
+{
+    EXPECT_EQ(phredToAscii(0), '!');
+    EXPECT_EQ(phredToAscii(40), 'I');
+    EXPECT_EQ(asciiToPhred('I'), 40);
+    QualSeq quals = {0, 10, 40, 60};
+    EXPECT_EQ(asciiToQuals(qualsToAscii(quals)), quals);
+}
+
+TEST(Cigar, ParseAndPrint)
+{
+    Cigar c = Cigar::fromString("45M2I53M");
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.toString(), "45M2I53M");
+    EXPECT_EQ(c.readLength(), 100u);
+    EXPECT_EQ(c.referenceLength(), 98u);
+    EXPECT_TRUE(c.hasIndel());
+    EXPECT_EQ(c.indelBases(), 2u);
+}
+
+TEST(Cigar, DeletionLengths)
+{
+    Cigar c = Cigar::fromString("40M5D60M");
+    EXPECT_EQ(c.readLength(), 100u);
+    EXPECT_EQ(c.referenceLength(), 105u);
+    EXPECT_EQ(c.alignedLength(), 100u);
+}
+
+TEST(Cigar, SoftClipConsumesReadOnly)
+{
+    Cigar c = Cigar::fromString("5S95M");
+    EXPECT_EQ(c.readLength(), 100u);
+    EXPECT_EQ(c.referenceLength(), 95u);
+    EXPECT_FALSE(c.hasIndel());
+}
+
+TEST(Cigar, MergesAdjacentRuns)
+{
+    Cigar c({{10, CigarOp::Match}, {5, CigarOp::Match},
+             {0, CigarOp::Insert}, {3, CigarOp::Delete}});
+    EXPECT_EQ(c.toString(), "15M3D");
+}
+
+TEST(Cigar, EmptyIsStar)
+{
+    EXPECT_EQ(Cigar().toString(), "*");
+    EXPECT_TRUE(Cigar::fromString("*").empty());
+}
+
+TEST(Cigar, RoundTripProperty)
+{
+    Rng rng(5);
+    for (int t = 0; t < 50; ++t) {
+        std::vector<CigarElem> elems;
+        CigarOp prev = CigarOp::Delete;
+        int n = static_cast<int>(1 + rng.below(6));
+        for (int i = 0; i < n; ++i) {
+            CigarOp op;
+            do {
+                op = static_cast<CigarOp>(rng.below(4));
+            } while (op == prev);
+            prev = op;
+            elems.push_back(
+                {static_cast<uint32_t>(1 + rng.below(50)), op});
+        }
+        Cigar c(elems);
+        EXPECT_EQ(Cigar::fromString(c.toString()), c);
+    }
+}
+
+TEST(Read, EndPosAndOverlap)
+{
+    Read r;
+    r.name = "r1";
+    r.bases = BaseSeq(100, 'A');
+    r.quals.assign(100, 30);
+    r.contig = 2;
+    r.pos = 1000;
+    r.cigar = Cigar::simpleMatch(100);
+
+    EXPECT_EQ(r.endPos(), 1100);
+    EXPECT_TRUE(r.overlaps(2, 1050, 1060));  // spans interval
+    EXPECT_TRUE(r.overlaps(2, 950, 1001));   // start inside
+    EXPECT_TRUE(r.overlaps(2, 1099, 1200));  // end inside
+    EXPECT_FALSE(r.overlaps(2, 1100, 1200)); // ends exactly before
+    EXPECT_FALSE(r.overlaps(2, 900, 1000));  // starts exactly after
+    EXPECT_FALSE(r.overlaps(1, 1000, 1100)); // wrong contig
+}
+
+TEST(Read, ValidityChecks)
+{
+    Read r;
+    r.name = "ok";
+    r.bases = "ACGT";
+    r.quals = {30, 30, 30, 30};
+    r.cigar = Cigar::simpleMatch(4);
+    r.pos = 0;
+    EXPECT_NO_FATAL_FAILURE(r.assertValid());
+
+    Read bad = r;
+    bad.cigar = Cigar::simpleMatch(5);
+    EXPECT_DEATH(bad.assertValid(), "CIGAR");
+}
+
+TEST(GenomePos, Ordering)
+{
+    GenomePos a{0, 100}, b{0, 200}, c{1, 0};
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b < c);
+    EXPECT_FALSE(c < a);
+    EXPECT_TRUE(a == (GenomePos{0, 100}));
+}
+
+} // namespace
+} // namespace iracc

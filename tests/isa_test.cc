@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the RoCC instruction format (Table I) and the five IR
+ * accelerator commands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/ir_isa.hh"
+#include "isa/rocc.hh"
+#include "util/rng.hh"
+
+namespace iracc {
+namespace {
+
+TEST(Rocc, FieldPacking)
+{
+    RoccInstruction inst;
+    inst.funct7 = 0x5A;
+    inst.rs2 = 0x1F;
+    inst.rs1 = 0x01;
+    inst.xd = true;
+    inst.xs1 = false;
+    inst.xs2 = true;
+    inst.rd = 0x10;
+    inst.opcode = kCustom0Opcode;
+
+    uint32_t word = inst.encode();
+    // Spot-check the Table I bit positions.
+    EXPECT_EQ((word >> 25) & 0x7F, 0x5Au); // funct7 [31:25]
+    EXPECT_EQ((word >> 20) & 0x1F, 0x1Fu); // rs2    [24:20]
+    EXPECT_EQ((word >> 15) & 0x1F, 0x01u); // rs1    [19:15]
+    EXPECT_EQ((word >> 14) & 1, 1u);       // xd     [14]
+    EXPECT_EQ((word >> 13) & 1, 0u);       // xs1    [13]
+    EXPECT_EQ((word >> 12) & 1, 1u);       // xs2    [12]
+    EXPECT_EQ((word >> 7) & 0x1F, 0x10u);  // rd     [11:7]
+    EXPECT_EQ(word & 0x7F, kCustom0Opcode); // opcode [6:0]
+}
+
+TEST(Rocc, EncodeDecodeRoundTrip)
+{
+    Rng rng(1);
+    for (int t = 0; t < 500; ++t) {
+        RoccInstruction inst;
+        inst.funct7 = static_cast<uint8_t>(rng.below(128));
+        inst.rs2 = static_cast<uint8_t>(rng.below(32));
+        inst.rs1 = static_cast<uint8_t>(rng.below(32));
+        inst.xd = rng.chance(0.5);
+        inst.xs1 = rng.chance(0.5);
+        inst.xs2 = rng.chance(0.5);
+        inst.rd = static_cast<uint8_t>(rng.below(32));
+        inst.opcode = static_cast<uint8_t>(rng.below(128));
+        ASSERT_EQ(RoccInstruction::decode(inst.encode()), inst);
+    }
+}
+
+TEST(IrIsa, CommandRoundTrip)
+{
+    Rng rng(2);
+    for (int t = 0; t < 200; ++t) {
+        IrCommand cmd;
+        cmd.op = static_cast<IrOpcode>(rng.below(5));
+        cmd.unit = static_cast<uint8_t>(rng.below(32));
+        cmd.rs1Val = rng.next();
+        cmd.rs2Val = rng.next();
+
+        RoccInstruction inst = cmd.instruction();
+        IrCommand back = IrCommand::fromInstruction(
+            RoccInstruction::decode(inst.encode()), cmd.rs1Val,
+            cmd.rs2Val);
+        ASSERT_EQ(back, cmd);
+    }
+}
+
+TEST(IrIsa, StartHasResponseRegister)
+{
+    IrCommand start;
+    start.op = IrOpcode::Start;
+    start.unit = 7;
+    EXPECT_TRUE(start.instruction().xd);
+
+    IrCommand cfg;
+    cfg.op = IrOpcode::SetLen;
+    EXPECT_FALSE(cfg.instruction().xd);
+}
+
+TEST(IrIsa, Mnemonics)
+{
+    EXPECT_STREQ(irOpcodeName(IrOpcode::SetAddr), "ir_set_addr");
+    EXPECT_STREQ(irOpcodeName(IrOpcode::SetTarget), "ir_set_target");
+    EXPECT_STREQ(irOpcodeName(IrOpcode::SetSize), "ir_set_size");
+    EXPECT_STREQ(irOpcodeName(IrOpcode::SetLen), "ir_set_len");
+    EXPECT_STREQ(irOpcodeName(IrOpcode::Start), "ir_start");
+}
+
+TEST(IrIsa, Disassembly)
+{
+    IrCommand cmd;
+    cmd.op = IrOpcode::SetSize;
+    cmd.unit = 3;
+    cmd.rs1Val = 4;  // consensuses
+    cmd.rs2Val = 40; // reads
+    std::string s = cmd.disassemble();
+    EXPECT_NE(s.find("ir_set_size"), std::string::npos);
+    EXPECT_NE(s.find("unit=3"), std::string::npos);
+    EXPECT_NE(s.find("consensuses=4"), std::string::npos);
+    EXPECT_NE(s.find("reads=40"), std::string::npos);
+}
+
+TEST(IrIsa, TargetCommandSequence)
+{
+    // Paper Section III-A: ir_set_addr five times, ir_set_target
+    // once, ir_set_size once, ir_set_len per consensus, ir_start.
+    uint64_t addrs[kNumIrBuffers] = {0x1000, 0x2000, 0x3000, 0x4000,
+                                     0x5000};
+    std::vector<uint16_t> lens = {512, 510, 515};
+    auto cmds = buildTargetCommands(9, addrs, 777777, 3, 100, lens);
+
+    ASSERT_EQ(cmds.size(), 5u + 1 + 1 + 3 + 1);
+    for (int b = 0; b < 5; ++b) {
+        EXPECT_EQ(cmds[static_cast<size_t>(b)].op,
+                  IrOpcode::SetAddr);
+        EXPECT_EQ(cmds[static_cast<size_t>(b)].rs1Val,
+                  static_cast<uint64_t>(b));
+        EXPECT_EQ(cmds[static_cast<size_t>(b)].rs2Val,
+                  addrs[b]);
+    }
+    EXPECT_EQ(cmds[5].op, IrOpcode::SetTarget);
+    EXPECT_EQ(cmds[5].rs1Val, 777777u);
+    EXPECT_EQ(cmds[6].op, IrOpcode::SetSize);
+    EXPECT_EQ(cmds[6].rs1Val, 3u);
+    EXPECT_EQ(cmds[6].rs2Val, 100u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(cmds[7 + i].op, IrOpcode::SetLen);
+        EXPECT_EQ(cmds[7 + i].rs1Val, i);
+        EXPECT_EQ(cmds[7 + i].rs2Val, lens[i]);
+    }
+    EXPECT_EQ(cmds.back().op, IrOpcode::Start);
+    for (const auto &c : cmds)
+        EXPECT_EQ(c.unit, 9);
+}
+
+TEST(IrIsa, RejectsNonIrInstructions)
+{
+    RoccInstruction inst;
+    inst.opcode = 0x33; // not custom-0
+    EXPECT_DEATH(IrCommand::fromInstruction(inst, 0, 0),
+                 "not an IR accelerator");
+}
+
+} // namespace
+} // namespace iracc

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for target marshalling into the accelerator's byte layout
+ * (Figure 6 structure sizes) and output translation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "realign/limits.hh"
+#include "realign/marshal.hh"
+#include "util/rng.hh"
+
+namespace iracc {
+namespace {
+
+IrTargetInput
+sampleInput(Rng &rng, size_t num_cons = 3, size_t num_reads = 5)
+{
+    IrTargetInput input;
+    input.windowStart = 12345;
+    size_t cons_len = 120;
+    input.windowEnd = input.windowStart +
+                      static_cast<int64_t>(cons_len);
+    for (size_t i = 0; i < num_cons; ++i) {
+        BaseSeq s;
+        size_t len = cons_len + i; // distinct lengths
+        for (size_t b = 0; b < len; ++b)
+            s.push_back(kConcreteBases[rng.below(4)]);
+        input.consensuses.push_back(s);
+    }
+    input.events.resize(num_cons);
+    for (size_t j = 0; j < num_reads; ++j) {
+        size_t len = 20 + j * 7;
+        BaseSeq s;
+        QualSeq q;
+        for (size_t b = 0; b < len; ++b) {
+            s.push_back(kConcreteBases[rng.below(4)]);
+            q.push_back(static_cast<uint8_t>(rng.range(0, 60)));
+        }
+        input.readBases.push_back(s);
+        input.readQuals.push_back(q);
+        input.readIndices.push_back(static_cast<uint32_t>(j));
+    }
+    return input;
+}
+
+TEST(Marshal, RoundTripConsensuses)
+{
+    Rng rng(4);
+    IrTargetInput input = sampleInput(rng);
+    MarshalledTarget m = marshalTarget(input);
+
+    ASSERT_EQ(m.numConsensuses, input.numConsensuses());
+    for (uint32_t i = 0; i < m.numConsensuses; ++i) {
+        EXPECT_EQ(m.consensusAt(i), input.consensuses[i]);
+        EXPECT_EQ(m.consensusLengths[i],
+                  input.consensuses[i].size());
+    }
+}
+
+TEST(Marshal, RoundTripReadsAndQuals)
+{
+    Rng rng(5);
+    IrTargetInput input = sampleInput(rng, 2, 8);
+    MarshalledTarget m = marshalTarget(input);
+
+    ASSERT_EQ(m.numReads, input.numReads());
+    for (uint32_t j = 0; j < m.numReads; ++j) {
+        EXPECT_EQ(m.readAt(j), input.readBases[j]);
+        EXPECT_EQ(m.qualsAt(j), input.readQuals[j]);
+    }
+}
+
+TEST(Marshal, FixedStrideSlots)
+{
+    Rng rng(6);
+    IrTargetInput input = sampleInput(rng, 2, 3);
+    MarshalledTarget m = marshalTarget(input);
+
+    // Read/quality buffers are at kMaxReadLen stride (paper input
+    // buffers #2/#3 rows).
+    EXPECT_EQ(m.readData.size(),
+              static_cast<size_t>(m.numReads) * kMaxReadLen);
+    EXPECT_EQ(m.qualData.size(), m.readData.size());
+    // First byte after a read is the 0x00 end-of-read sentinel.
+    size_t len0 = input.readBases[0].size();
+    EXPECT_EQ(m.readData[len0], 0u);
+}
+
+TEST(Marshal, ByteCounts)
+{
+    Rng rng(7);
+    IrTargetInput input = sampleInput(rng, 3, 4);
+    MarshalledTarget m = marshalTarget(input);
+
+    uint64_t cons_bytes = 0;
+    for (const auto &c : input.consensuses)
+        cons_bytes += c.size();
+    EXPECT_EQ(m.totalInputBytes(),
+              cons_bytes + 2ull * 4 * kMaxReadLen);
+    // Output buffers: 1 B flag + 4 B position per read.
+    EXPECT_EQ(m.totalOutputBytes(), 4ull * 5);
+    EXPECT_EQ(m.targetStart, 12345u);
+}
+
+TEST(Marshal, FullSizeTargetWithinLimits)
+{
+    Rng rng(8);
+    IrTargetInput input;
+    input.windowStart = 0;
+    input.windowEnd = kMaxConsensusLen;
+    for (uint32_t i = 0; i < kMaxConsensuses; ++i) {
+        BaseSeq s;
+        for (uint32_t b = 0; b < kMaxConsensusLen; ++b)
+            s.push_back(kConcreteBases[rng.below(4)]);
+        input.consensuses.push_back(s);
+    }
+    input.events.resize(kMaxConsensuses);
+    for (uint32_t j = 0; j < kMaxReads; ++j) {
+        BaseSeq s;
+        QualSeq q;
+        for (uint32_t b = 0; b < kMaxReadLen; ++b) {
+            s.push_back(kConcreteBases[rng.below(4)]);
+            q.push_back(30);
+        }
+        input.readBases.push_back(s);
+        input.readQuals.push_back(q);
+        input.readIndices.push_back(j);
+    }
+    MarshalledTarget m = marshalTarget(input);
+    // 32 x 2048 consensus bytes + 2 x 256 x 256 read/qual bytes:
+    // the paper's full input-buffer footprint.
+    EXPECT_EQ(m.totalInputBytes(),
+              32ull * 2048 + 2ull * 256 * 256);
+    // Full-length reads have no sentinel; slot end delimits.
+    EXPECT_EQ(m.readAt(0).size(), kMaxReadLen);
+}
+
+TEST(OutputToDecision, UnbiasesPositions)
+{
+    Rng rng(9);
+    IrTargetInput input = sampleInput(rng, 2, 3);
+    AccelTargetOutput out;
+    out.realignFlags = {1, 0, 1};
+    out.newPositions = {
+        static_cast<uint32_t>(input.windowStart + 17), 0,
+        static_cast<uint32_t>(input.windowStart + 3)};
+    ConsensusDecision d = outputToDecision(input, 1, out);
+    EXPECT_EQ(d.bestConsensus, 1u);
+    EXPECT_TRUE(d.realign[0]);
+    EXPECT_EQ(d.newOffset[0], 17u);
+    EXPECT_FALSE(d.realign[1]);
+    EXPECT_EQ(d.newOffset[2], 3u);
+}
+
+TEST(OutputToDecision, RejectsSizeMismatch)
+{
+    Rng rng(10);
+    IrTargetInput input = sampleInput(rng, 2, 3);
+    AccelTargetOutput out;
+    out.realignFlags = {1};
+    out.newPositions = {0};
+    EXPECT_DEATH(outputToDecision(input, 1, out), "size mismatch");
+}
+
+} // namespace
+} // namespace iracc

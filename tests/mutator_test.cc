@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for donor-genome construction: coordinate mapping between
+ * donor and reference, ideal-alignment CIGARs, and variant
+ * generation invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "genomics/mutator.hh"
+#include "util/rng.hh"
+
+namespace iracc {
+namespace {
+
+Variant
+snv(int64_t pos, char alt)
+{
+    Variant v;
+    v.pos = pos;
+    v.type = VariantType::Snv;
+    v.alt = BaseSeq(1, alt);
+    return v;
+}
+
+Variant
+ins(int64_t pos, BaseSeq seq)
+{
+    Variant v;
+    v.pos = pos;
+    v.type = VariantType::Insertion;
+    v.alt = std::move(seq);
+    return v;
+}
+
+Variant
+del(int64_t pos, int32_t len)
+{
+    Variant v;
+    v.pos = pos;
+    v.type = VariantType::Deletion;
+    v.delLength = len;
+    return v;
+}
+
+TEST(DonorContig, SnvSubstitutesInPlace)
+{
+    BaseSeq ref = "AAAAAAAAAA";
+    DonorContig donor(ref, {snv(4, 'G')});
+    EXPECT_EQ(donor.seq(), "AAAAGAAAAA");
+    EXPECT_EQ(donor.seq().size(), ref.size());
+    for (int64_t d = 0; d < 10; ++d)
+        EXPECT_EQ(donor.donorToRef(d), d);
+}
+
+TEST(DonorContig, InsertionShiftsDownstream)
+{
+    BaseSeq ref = "AACCGGTT";
+    // Insert "TTT" after position 3 (the second C).
+    DonorContig donor(ref, {ins(3, "TTT")});
+    EXPECT_EQ(donor.seq(), "AACCTTTGGTT");
+    EXPECT_EQ(donor.donorToRef(3), 3);
+    // Inserted bases anchor to position 3.
+    EXPECT_EQ(donor.donorToRef(4), 3);
+    EXPECT_EQ(donor.donorToRef(6), 3);
+    // Past the insertion the offset is +3.
+    EXPECT_EQ(donor.donorToRef(7), 4);
+    EXPECT_EQ(donor.refToDonor(4), 7);
+    EXPECT_EQ(donor.refToDonor(3), 3);
+}
+
+TEST(DonorContig, DeletionRemovesBases)
+{
+    BaseSeq ref = "AACCGGTT";
+    // Delete 2 bases after position 3: removes "GG".
+    DonorContig donor(ref, {del(3, 2)});
+    EXPECT_EQ(donor.seq(), "AACCTT");
+    EXPECT_EQ(donor.donorToRef(3), 3);
+    EXPECT_EQ(donor.donorToRef(4), 6);
+    EXPECT_EQ(donor.refToDonor(6), 4);
+    // Deleted reference bases map to the base after the run.
+    EXPECT_EQ(donor.refToDonor(4), 4);
+    EXPECT_EQ(donor.refToDonor(5), 4);
+}
+
+TEST(DonorContig, IdealAlignmentPureMatch)
+{
+    BaseSeq ref = "ACGTACGTACGTACGT";
+    DonorContig donor(ref, {});
+    int64_t pos;
+    Cigar cigar;
+    donor.idealAlignment(4, 8, pos, cigar);
+    EXPECT_EQ(pos, 4);
+    EXPECT_EQ(cigar.toString(), "8M");
+}
+
+TEST(DonorContig, IdealAlignmentSpansInsertion)
+{
+    BaseSeq ref = "AAAACCCCGGGGTTTT";
+    DonorContig donor(ref, {ins(7, "AC")});
+    // Donor: AAAACCCC AC GGGGTTTT; fragment [4, 14) spans the
+    // insertion: 4 matched (CCCC), 2 inserted, 4 matched (GGGG).
+    int64_t pos;
+    Cigar cigar;
+    donor.idealAlignment(4, 10, pos, cigar);
+    EXPECT_EQ(pos, 4);
+    EXPECT_EQ(cigar.toString(), "4M2I4M");
+}
+
+TEST(DonorContig, IdealAlignmentSpansDeletion)
+{
+    BaseSeq ref = "AAAACCCCGGGGTTTT";
+    DonorContig donor(ref, {del(7, 4)});
+    // Donor: AAAACCCCTTTT; fragment [4, 12): CCCC then TTTT with
+    // GGGG deleted in between.
+    int64_t pos;
+    Cigar cigar;
+    donor.idealAlignment(4, 8, pos, cigar);
+    EXPECT_EQ(pos, 4);
+    EXPECT_EQ(cigar.toString(), "4M4D4M");
+}
+
+TEST(DonorContig, IdealAlignmentStartsInsideInsertion)
+{
+    BaseSeq ref = "AAAACCCCGGGGTTTT";
+    DonorContig donor(ref, {ins(7, "ACGT")});
+    // Donor: AAAACCCC ACGT GGGGTTTT; start at donor 9 = inside the
+    // insertion -> leading soft clip, anchored at reference 8.
+    int64_t pos;
+    Cigar cigar;
+    donor.idealAlignment(9, 7, pos, cigar);
+    EXPECT_EQ(pos, 8);
+    EXPECT_EQ(cigar.toString(), "3S4M");
+}
+
+TEST(DonorContig, CigarAccountingProperty)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 30; ++trial) {
+        BaseSeq ref = ReferenceGenome::randomSequence(2000, rng);
+        VariantGenParams params;
+        params.snvRate = 2e-3;
+        params.insRate = 2e-3;
+        params.delRate = 2e-3;
+        params.minIndelSpacing = 60;
+        auto vars = generateVariants(ref, 0, params, rng);
+        DonorContig donor(ref, vars);
+
+        for (int f = 0; f < 20; ++f) {
+            int64_t len = 80;
+            int64_t start = static_cast<int64_t>(
+                rng.below(donor.seq().size() - len));
+            int64_t pos;
+            Cigar cigar;
+            donor.idealAlignment(start, len, pos, cigar);
+            // The CIGAR must consume exactly the fragment.
+            EXPECT_EQ(cigar.readLength(),
+                      static_cast<uint32_t>(len));
+            EXPECT_GE(pos, 0);
+            // Matched bases must agree with the reference when no
+            // SNV interferes; at minimum the alignment must stay in
+            // bounds.
+            EXPECT_LE(pos + cigar.referenceLength(), ref.size());
+        }
+    }
+}
+
+TEST(GenerateVariants, RespectsSpacingAndBounds)
+{
+    Rng rng(88);
+    BaseSeq ref = ReferenceGenome::randomSequence(30000, rng);
+    VariantGenParams params;
+    params.clusterProb = 0.0; // isolated indels: spacing must hold
+    auto vars = generateVariants(ref, 3, params, rng);
+    ASSERT_FALSE(vars.empty());
+
+    int64_t last_indel = -params.minIndelSpacing;
+    for (const Variant &v : vars) {
+        EXPECT_EQ(v.contig, 3);
+        EXPECT_GE(v.pos, 200);
+        EXPECT_LT(v.pos, static_cast<int64_t>(ref.size()) - 200);
+        EXPECT_GT(v.alleleFraction, 0.0);
+        EXPECT_LE(v.alleleFraction, 1.0);
+        if (v.isIndel()) {
+            EXPECT_GE(v.pos - last_indel, params.minIndelSpacing);
+            last_indel = v.pos;
+        }
+    }
+}
+
+TEST(GenerateVariants, MixContainsAllTypes)
+{
+    Rng rng(99);
+    BaseSeq ref = ReferenceGenome::randomSequence(60000, rng);
+    VariantGenParams params;
+    auto vars = generateVariants(ref, 0, params, rng);
+    int snvs = 0, inss = 0, dels = 0;
+    for (const Variant &v : vars) {
+        switch (v.type) {
+          case VariantType::Snv: ++snvs; break;
+          case VariantType::Insertion: ++inss; break;
+          case VariantType::Deletion: ++dels; break;
+        }
+    }
+    EXPECT_GT(snvs, 0);
+    EXPECT_GT(inss, 0);
+    EXPECT_GT(dels, 0);
+}
+
+} // namespace
+} // namespace iracc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for consensus selection and read realignment (Algorithm 2),
+ * anchored on the paper's Figure 4 worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "realign/score.hh"
+
+namespace iracc {
+namespace {
+
+MinWhdGrid
+figure4Grid()
+{
+    // The populated grid from Figure 4 step 3.
+    MinWhdGrid grid(3, 2);
+    grid.set(0, 0, 30, 2); // REF,   read 0
+    grid.set(0, 1, 20, 0); // REF,   read 1
+    grid.set(1, 0, 0, 3);  // cons1, read 0
+    grid.set(1, 1, 20, 1); // cons1, read 1
+    grid.set(2, 0, 55, 2); // cons2, read 0
+    grid.set(2, 1, 30, 0); // cons2, read 1
+    return grid;
+}
+
+TEST(ScoreAndSelect, Figure4PicksConsensus1)
+{
+    ConsensusDecision d = scoreAndSelect(figure4Grid());
+    // Figure 4 steps 4-5: scores 30 (cons1) vs 35 (cons2), pick 1.
+    EXPECT_EQ(d.scores[1], 30u);
+    EXPECT_EQ(d.scores[2], 35u);
+    EXPECT_EQ(d.bestConsensus, 1u);
+
+    // Read 0: 0 < 30 -> update at cons1's offset 3.
+    EXPECT_TRUE(d.realign[0]);
+    EXPECT_EQ(d.newOffset[0], 3u);
+    // Read 1: 20 == 20 -> no update.
+    EXPECT_FALSE(d.realign[1]);
+    EXPECT_EQ(d.numRealigned(), 1u);
+}
+
+TEST(ScoreAndSelect, ReferenceOnlyTargetKeepsReads)
+{
+    MinWhdGrid grid(1, 3);
+    grid.set(0, 0, 5, 0);
+    grid.set(0, 1, 0, 1);
+    grid.set(0, 2, 9, 2);
+    ConsensusDecision d = scoreAndSelect(grid);
+    EXPECT_EQ(d.bestConsensus, 0u);
+    EXPECT_EQ(d.numRealigned(), 0u);
+}
+
+TEST(ScoreAndSelect, TieGoesToFirstConsensus)
+{
+    MinWhdGrid grid(3, 1);
+    grid.set(0, 0, 50, 0);
+    grid.set(1, 0, 30, 1); // |50-30| = 20
+    grid.set(2, 0, 30, 4); // |50-30| = 20 (tie)
+    ConsensusDecision d = scoreAndSelect(grid);
+    EXPECT_EQ(d.bestConsensus, 1u);
+    EXPECT_TRUE(d.realign[0]);
+    EXPECT_EQ(d.newOffset[0], 1u);
+}
+
+TEST(ScoreAndSelect, InfeasibleEntriesNeverRealign)
+{
+    MinWhdGrid grid(2, 2);
+    grid.set(0, 0, 10, 0);
+    grid.set(0, 1, 10, 0);
+    grid.set(1, 0, kWhdInfinity, 0); // read 0 cannot fit cons1
+    grid.set(1, 1, 5, 2);
+    ConsensusDecision d = scoreAndSelect(grid);
+    EXPECT_EQ(d.bestConsensus, 1u);
+    EXPECT_FALSE(d.realign[0]);
+    EXPECT_TRUE(d.realign[1]);
+}
+
+TEST(ScoreAndSelect, WorseConsensusStillPickedButNoUpdates)
+{
+    // The paper scores with |diff|, so a consensus strictly worse
+    // than the reference can be picked, but the per-read strict-<
+    // guard must then suppress every update.
+    MinWhdGrid grid(2, 2);
+    grid.set(0, 0, 10, 0);
+    grid.set(0, 1, 10, 0);
+    grid.set(1, 0, 40, 1);
+    grid.set(1, 1, 40, 1);
+    ConsensusDecision d = scoreAndSelect(grid);
+    EXPECT_EQ(d.bestConsensus, 1u);
+    EXPECT_EQ(d.numRealigned(), 0u);
+}
+
+TEST(ScoreAndSelect, EmptyReadsNoCrash)
+{
+    MinWhdGrid grid(3, 0);
+    ConsensusDecision d = scoreAndSelect(grid);
+    EXPECT_EQ(d.bestConsensus, 0u);
+    EXPECT_EQ(d.numRealigned(), 0u);
+}
+
+} // namespace
+} // namespace iracc

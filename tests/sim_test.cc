@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel, clock-domain arithmetic, and
+ * the shared-channel memory model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/memory.hh"
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+
+namespace iracc {
+namespace {
+
+TEST(EventQueue, ExecutesInCycleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    Cycle end = eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(end, 30u);
+}
+
+TEST(EventQueue, SameCycleIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleAfter(10, chain);
+    };
+    eq.schedule(0, chain);
+    Cycle end = eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(end, 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingIntoPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(ClockDomain, CycleSecondsConversion)
+{
+    ClockDomain clk(125.0);
+    EXPECT_DOUBLE_EQ(clk.cyclesToSeconds(125'000'000), 1.0);
+    EXPECT_DOUBLE_EQ(clk.cyclesToSeconds(0), 0.0);
+    ClockDomain fast(250.0);
+    EXPECT_DOUBLE_EQ(fast.cyclesToSeconds(125'000'000), 0.5);
+}
+
+TEST(ClockDomain, TransferCycles)
+{
+    EXPECT_EQ(ClockDomain::transferCycles(0, 64), 0u);
+    EXPECT_EQ(ClockDomain::transferCycles(1, 64), 1u);
+    EXPECT_EQ(ClockDomain::transferCycles(64, 64), 1u);
+    EXPECT_EQ(ClockDomain::transferCycles(65, 64), 2u);
+    EXPECT_EQ(ClockDomain::transferCycles(6400, 64), 100u);
+}
+
+TEST(SharedChannel, BandwidthAndLatency)
+{
+    SharedChannel ch("test", 64, 30);
+    // 640 bytes at 64 B/cycle = 10 cycles occupancy + 30 latency.
+    Cycle done = ch.transfer(100, 640);
+    EXPECT_EQ(done, 100 + 10 + 30u);
+    EXPECT_EQ(ch.freeAt(), 110u);
+    EXPECT_EQ(ch.bytesMoved(), 640u);
+}
+
+TEST(SharedChannel, ContentionQueues)
+{
+    SharedChannel ch("test", 64, 0);
+    Cycle a = ch.transfer(0, 6400);   // occupies [0, 100)
+    Cycle b = ch.transfer(10, 6400);  // must wait until 100
+    EXPECT_EQ(a, 100u);
+    EXPECT_EQ(b, 200u);
+    EXPECT_EQ(ch.busyCycles(), 200u);
+    EXPECT_EQ(ch.transfers(), 2u);
+}
+
+TEST(SharedChannel, NarrowLinkStretchesTransfer)
+{
+    SharedChannel ch("test", 64, 0);
+    // A 32 B/cycle requester takes twice the cycles.
+    Cycle done = ch.transfer(0, 6400, 32);
+    EXPECT_EQ(done, 200u);
+    // A wider-than-channel link changes nothing.
+    SharedChannel ch2("test2", 64, 0);
+    EXPECT_EQ(ch2.transfer(0, 6400, 128), 100u);
+}
+
+TEST(SharedChannel, ZeroByteTransferIsFree)
+{
+    SharedChannel ch("test", 64, 50);
+    EXPECT_EQ(ch.transfer(42, 0), 42u);
+    EXPECT_EQ(ch.transfers(), 0u);
+}
+
+} // namespace
+} // namespace iracc

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the util library: RNG determinism and distributions,
+ * statistics containers, thread pool, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "util/timer.hh"
+
+namespace iracc {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    Accumulator acc;
+    for (int i = 0; i < 20000; ++i)
+        acc.sample(rng.normal(10.0, 3.0));
+    EXPECT_NEAR(acc.mean(), 10.0, 0.1);
+    EXPECT_NEAR(acc.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ZipfIsSkewedAndBounded)
+{
+    Rng rng(17);
+    uint64_t rank1 = 0, total = 20000;
+    for (uint64_t i = 0; i < total; ++i) {
+        uint64_t r = rng.zipf(100, 1.5);
+        ASSERT_GE(r, 1u);
+        ASSERT_LE(r, 100u);
+        rank1 += r == 1 ? 1 : 0;
+    }
+    // Rank 1 should dominate heavily under Zipf s=1.5.
+    EXPECT_GT(static_cast<double>(rank1) /
+                  static_cast<double>(total),
+              0.25);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(19);
+    double p = 0.25;
+    Accumulator acc;
+    for (int i = 0; i < 20000; ++i)
+        acc.sample(static_cast<double>(rng.geometric(p)));
+    EXPECT_NEAR(acc.mean(), (1.0 - p) / p, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(21);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        acc.sample(v);
+    EXPECT_EQ(acc.count(), 4u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+    EXPECT_NEAR(acc.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Accumulator, MergeEqualsCombined)
+{
+    Accumulator a, b, all;
+    for (int i = 0; i < 10; ++i) {
+        a.sample(i);
+        all.sample(i);
+    }
+    for (int i = 10; i < 25; ++i) {
+        b.sample(i);
+        all.sample(i);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, BucketsAndPercentiles)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.bucketCount(b), 10u);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, OutOfRangeCounted)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(10.0);
+    h.sample(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000, [&](size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleIsABarrier)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&done] { ++done; });
+    pool.waitIdle();
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(Table, RenderAligned)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(0.583, 1), "58.3%");
+    EXPECT_EQ(Table::speedup(81.32, 1), "81.3x");
+}
+
+TEST(StageTimer, AccumulatesWindows)
+{
+    StageTimer t;
+    t.start();
+    t.stop();
+    double first = t.seconds();
+    t.start();
+    t.stop();
+    EXPECT_GE(t.seconds(), first);
+    t.reset();
+    EXPECT_EQ(t.seconds(), 0.0);
+}
+
+} // namespace
+} // namespace iracc

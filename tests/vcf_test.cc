@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for VCF 4.2 serialization of called and truth variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "variant/vcf.hh"
+
+namespace iracc {
+namespace {
+
+ReferenceGenome
+makeRef()
+{
+    ReferenceGenome ref;
+    ref.addContig("Ch1", "ACGTACGTACGTACGTACGT");
+    return ref;
+}
+
+TEST(Vcf, HeaderContainsContigs)
+{
+    std::ostringstream os;
+    writeVcf(os, makeRef(), {});
+    std::string s = os.str();
+    EXPECT_NE(s.find("##fileformat=VCFv4.2"), std::string::npos);
+    EXPECT_NE(s.find("##contig=<ID=Ch1,length=20>"),
+              std::string::npos);
+    EXPECT_NE(s.find("#CHROM\tPOS\tID\tREF\tALT"),
+              std::string::npos);
+}
+
+TEST(Vcf, SnvRecord)
+{
+    CalledVariant v;
+    v.contig = 0;
+    v.pos = 4; // reference base 'A'
+    v.type = VariantType::Snv;
+    v.altBase = 'T';
+    v.alleleFraction = 0.42;
+    v.depth = 33;
+    std::ostringstream os;
+    writeVcf(os, makeRef(), {v});
+    std::string s = os.str();
+    // VCF positions are 1-based.
+    EXPECT_NE(s.find("Ch1\t5\t.\tA\tT\t.\tPASS\tAF=0.420;DP=33"),
+              std::string::npos);
+}
+
+TEST(Vcf, TruthInsertionUsesAnchorConvention)
+{
+    Variant v;
+    v.contig = 0;
+    v.pos = 2; // anchor base 'G'
+    v.type = VariantType::Insertion;
+    v.alt = "TTT";
+    v.alleleFraction = 0.5;
+    std::ostringstream os;
+    writeTruthVcf(os, makeRef(), {v});
+    std::string s = os.str();
+    EXPECT_NE(s.find("Ch1\t3\t.\tG\tGTTT"), std::string::npos);
+}
+
+TEST(Vcf, TruthDeletionListsDeletedBases)
+{
+    Variant v;
+    v.contig = 0;
+    v.pos = 3; // anchor 'T'; deletes "AC" (positions 4-5)
+    v.type = VariantType::Deletion;
+    v.delLength = 2;
+    std::ostringstream os;
+    writeTruthVcf(os, makeRef(), {v});
+    std::string s = os.str();
+    EXPECT_NE(s.find("Ch1\t4\t.\tTAC\tT"), std::string::npos);
+}
+
+TEST(Vcf, RecordPerVariant)
+{
+    std::vector<Variant> truth(5);
+    for (size_t i = 0; i < truth.size(); ++i) {
+        truth[i].contig = 0;
+        truth[i].pos = static_cast<int64_t>(2 + i * 3);
+        truth[i].type = VariantType::Snv;
+        truth[i].alt = "A";
+    }
+    std::ostringstream os;
+    writeTruthVcf(os, makeRef(), truth);
+    std::string s = os.str();
+    size_t lines = 0, pos = 0;
+    while ((pos = s.find("\tPASS\t", pos)) != std::string::npos) {
+        ++lines;
+        pos += 1;
+    }
+    EXPECT_EQ(lines, truth.size());
+}
+
+} // namespace
+} // namespace iracc

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the weighted-Hamming-distance kernel (Algorithm 1),
+ * including the paper's Figure 4 worked example as a golden test
+ * and brute-force / pruning equivalence properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "realign/whd.hh"
+#include "util/rng.hh"
+
+namespace iracc {
+namespace {
+
+/** Build a bare IrTargetInput from raw consensus/read strings. */
+IrTargetInput
+makeInput(std::vector<BaseSeq> consensuses,
+          std::vector<BaseSeq> read_bases,
+          std::vector<QualSeq> read_quals)
+{
+    IrTargetInput input;
+    input.windowStart = 0;
+    input.windowEnd = static_cast<int64_t>(consensuses[0].size());
+    input.consensuses = std::move(consensuses);
+    input.events.resize(input.consensuses.size());
+    input.readBases = std::move(read_bases);
+    input.readQuals = std::move(read_quals);
+    for (uint32_t j = 0; j < input.readBases.size(); ++j)
+        input.readIndices.push_back(j);
+    return input;
+}
+
+/**
+ * The paper's Figure 4 example: reference CCTTAGA plus consensuses
+ * ACCTGAA and TCTGCCT, reads TGAA (quals 10,20,45,10) and CCTC
+ * (quals 10,60,30,20).
+ */
+IrTargetInput
+figure4Input()
+{
+    return makeInput(
+        {"CCTTAGA", "ACCTGAA", "TCTGCCT"},
+        {"TGAA", "CCTC"},
+        {{10, 20, 45, 10}, {10, 60, 30, 20}});
+}
+
+TEST(CalcWhd, Figure4ReferenceRead0)
+{
+    const BaseSeq cons = "CCTTAGA";
+    const BaseSeq read = "TGAA";
+    const QualSeq quals = {10, 20, 45, 10};
+    // Worked values from Figure 4 (left column).
+    EXPECT_EQ(calcWhd(cons, read, quals, 0), 85u);
+    EXPECT_EQ(calcWhd(cons, read, quals, 1), 75u);
+    EXPECT_EQ(calcWhd(cons, read, quals, 2), 30u);
+    EXPECT_EQ(calcWhd(cons, read, quals, 3), 65u);
+}
+
+TEST(CalcWhd, Figure4ReferenceRead1)
+{
+    const BaseSeq cons = "CCTTAGA";
+    const BaseSeq read = "CCTC";
+    const QualSeq quals = {10, 60, 30, 20};
+    // Worked values from Figure 4 (right column).
+    EXPECT_EQ(calcWhd(cons, read, quals, 0), 20u);
+    EXPECT_EQ(calcWhd(cons, read, quals, 1), 80u);
+    EXPECT_EQ(calcWhd(cons, read, quals, 2), 120u);
+    EXPECT_EQ(calcWhd(cons, read, quals, 3), 120u);
+}
+
+TEST(MinWhd, Figure4Grid)
+{
+    IrTargetInput input = figure4Input();
+    MinWhdGrid grid = minWhd(input, false);
+
+    // Figure 4 step 3: the populated min_whd grid.
+    EXPECT_EQ(grid.whd(0, 0), 30u); // REF vs read 0
+    EXPECT_EQ(grid.whd(0, 1), 20u); // REF vs read 1
+    EXPECT_EQ(grid.whd(1, 0), 0u);  // cons1 vs read 0
+    EXPECT_EQ(grid.whd(1, 1), 20u); // cons1 vs read 1
+    EXPECT_EQ(grid.whd(2, 0), 55u); // cons2 vs read 0
+    EXPECT_EQ(grid.whd(2, 1), 30u); // cons2 vs read 1
+
+    // Read 0 fits consensus 1 perfectly at offset 3 (TGAA).
+    EXPECT_EQ(grid.idx(1, 0), 3u);
+}
+
+TEST(MinWhd, PruningIsResultIdentical)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        // Random target: 1-6 consensuses, 1-12 reads.
+        size_t num_cons = 1 + rng.below(6);
+        size_t num_reads = 1 + rng.below(12);
+        size_t cons_len = 30 + rng.below(100);
+        size_t read_len = 5 + rng.below(20);
+
+        std::vector<BaseSeq> cons;
+        for (size_t i = 0; i < num_cons; ++i) {
+            BaseSeq s;
+            for (size_t b = 0; b < cons_len; ++b)
+                s.push_back(kConcreteBases[rng.below(4)]);
+            cons.push_back(s);
+        }
+        std::vector<BaseSeq> reads;
+        std::vector<QualSeq> quals;
+        for (size_t j = 0; j < num_reads; ++j) {
+            BaseSeq s;
+            QualSeq q;
+            for (size_t b = 0; b < read_len; ++b) {
+                s.push_back(kConcreteBases[rng.below(4)]);
+                q.push_back(static_cast<uint8_t>(rng.range(2, 60)));
+            }
+            reads.push_back(s);
+            quals.push_back(q);
+        }
+
+        IrTargetInput input = makeInput(cons, reads, quals);
+        WhdStats pruned_stats, full_stats;
+        MinWhdGrid pruned = minWhd(input, true, &pruned_stats);
+        MinWhdGrid full = minWhd(input, false, &full_stats);
+        ASSERT_TRUE(pruned == full) << "trial " << trial;
+
+        // Pruning must never do more comparisons.
+        EXPECT_LE(pruned_stats.comparisons, full_stats.comparisons);
+        EXPECT_EQ(pruned_stats.comparisonsUnpruned,
+                  full_stats.comparisons);
+    }
+}
+
+TEST(MinWhd, PruningEliminatesMajorityOnRealisticInput)
+{
+    // Paper Section III-A: pruning removes >50 % of comparisons on
+    // realistic inputs (a read matching well at one offset prunes
+    // most other offsets quickly).
+    Rng rng(7);
+    BaseSeq cons;
+    for (int b = 0; b < 800; ++b)
+        cons.push_back(kConcreteBases[rng.below(4)]);
+
+    std::vector<BaseSeq> reads;
+    std::vector<QualSeq> quals;
+    for (int j = 0; j < 24; ++j) {
+        size_t off = rng.below(800 - 100);
+        BaseSeq r = cons.substr(off, 100);
+        QualSeq q(100, 30);
+        // Sprinkle a couple of errors.
+        for (int e = 0; e < 2; ++e)
+            r[rng.below(100)] = kConcreteBases[rng.below(4)];
+        reads.push_back(r);
+        quals.push_back(q);
+    }
+    IrTargetInput input = makeInput({cons}, reads, quals);
+    WhdStats stats;
+    minWhd(input, true, &stats);
+    EXPECT_GT(stats.prunedFraction(), 0.5);
+}
+
+TEST(MinWhd, ReadLongerThanConsensusIsInfeasible)
+{
+    IrTargetInput input = makeInput(
+        {"ACGTACGT", "ACG"}, {"ACGTA"}, {{10, 10, 10, 10, 10}});
+    MinWhdGrid grid = minWhd(input, false);
+    EXPECT_EQ(grid.whd(0, 0), 0u);
+    EXPECT_EQ(grid.whd(1, 0), kWhdInfinity);
+}
+
+TEST(MinWhd, FirstMinimalOffsetWins)
+{
+    // Two zero-distance placements; the smaller k must be recorded.
+    IrTargetInput input = makeInput({"ACACAC"}, {"ACAC"},
+                                    {{10, 10, 10, 10}});
+    MinWhdGrid grid = minWhd(input, true);
+    EXPECT_EQ(grid.whd(0, 0), 0u);
+    EXPECT_EQ(grid.idx(0, 0), 0u);
+}
+
+TEST(WorstCase, ComplexityFormula)
+{
+    // Section II-C: C=32, R=256, m=2048, n=250 gives the paper's
+    // "astonishing" 3,684,352,000 comparisons for one target.
+    uint64_t c = 32, r = 256, m = 2048, n = 250;
+    uint64_t comparisons = c * r * (m - n + 1) * n;
+    EXPECT_EQ(comparisons, 3'684'352'000ull);
+}
+
+} // namespace
+} // namespace iracc
