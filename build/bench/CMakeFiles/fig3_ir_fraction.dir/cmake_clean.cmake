@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ir_fraction.dir/fig3_ir_fraction.cc.o"
+  "CMakeFiles/fig3_ir_fraction.dir/fig3_ir_fraction.cc.o.d"
+  "fig3_ir_fraction"
+  "fig3_ir_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ir_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

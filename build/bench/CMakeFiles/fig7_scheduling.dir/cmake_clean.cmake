@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scheduling.dir/fig7_scheduling.cc.o"
+  "CMakeFiles/fig7_scheduling.dir/fig7_scheduling.cc.o.d"
+  "fig7_scheduling"
+  "fig7_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

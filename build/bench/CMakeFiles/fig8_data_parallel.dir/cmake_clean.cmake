@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_data_parallel.dir/fig8_data_parallel.cc.o"
+  "CMakeFiles/fig8_data_parallel.dir/fig8_data_parallel.cc.o.d"
+  "fig8_data_parallel"
+  "fig8_data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/kernel_microbench.cc" "bench/CMakeFiles/kernel_microbench.dir/kernel_microbench.cc.o" "gcc" "bench/CMakeFiles/kernel_microbench.dir/kernel_microbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/realign/CMakeFiles/iracc_realign.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/iracc_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/iracc_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/iracc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iracc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/iracc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iracc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_complexity.dir/sec2_complexity.cc.o"
+  "CMakeFiles/sec2_complexity.dir/sec2_complexity.cc.o.d"
+  "sec2_complexity"
+  "sec2_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_hls_comparison.dir/sec5_hls_comparison.cc.o"
+  "CMakeFiles/sec5_hls_comparison.dir/sec5_hls_comparison.cc.o.d"
+  "sec5_hls_comparison"
+  "sec5_hls_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_hls_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

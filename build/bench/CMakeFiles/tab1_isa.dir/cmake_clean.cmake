@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_isa.dir/tab1_isa.cc.o"
+  "CMakeFiles/tab1_isa.dir/tab1_isa.cc.o.d"
+  "tab1_isa"
+  "tab1_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_resource_model.dir/tab_resource_model.cc.o"
+  "CMakeFiles/tab_resource_model.dir/tab_resource_model.cc.o.d"
+  "tab_resource_model"
+  "tab_resource_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_resource_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_design_explorer.dir/accelerator_design_explorer.cpp.o"
+  "CMakeFiles/accelerator_design_explorer.dir/accelerator_design_explorer.cpp.o.d"
+  "accelerator_design_explorer"
+  "accelerator_design_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_design_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

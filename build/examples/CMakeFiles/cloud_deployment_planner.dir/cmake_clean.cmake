@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_deployment_planner.dir/cloud_deployment_planner.cpp.o"
+  "CMakeFiles/cloud_deployment_planner.dir/cloud_deployment_planner.cpp.o.d"
+  "cloud_deployment_planner"
+  "cloud_deployment_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_deployment_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_cli.dir/iracc_cli.cpp.o"
+  "CMakeFiles/iracc_cli.dir/iracc_cli.cpp.o.d"
+  "iracc_cli"
+  "iracc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sam_roundtrip.dir/sam_roundtrip.cpp.o"
+  "CMakeFiles/sam_roundtrip.dir/sam_roundtrip.cpp.o.d"
+  "sam_roundtrip"
+  "sam_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sam_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somatic_pipeline.dir/somatic_pipeline.cpp.o"
+  "CMakeFiles/somatic_pipeline.dir/somatic_pipeline.cpp.o.d"
+  "somatic_pipeline"
+  "somatic_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somatic_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/device_memory.cc" "src/accel/CMakeFiles/iracc_accel.dir/device_memory.cc.o" "gcc" "src/accel/CMakeFiles/iracc_accel.dir/device_memory.cc.o.d"
+  "/root/repo/src/accel/fpga_system.cc" "src/accel/CMakeFiles/iracc_accel.dir/fpga_system.cc.o" "gcc" "src/accel/CMakeFiles/iracc_accel.dir/fpga_system.cc.o.d"
+  "/root/repo/src/accel/ir_compute.cc" "src/accel/CMakeFiles/iracc_accel.dir/ir_compute.cc.o" "gcc" "src/accel/CMakeFiles/iracc_accel.dir/ir_compute.cc.o.d"
+  "/root/repo/src/accel/ir_unit.cc" "src/accel/CMakeFiles/iracc_accel.dir/ir_unit.cc.o" "gcc" "src/accel/CMakeFiles/iracc_accel.dir/ir_unit.cc.o.d"
+  "/root/repo/src/accel/memory.cc" "src/accel/CMakeFiles/iracc_accel.dir/memory.cc.o" "gcc" "src/accel/CMakeFiles/iracc_accel.dir/memory.cc.o.d"
+  "/root/repo/src/accel/params.cc" "src/accel/CMakeFiles/iracc_accel.dir/params.cc.o" "gcc" "src/accel/CMakeFiles/iracc_accel.dir/params.cc.o.d"
+  "/root/repo/src/accel/resource_model.cc" "src/accel/CMakeFiles/iracc_accel.dir/resource_model.cc.o" "gcc" "src/accel/CMakeFiles/iracc_accel.dir/resource_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iracc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/iracc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/realign/CMakeFiles/iracc_realign.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iracc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/iracc_genomics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

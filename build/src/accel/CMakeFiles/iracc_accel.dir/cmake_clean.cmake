@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_accel.dir/device_memory.cc.o"
+  "CMakeFiles/iracc_accel.dir/device_memory.cc.o.d"
+  "CMakeFiles/iracc_accel.dir/fpga_system.cc.o"
+  "CMakeFiles/iracc_accel.dir/fpga_system.cc.o.d"
+  "CMakeFiles/iracc_accel.dir/ir_compute.cc.o"
+  "CMakeFiles/iracc_accel.dir/ir_compute.cc.o.d"
+  "CMakeFiles/iracc_accel.dir/ir_unit.cc.o"
+  "CMakeFiles/iracc_accel.dir/ir_unit.cc.o.d"
+  "CMakeFiles/iracc_accel.dir/memory.cc.o"
+  "CMakeFiles/iracc_accel.dir/memory.cc.o.d"
+  "CMakeFiles/iracc_accel.dir/params.cc.o"
+  "CMakeFiles/iracc_accel.dir/params.cc.o.d"
+  "CMakeFiles/iracc_accel.dir/resource_model.cc.o"
+  "CMakeFiles/iracc_accel.dir/resource_model.cc.o.d"
+  "libiracc_accel.a"
+  "libiracc_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/aligner.cc" "src/align/CMakeFiles/iracc_align.dir/aligner.cc.o" "gcc" "src/align/CMakeFiles/iracc_align.dir/aligner.cc.o.d"
+  "/root/repo/src/align/fm_index.cc" "src/align/CMakeFiles/iracc_align.dir/fm_index.cc.o" "gcc" "src/align/CMakeFiles/iracc_align.dir/fm_index.cc.o.d"
+  "/root/repo/src/align/seed_index.cc" "src/align/CMakeFiles/iracc_align.dir/seed_index.cc.o" "gcc" "src/align/CMakeFiles/iracc_align.dir/seed_index.cc.o.d"
+  "/root/repo/src/align/smith_waterman.cc" "src/align/CMakeFiles/iracc_align.dir/smith_waterman.cc.o" "gcc" "src/align/CMakeFiles/iracc_align.dir/smith_waterman.cc.o.d"
+  "/root/repo/src/align/suffix_array.cc" "src/align/CMakeFiles/iracc_align.dir/suffix_array.cc.o" "gcc" "src/align/CMakeFiles/iracc_align.dir/suffix_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genomics/CMakeFiles/iracc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iracc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

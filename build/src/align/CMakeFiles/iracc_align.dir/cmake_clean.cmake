@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_align.dir/aligner.cc.o"
+  "CMakeFiles/iracc_align.dir/aligner.cc.o.d"
+  "CMakeFiles/iracc_align.dir/fm_index.cc.o"
+  "CMakeFiles/iracc_align.dir/fm_index.cc.o.d"
+  "CMakeFiles/iracc_align.dir/seed_index.cc.o"
+  "CMakeFiles/iracc_align.dir/seed_index.cc.o.d"
+  "CMakeFiles/iracc_align.dir/smith_waterman.cc.o"
+  "CMakeFiles/iracc_align.dir/smith_waterman.cc.o.d"
+  "CMakeFiles/iracc_align.dir/suffix_array.cc.o"
+  "CMakeFiles/iracc_align.dir/suffix_array.cc.o.d"
+  "libiracc_align.a"
+  "libiracc_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

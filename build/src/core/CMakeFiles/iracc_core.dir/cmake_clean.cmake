@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_core.dir/realigner_api.cc.o"
+  "CMakeFiles/iracc_core.dir/realigner_api.cc.o.d"
+  "CMakeFiles/iracc_core.dir/workload.cc.o"
+  "CMakeFiles/iracc_core.dir/workload.cc.o.d"
+  "libiracc_core.a"
+  "libiracc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

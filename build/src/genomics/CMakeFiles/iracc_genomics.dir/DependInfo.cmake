@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genomics/base.cc" "src/genomics/CMakeFiles/iracc_genomics.dir/base.cc.o" "gcc" "src/genomics/CMakeFiles/iracc_genomics.dir/base.cc.o.d"
+  "/root/repo/src/genomics/cigar.cc" "src/genomics/CMakeFiles/iracc_genomics.dir/cigar.cc.o" "gcc" "src/genomics/CMakeFiles/iracc_genomics.dir/cigar.cc.o.d"
+  "/root/repo/src/genomics/io.cc" "src/genomics/CMakeFiles/iracc_genomics.dir/io.cc.o" "gcc" "src/genomics/CMakeFiles/iracc_genomics.dir/io.cc.o.d"
+  "/root/repo/src/genomics/karyotype.cc" "src/genomics/CMakeFiles/iracc_genomics.dir/karyotype.cc.o" "gcc" "src/genomics/CMakeFiles/iracc_genomics.dir/karyotype.cc.o.d"
+  "/root/repo/src/genomics/mutator.cc" "src/genomics/CMakeFiles/iracc_genomics.dir/mutator.cc.o" "gcc" "src/genomics/CMakeFiles/iracc_genomics.dir/mutator.cc.o.d"
+  "/root/repo/src/genomics/quality.cc" "src/genomics/CMakeFiles/iracc_genomics.dir/quality.cc.o" "gcc" "src/genomics/CMakeFiles/iracc_genomics.dir/quality.cc.o.d"
+  "/root/repo/src/genomics/read.cc" "src/genomics/CMakeFiles/iracc_genomics.dir/read.cc.o" "gcc" "src/genomics/CMakeFiles/iracc_genomics.dir/read.cc.o.d"
+  "/root/repo/src/genomics/read_simulator.cc" "src/genomics/CMakeFiles/iracc_genomics.dir/read_simulator.cc.o" "gcc" "src/genomics/CMakeFiles/iracc_genomics.dir/read_simulator.cc.o.d"
+  "/root/repo/src/genomics/reference.cc" "src/genomics/CMakeFiles/iracc_genomics.dir/reference.cc.o" "gcc" "src/genomics/CMakeFiles/iracc_genomics.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iracc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

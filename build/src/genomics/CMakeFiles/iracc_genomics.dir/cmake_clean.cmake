@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_genomics.dir/base.cc.o"
+  "CMakeFiles/iracc_genomics.dir/base.cc.o.d"
+  "CMakeFiles/iracc_genomics.dir/cigar.cc.o"
+  "CMakeFiles/iracc_genomics.dir/cigar.cc.o.d"
+  "CMakeFiles/iracc_genomics.dir/io.cc.o"
+  "CMakeFiles/iracc_genomics.dir/io.cc.o.d"
+  "CMakeFiles/iracc_genomics.dir/karyotype.cc.o"
+  "CMakeFiles/iracc_genomics.dir/karyotype.cc.o.d"
+  "CMakeFiles/iracc_genomics.dir/mutator.cc.o"
+  "CMakeFiles/iracc_genomics.dir/mutator.cc.o.d"
+  "CMakeFiles/iracc_genomics.dir/quality.cc.o"
+  "CMakeFiles/iracc_genomics.dir/quality.cc.o.d"
+  "CMakeFiles/iracc_genomics.dir/read.cc.o"
+  "CMakeFiles/iracc_genomics.dir/read.cc.o.d"
+  "CMakeFiles/iracc_genomics.dir/read_simulator.cc.o"
+  "CMakeFiles/iracc_genomics.dir/read_simulator.cc.o.d"
+  "CMakeFiles/iracc_genomics.dir/reference.cc.o"
+  "CMakeFiles/iracc_genomics.dir/reference.cc.o.d"
+  "libiracc_genomics.a"
+  "libiracc_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

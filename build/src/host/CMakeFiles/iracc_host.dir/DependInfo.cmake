@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/accelerated_system.cc" "src/host/CMakeFiles/iracc_host.dir/accelerated_system.cc.o" "gcc" "src/host/CMakeFiles/iracc_host.dir/accelerated_system.cc.o.d"
+  "/root/repo/src/host/machine_config.cc" "src/host/CMakeFiles/iracc_host.dir/machine_config.cc.o" "gcc" "src/host/CMakeFiles/iracc_host.dir/machine_config.cc.o.d"
+  "/root/repo/src/host/scheduler.cc" "src/host/CMakeFiles/iracc_host.dir/scheduler.cc.o" "gcc" "src/host/CMakeFiles/iracc_host.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/iracc_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/realign/CMakeFiles/iracc_realign.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iracc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/iracc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iracc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/iracc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

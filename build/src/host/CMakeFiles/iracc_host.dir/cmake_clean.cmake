@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_host.dir/accelerated_system.cc.o"
+  "CMakeFiles/iracc_host.dir/accelerated_system.cc.o.d"
+  "CMakeFiles/iracc_host.dir/machine_config.cc.o"
+  "CMakeFiles/iracc_host.dir/machine_config.cc.o.d"
+  "CMakeFiles/iracc_host.dir/scheduler.cc.o"
+  "CMakeFiles/iracc_host.dir/scheduler.cc.o.d"
+  "libiracc_host.a"
+  "libiracc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

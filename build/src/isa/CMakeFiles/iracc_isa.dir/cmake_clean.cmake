@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_isa.dir/ir_isa.cc.o"
+  "CMakeFiles/iracc_isa.dir/ir_isa.cc.o.d"
+  "CMakeFiles/iracc_isa.dir/rocc.cc.o"
+  "CMakeFiles/iracc_isa.dir/rocc.cc.o.d"
+  "libiracc_isa.a"
+  "libiracc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/realign/consensus.cc" "src/realign/CMakeFiles/iracc_realign.dir/consensus.cc.o" "gcc" "src/realign/CMakeFiles/iracc_realign.dir/consensus.cc.o.d"
+  "/root/repo/src/realign/marshal.cc" "src/realign/CMakeFiles/iracc_realign.dir/marshal.cc.o" "gcc" "src/realign/CMakeFiles/iracc_realign.dir/marshal.cc.o.d"
+  "/root/repo/src/realign/realigner.cc" "src/realign/CMakeFiles/iracc_realign.dir/realigner.cc.o" "gcc" "src/realign/CMakeFiles/iracc_realign.dir/realigner.cc.o.d"
+  "/root/repo/src/realign/score.cc" "src/realign/CMakeFiles/iracc_realign.dir/score.cc.o" "gcc" "src/realign/CMakeFiles/iracc_realign.dir/score.cc.o.d"
+  "/root/repo/src/realign/target.cc" "src/realign/CMakeFiles/iracc_realign.dir/target.cc.o" "gcc" "src/realign/CMakeFiles/iracc_realign.dir/target.cc.o.d"
+  "/root/repo/src/realign/whd.cc" "src/realign/CMakeFiles/iracc_realign.dir/whd.cc.o" "gcc" "src/realign/CMakeFiles/iracc_realign.dir/whd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genomics/CMakeFiles/iracc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iracc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_realign.dir/consensus.cc.o"
+  "CMakeFiles/iracc_realign.dir/consensus.cc.o.d"
+  "CMakeFiles/iracc_realign.dir/marshal.cc.o"
+  "CMakeFiles/iracc_realign.dir/marshal.cc.o.d"
+  "CMakeFiles/iracc_realign.dir/realigner.cc.o"
+  "CMakeFiles/iracc_realign.dir/realigner.cc.o.d"
+  "CMakeFiles/iracc_realign.dir/score.cc.o"
+  "CMakeFiles/iracc_realign.dir/score.cc.o.d"
+  "CMakeFiles/iracc_realign.dir/target.cc.o"
+  "CMakeFiles/iracc_realign.dir/target.cc.o.d"
+  "CMakeFiles/iracc_realign.dir/whd.cc.o"
+  "CMakeFiles/iracc_realign.dir/whd.cc.o.d"
+  "libiracc_realign.a"
+  "libiracc_realign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_realign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for iracc_realign.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refine/bqsr.cc" "src/refine/CMakeFiles/iracc_refine.dir/bqsr.cc.o" "gcc" "src/refine/CMakeFiles/iracc_refine.dir/bqsr.cc.o.d"
+  "/root/repo/src/refine/duplicate_marker.cc" "src/refine/CMakeFiles/iracc_refine.dir/duplicate_marker.cc.o" "gcc" "src/refine/CMakeFiles/iracc_refine.dir/duplicate_marker.cc.o.d"
+  "/root/repo/src/refine/pipeline.cc" "src/refine/CMakeFiles/iracc_refine.dir/pipeline.cc.o" "gcc" "src/refine/CMakeFiles/iracc_refine.dir/pipeline.cc.o.d"
+  "/root/repo/src/refine/sort.cc" "src/refine/CMakeFiles/iracc_refine.dir/sort.cc.o" "gcc" "src/refine/CMakeFiles/iracc_refine.dir/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/realign/CMakeFiles/iracc_realign.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/iracc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iracc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

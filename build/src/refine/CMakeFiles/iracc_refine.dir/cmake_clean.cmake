@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_refine.dir/bqsr.cc.o"
+  "CMakeFiles/iracc_refine.dir/bqsr.cc.o.d"
+  "CMakeFiles/iracc_refine.dir/duplicate_marker.cc.o"
+  "CMakeFiles/iracc_refine.dir/duplicate_marker.cc.o.d"
+  "CMakeFiles/iracc_refine.dir/pipeline.cc.o"
+  "CMakeFiles/iracc_refine.dir/pipeline.cc.o.d"
+  "CMakeFiles/iracc_refine.dir/sort.cc.o"
+  "CMakeFiles/iracc_refine.dir/sort.cc.o.d"
+  "libiracc_refine.a"
+  "libiracc_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

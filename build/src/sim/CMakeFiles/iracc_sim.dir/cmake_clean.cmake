@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/iracc_sim.dir/event_queue.cc.o.d"
+  "libiracc_sim.a"
+  "libiracc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

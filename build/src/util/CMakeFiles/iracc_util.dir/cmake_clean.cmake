@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_util.dir/logging.cc.o"
+  "CMakeFiles/iracc_util.dir/logging.cc.o.d"
+  "CMakeFiles/iracc_util.dir/rng.cc.o"
+  "CMakeFiles/iracc_util.dir/rng.cc.o.d"
+  "CMakeFiles/iracc_util.dir/stats.cc.o"
+  "CMakeFiles/iracc_util.dir/stats.cc.o.d"
+  "CMakeFiles/iracc_util.dir/table.cc.o"
+  "CMakeFiles/iracc_util.dir/table.cc.o.d"
+  "CMakeFiles/iracc_util.dir/thread_pool.cc.o"
+  "CMakeFiles/iracc_util.dir/thread_pool.cc.o.d"
+  "libiracc_util.a"
+  "libiracc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiracc_util.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variant/caller.cc" "src/variant/CMakeFiles/iracc_variant.dir/caller.cc.o" "gcc" "src/variant/CMakeFiles/iracc_variant.dir/caller.cc.o.d"
+  "/root/repo/src/variant/pileup.cc" "src/variant/CMakeFiles/iracc_variant.dir/pileup.cc.o" "gcc" "src/variant/CMakeFiles/iracc_variant.dir/pileup.cc.o.d"
+  "/root/repo/src/variant/somatic.cc" "src/variant/CMakeFiles/iracc_variant.dir/somatic.cc.o" "gcc" "src/variant/CMakeFiles/iracc_variant.dir/somatic.cc.o.d"
+  "/root/repo/src/variant/vcf.cc" "src/variant/CMakeFiles/iracc_variant.dir/vcf.cc.o" "gcc" "src/variant/CMakeFiles/iracc_variant.dir/vcf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genomics/CMakeFiles/iracc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iracc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iracc_variant.dir/caller.cc.o"
+  "CMakeFiles/iracc_variant.dir/caller.cc.o.d"
+  "CMakeFiles/iracc_variant.dir/pileup.cc.o"
+  "CMakeFiles/iracc_variant.dir/pileup.cc.o.d"
+  "CMakeFiles/iracc_variant.dir/somatic.cc.o"
+  "CMakeFiles/iracc_variant.dir/somatic.cc.o.d"
+  "CMakeFiles/iracc_variant.dir/vcf.cc.o"
+  "CMakeFiles/iracc_variant.dir/vcf.cc.o.d"
+  "libiracc_variant.a"
+  "libiracc_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iracc_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

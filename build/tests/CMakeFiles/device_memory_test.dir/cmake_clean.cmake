@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_memory_test.dir/device_memory_test.cc.o"
+  "CMakeFiles/device_memory_test.dir/device_memory_test.cc.o.d"
+  "device_memory_test"
+  "device_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

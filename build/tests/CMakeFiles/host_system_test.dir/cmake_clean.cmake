@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_system_test.dir/host_system_test.cc.o"
+  "CMakeFiles/host_system_test.dir/host_system_test.cc.o.d"
+  "host_system_test"
+  "host_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_compute_test.dir/ir_compute_test.cc.o"
+  "CMakeFiles/ir_compute_test.dir/ir_compute_test.cc.o.d"
+  "ir_compute_test"
+  "ir_compute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_compute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marshal_test.dir/marshal_test.cc.o"
+  "CMakeFiles/marshal_test.dir/marshal_test.cc.o.d"
+  "marshal_test"
+  "marshal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marshal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

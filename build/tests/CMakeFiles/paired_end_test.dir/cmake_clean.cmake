@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paired_end_test.dir/paired_end_test.cc.o"
+  "CMakeFiles/paired_end_test.dir/paired_end_test.cc.o.d"
+  "paired_end_test"
+  "paired_end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paired_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_simulator_test.dir/read_simulator_test.cc.o"
+  "CMakeFiles/read_simulator_test.dir/read_simulator_test.cc.o.d"
+  "read_simulator_test"
+  "read_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

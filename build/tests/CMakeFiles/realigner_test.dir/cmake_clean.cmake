@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realigner_test.dir/realigner_test.cc.o"
+  "CMakeFiles/realigner_test.dir/realigner_test.cc.o.d"
+  "realigner_test"
+  "realigner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realigner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/somatic_test.dir/somatic_test.cc.o"
+  "CMakeFiles/somatic_test.dir/somatic_test.cc.o.d"
+  "somatic_test"
+  "somatic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/somatic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_consensus_test.dir/target_consensus_test.cc.o"
+  "CMakeFiles/target_consensus_test.dir/target_consensus_test.cc.o.d"
+  "target_consensus_test"
+  "target_consensus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

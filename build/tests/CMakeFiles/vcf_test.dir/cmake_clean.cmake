@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcf_test.dir/vcf_test.cc.o"
+  "CMakeFiles/vcf_test.dir/vcf_test.cc.o.d"
+  "vcf_test"
+  "vcf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

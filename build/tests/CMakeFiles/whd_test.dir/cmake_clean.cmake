@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whd_test.dir/whd_test.cc.o"
+  "CMakeFiles/whd_test.dir/whd_test.cc.o.d"
+  "whd_test"
+  "whd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
