@@ -16,7 +16,9 @@
 #include "accel/ir_compute.hh"
 #include "bench_common.hh"
 #include "core/workload.hh"
+#include "host/scheduler.hh"
 #include "realign/realigner.hh"
+#include "sim/perf_monitor.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -79,5 +81,37 @@ main()
                 "below 32x because pruning already skips most "
                 "offsets after\none or two 32-byte rows.\n");
     std::printf("Targets evaluated: %zu (Ch20)\n", targets.size());
+
+    // System-level cross-check: run the full simulated accelerator
+    // at width 1 and 32 with performance counters on, showing where
+    // the datapath win lands in the per-unit cycle accounting.
+    std::printf("\nFull-system counter view (async schedule, "
+                "counters on):\n");
+    Table sys_table({"Width", "Cycles", "Compute cyc", "Load cyc",
+                     "Unit util", "DDR busy"});
+    for (uint32_t width : {1u, 32u}) {
+        AccelConfig cfg = AccelConfig::paperOptimized();
+        cfg.dataParallelWidth = width;
+        cfg.perfCounters = true;
+        FpgaSystem sys(cfg);
+        ScheduleResult res = scheduleTargets(
+            sys, targets, SchedulePolicy::AsynchronousParallel);
+        uint64_t compute = 0, load = 0;
+        for (const auto &u : res.perf.units) {
+            compute += u.computeCycles;
+            load += u.loadCycles;
+        }
+        sys_table.addRow(
+            {std::to_string(width),
+             std::to_string(res.perf.totalCycles),
+             std::to_string(compute), std::to_string(load),
+             Table::pct(res.perf.meanUnitUtilization()),
+             Table::pct(res.perf.channelOccupancy("ddr0"))});
+    }
+    sys_table.print();
+    std::printf("The width-32 datapath collapses compute cycles "
+                "while load cycles stay fixed,\nso the system "
+                "shifts from compute-bound toward load-bound -- "
+                "the saturation\nFigure 8 shows.\n");
     return 0;
 }

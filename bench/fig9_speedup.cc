@@ -15,10 +15,12 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_common.hh"
 #include "core/realigner_api.hh"
+#include "sim/perf_monitor.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -31,19 +33,27 @@ main()
     bench::banner("fig9_speedup",
                   "Figure 9 (left) + Section V-B ADAM comparison");
 
+    // IRACC_COUNTERS=1 turns the performance-counter layer on for
+    // the accelerated backends (off by default so the headline
+    // numbers run the uninstrumented hot path).
+    const char *env = std::getenv("IRACC_COUNTERS");
+    bool counters = env && std::atoi(env) != 0;
+
     GenomeWorkload wl = buildWorkload(bench::standardWorkload());
 
     auto gatk3 = makeBackend("gatk3");
     auto adam = makeBackend("adam");
-    auto taskp = makeBackend("iracc-taskp");
-    auto async = makeBackend("iracc-taskp-async");
-    auto iracc = makeBackend("iracc");
+    auto taskp = makeBackend("iracc-taskp", counters);
+    auto async = makeBackend("iracc-taskp-async", counters);
+    auto iracc = makeBackend("iracc", counters);
 
     Table table({"Chrom", "GATK3(s)", "ADAM(s)", "TaskP", "+Async",
                  "IRACC", "IRACCvsADAM", "DMA%"});
 
     std::vector<double> sp_taskp, sp_async, sp_iracc, sp_adam;
     double total_gatk3 = 0.0, total_adam = 0.0, total_iracc = 0.0;
+    PerfReport perf_taskp, perf_async, perf_iracc;
+    uint32_t pid = 0;
 
     for (const auto &chr : wl.chromosomes) {
         std::vector<Read> r1 = chr.reads;
@@ -65,6 +75,12 @@ main()
         total_gatk3 += g.seconds;
         total_adam += a.seconds;
         total_iracc += i.seconds;
+        if (counters) {
+            perf_taskp.merge(t.perf, pid);
+            perf_async.merge(y.perf, pid);
+            perf_iracc.merge(i.perf, pid);
+            ++pid;
+        }
         sp_taskp.push_back(g.seconds / t.seconds);
         sp_async.push_back(g.seconds / y.seconds);
         sp_iracc.push_back(g.seconds / i.seconds);
@@ -95,5 +111,45 @@ main()
     std::printf("\nEnd-to-end (all chromosomes): GATK3 %.1f s, "
                 "ADAM %.1f s, IRACC %.2f s\n",
                 total_gatk3, total_adam, total_iracc);
+
+    if (counters) {
+        std::printf(
+            "\nCounter-backed breakdown (IRACC_COUNTERS=1):\n"
+            "  DMA share of device cycles: IRACC %s, TaskP %s "
+            "(paper: ~0.01%%)\n"
+            "  Mean unit utilization:      IRACC %s, TaskP-Async "
+            "%s, TaskP %s\n"
+            "  Straggler wait (mean unit idle gap between "
+            "targets): TaskP %s cyc -> Async %s cyc\n",
+            Table::pct(perf_iracc.channelOccupancy("pcie-dma"), 3)
+                .c_str(),
+            Table::pct(perf_taskp.channelOccupancy("pcie-dma"), 3)
+                .c_str(),
+            Table::pct(perf_iracc.meanUnitUtilization()).c_str(),
+            Table::pct(perf_async.meanUnitUtilization()).c_str(),
+            Table::pct(perf_taskp.meanUnitUtilization()).c_str(),
+            Table::num(perf_taskp.unitIdleGap.count()
+                           ? perf_taskp.unitIdleGap.mean()
+                           : 0.0,
+                       0)
+                .c_str(),
+            Table::num(perf_async.unitIdleGap.count()
+                           ? perf_async.unitIdleGap.mean()
+                           : 0.0,
+                       0)
+                .c_str());
+        std::printf("  DMA bytes moved: %.1f MB over %llu "
+                    "transfers\n",
+                    static_cast<double>(
+                        perf_iracc.channelBytes("pcie-dma")) /
+                        1e6,
+                    static_cast<unsigned long long>([&] {
+                        uint64_t n = 0;
+                        for (const auto &c : perf_iracc.channels)
+                            if (c.name == "pcie-dma")
+                                n += c.transfers;
+                        return n;
+                    }()));
+    }
     return 0;
 }

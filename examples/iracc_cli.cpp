@@ -171,17 +171,27 @@ cmdRealign(const Args &args)
     std::vector<Read> reads = loadReads(
         args.get("reads", dir + "/aligned.samlite"), ref);
 
-    auto backend = makeBackend(backend_name);
+    // Observability: --counters 1 prints the performance-counter
+    // summary; --trace FILE additionally records the timeline and
+    // writes it as Chrome trace-event JSON (chrome://tracing).
+    std::string trace_path = args.get("trace", "");
+    bool trace = !trace_path.empty();
+    bool counters = trace || args.getInt("counters", 0) != 0;
+
+    auto backend = makeBackend(backend_name, counters, trace);
     std::printf("backend: %s (%s)\n", backend->name().c_str(),
                 backend->description().c_str());
 
     RealignStats total;
+    PerfReport perf;
     double seconds = 0.0;
     for (size_t c = 0; c < ref.numContigs(); ++c) {
         BackendRunResult run = backend->realignContig(
             ref, static_cast<int32_t>(c), reads);
         total.merge(run.stats);
         seconds += run.seconds;
+        if (run.perf.enabled)
+            perf.merge(run.perf, static_cast<uint32_t>(c));
     }
     std::string out = args.get("out", dir + "/realigned.samlite");
     std::ofstream f(out);
@@ -201,6 +211,26 @@ cmdRealign(const Args &args)
                     ? " (simulated FPGA + host)"
                     : "",
                 out.c_str());
+
+    if (counters) {
+        if (perf.enabled) {
+            std::printf("\n%s", renderPerfSummary(perf).c_str());
+        } else {
+            std::printf("\n(backend '%s' runs no simulator; "
+                        "counters unavailable)\n",
+                        backend_name.c_str());
+        }
+    }
+    if (trace && perf.enabled) {
+        std::ofstream tf(trace_path);
+        fatal_if(!tf, "cannot write trace '%s'",
+                 trace_path.c_str());
+        writeChromeTrace(tf, perf,
+                         perf.clockMhz > 0 ? perf.clockMhz : 125.0);
+        std::printf("wrote %s (%zu trace events; open in "
+                    "chrome://tracing or https://ui.perfetto.dev)\n",
+                    trace_path.c_str(), perf.trace.size());
+    }
     return 0;
 }
 
@@ -286,7 +316,8 @@ usage()
         "            [--coverage X] [--normal-coverage X]\n"
         "            [--paired 1] [--seed N]\n"
         "  realign   --dir DIR [--backend NAME] [--ref F]\n"
-        "            [--reads F] [--out F]\n"
+        "            [--reads F] [--out F] [--counters 1]\n"
+        "            [--trace trace.json]\n"
         "  call      --dir DIR [--ref F] [--reads F] [--out F]\n"
         "            [--lod X] [--min-depth N]\n"
         "  stats     --dir DIR [--ref F] [--reads F]\n\n"

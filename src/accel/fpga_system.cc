@@ -25,6 +25,39 @@ FpgaSystem::FpgaSystem(AccelConfig config)
         units.push_back(std::make_unique<IrUnitModel>(
             u, &cfg, &eq, ddr[u % cfg.ddrChannels].get(), &mem));
     }
+
+    if (cfg.perfCounters || cfg.perfTrace) {
+        perfMon = std::make_unique<PerfMonitor>(
+            PerfOptions{cfg.perfTrace});
+        size_t dma_idx = perfMon->registerChannel(dma.name());
+        dma.attachPerf(perfMon.get(), dma_idx);
+        size_t axi_idx = perfMon->registerChannel(axilite.name());
+        axilite.attachPerf(perfMon.get(), axi_idx);
+        for (auto &ch : ddr) {
+            size_t idx = perfMon->registerChannel(ch->name());
+            ch->attachPerf(perfMon.get(), idx);
+        }
+        // Block-RAM buffer classes, in IrBuffer order (the paper's
+        // Figure 6 "Structure Sizes").
+        size_t buffer_base = perfMon->registerBuffer(
+            "consensus-bases",
+            static_cast<uint64_t>(kMaxConsensuses) *
+                kMaxConsensusLen);
+        perfMon->registerBuffer(
+            "read-bases",
+            static_cast<uint64_t>(kMaxReads) * kMaxReadLen);
+        perfMon->registerBuffer(
+            "read-quals",
+            static_cast<uint64_t>(kMaxReads) * kMaxReadLen);
+        perfMon->registerBuffer("out-flags", kMaxReads);
+        perfMon->registerBuffer(
+            "out-positions", static_cast<uint64_t>(kMaxReads) * 4);
+        for (auto &u : units) {
+            perfMon->registerUnit(u->id());
+            u->attachPerf(perfMon.get(), buffer_base);
+        }
+        perfMon->registerTrack(kTraceTidScheduler, "scheduler");
+    }
 }
 
 bool
@@ -74,6 +107,8 @@ FpgaSystem::allocateTarget(const MarshalledTarget &target)
         mem.allocate(target.numReads);
     desc.bufferAddr[static_cast<size_t>(IrBuffer::OutPositions)] =
         mem.allocate(static_cast<uint64_t>(target.numReads) * 4);
+    if (perfMon)
+        perfMon->deviceMemWatermark(mem.allocated());
     return desc;
 }
 
@@ -119,6 +154,8 @@ FpgaSystem::runTarget(uint32_t unit, const TargetDescriptor &desc,
     // hub; command traffic from all units serializes here.
     Cycle delivered = axilite.transfer(
         eq.now(), cmds.size() * cfg.bytesPerCommand);
+    if (perfMon)
+        perfMon->sampleCmdQueueWait(delivered - eq.now());
 
     IrUnitModel *u = units[unit].get();
     eq.schedule(delivered, [this, u, targetId, precomputed,
@@ -195,6 +232,17 @@ FpgaSystem::stats() const
         units.empty() ? 0.0 : util / static_cast<double>(units.size());
     s.whd = whdTotal;
     return s;
+}
+
+PerfReport
+FpgaSystem::perfReport() const
+{
+    if (!perfMon)
+        return PerfReport{};
+    perfMon->finalize(eq.now());
+    PerfReport rep = perfMon->report();
+    rep.clockMhz = cfg.clockMhz;
+    return rep;
 }
 
 std::vector<UnitTimelineEntry>

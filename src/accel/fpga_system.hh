@@ -28,6 +28,7 @@
 #include "isa/ir_isa.hh"
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"
+#include "sim/perf_monitor.hh"
 
 namespace iracc {
 
@@ -150,6 +151,21 @@ class FpgaSystem
     /** Commands issued so far (RoCC command router counter). */
     uint64_t commandsIssued() const { return numCommands; }
 
+    /**
+     * The performance monitor, or null when the configuration left
+     * counters off (the default).  Constructed and attached to
+     * every channel and unit when config.perfCounters or
+     * config.perfTrace is set.
+     */
+    PerfMonitor *perf() { return perfMon.get(); }
+    const PerfMonitor *perf() const { return perfMon.get(); }
+
+    /**
+     * Finalized counter snapshot.  Returns a disabled (empty)
+     * report when counters are off.
+     */
+    PerfReport perfReport() const;
+
   private:
     AccelConfig cfg;
     ClockDomain clock;
@@ -159,6 +175,7 @@ class FpgaSystem
     SharedChannel axilite;
     std::vector<std::unique_ptr<SharedChannel>> ddr;
     std::vector<std::unique_ptr<IrUnitModel>> units;
+    std::unique_ptr<PerfMonitor> perfMon;
     uint64_t numCommands = 0;
     uint64_t numTargets = 0;
     WhdStats whdTotal;

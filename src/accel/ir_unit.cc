@@ -124,6 +124,30 @@ IrUnitModel::launch(uint64_t targetId,
     // through the arbiter tree; in-order service on the shared DDR
     // channel models the 32:1 arbitration.
     MarshalledTarget target = fetchInputs();
+    if (perf) {
+        // The three MemReader streams serialize through the unit's
+        // single TileLink port: every non-empty stream is a 5:1
+        // arbiter grant, and all but the first queue behind a
+        // sibling (a conflict).
+        uint64_t streams =
+            (target.consensusData.empty() ? 0u : 1u) +
+            (target.readData.empty() ? 0u : 1u) +
+            (target.qualData.empty() ? 0u : 1u);
+        perf->unitArb(unitId, streams,
+                      streams > 0 ? streams - 1 : 0);
+        perf->bufferWatermark(perfBufferBase +
+                                  static_cast<size_t>(
+                                      IrBuffer::ConsensusBases),
+                              target.consensusData.size());
+        perf->bufferWatermark(
+            perfBufferBase +
+                static_cast<size_t>(IrBuffer::ReadBases),
+            target.readData.size());
+        perf->bufferWatermark(
+            perfBufferBase +
+                static_cast<size_t>(IrBuffer::ReadQuals),
+            target.qualData.size());
+    }
     Cycle load_done = ddrChannel->transfer(
         eq->now(), target.totalInputBytes(),
         cfg->unitLinkBytesPerCycle);
@@ -153,6 +177,19 @@ IrUnitModel::launch(uint64_t targetId,
             // Writing: MemWriters drain output buffers #1/#2 into
             // device memory, where the host will read them.
             writeOutputs(result.output);
+            if (perf) {
+                // The two MemWriter streams are the remaining 5:1
+                // arbiter requesters.
+                perf->unitArb(unitId, 2, 1);
+                perf->bufferWatermark(
+                    perfBufferBase +
+                        static_cast<size_t>(IrBuffer::OutFlags),
+                    result.output.realignFlags.size());
+                perf->bufferWatermark(
+                    perfBufferBase +
+                        static_cast<size_t>(IrBuffer::OutPositions),
+                    result.output.newPositions.size() * 4);
+            }
             Cycle write_done = ddrChannel->transfer(
                 eq->now(),
                 static_cast<uint64_t>(result.output.realignFlags
@@ -168,6 +205,12 @@ IrUnitModel::launch(uint64_t targetId,
                 entry.finished = eq->now();
                 totalBusy += entry.finished - entry.dispatched;
                 ++numTargets;
+                if (perf) {
+                    perf->unitTarget(unitId, entry.targetId,
+                                     entry.dispatched, entry.loaded,
+                                     entry.computed,
+                                     entry.finished);
+                }
                 entries.push_back(entry);
                 inFlight = false;
                 on_response(std::move(result));

@@ -92,6 +92,19 @@ class IrUnitModel
         return entries;
     }
 
+    /**
+     * Attach a performance monitor.  @p buffer_base is the monitor
+     * index of buffer class 0 (IrBuffer order); the unit records
+     * per-target phase cycles, 5:1 arbiter grants/conflicts, and
+     * block-RAM occupancy watermarks.
+     */
+    void
+    attachPerf(PerfMonitor *monitor, size_t buffer_base)
+    {
+        perf = monitor;
+        perfBufferBase = buffer_base;
+    }
+
   private:
     /** Reassemble the marshalled target from device memory. */
     MarshalledTarget fetchInputs() const;
@@ -117,6 +130,8 @@ class IrUnitModel
     Cycle totalBusy = 0;
     uint64_t numTargets = 0;
     std::vector<UnitTimelineEntry> entries;
+    PerfMonitor *perf = nullptr;
+    size_t perfBufferBase = 0;
 };
 
 } // namespace iracc

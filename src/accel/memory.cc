@@ -31,6 +31,10 @@ SharedChannel::transfer(Cycle now, uint64_t bytes, uint64_t link_bpc)
     totalBusy += occupancy;
     totalBytes += bytes;
     ++numTransfers;
+    if (perf) {
+        perf->channelTransfer(perfChan, bytes, now, start,
+                              occupancy, busyUntil + latency);
+    }
     return busyUntil + latency;
 }
 

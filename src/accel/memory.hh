@@ -23,6 +23,7 @@
 
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"
+#include "sim/perf_monitor.hh"
 
 namespace iracc {
 
@@ -61,6 +62,18 @@ class SharedChannel
 
     const std::string &name() const { return channelName; }
 
+    /**
+     * Attach a performance monitor: every subsequent transfer is
+     * recorded as channel @p chan_idx (grant/conflict/wait/
+     * occupancy/bytes/latency, plus a trace span when tracing).
+     */
+    void
+    attachPerf(PerfMonitor *monitor, size_t chan_idx)
+    {
+        perf = monitor;
+        perfChan = chan_idx;
+    }
+
   private:
     std::string channelName;
     uint64_t bytesPerCycle;
@@ -69,6 +82,8 @@ class SharedChannel
     uint64_t totalBytes = 0;
     Cycle totalBusy = 0;
     uint64_t numTransfers = 0;
+    PerfMonitor *perf = nullptr;
+    size_t perfChan = 0;
 };
 
 } // namespace iracc

@@ -76,6 +76,17 @@ struct AccelConfig
     /** Cycles to poll/drain one response from the MMIO queue. */
     uint64_t cyclesPerResponse = 8;
 
+    /**
+     * Collect performance counters (src/sim/perf_monitor).  Off by
+     * default: when false no PerfMonitor is constructed and every
+     * instrumentation site reduces to one null-pointer test, so
+     * the hot path is unchanged.
+     */
+    bool perfCounters = false;
+
+    /** Also record timeline trace events (implies counters). */
+    bool perfTrace = false;
+
     /** @return a short human-readable description. */
     std::string describe() const;
 

@@ -71,6 +71,7 @@ class AcceleratedBackend : public RealignerBackend
                 static_cast<double>(run.fpga.dmaBusyCycles) /
                 static_cast<double>(run.makespan);
         }
+        out.perf = std::move(run.perf);
         return out;
     }
 
@@ -83,9 +84,18 @@ class AcceleratedBackend : public RealignerBackend
 } // anonymous namespace
 
 std::unique_ptr<RealignerBackend>
-makeBackend(const std::string &name)
+makeBackend(const std::string &name, bool perf_counters,
+            bool perf_trace)
 {
     SoftwareRealignerConfig sw;
+
+    // Accelerated configurations pick up the observability flags;
+    // applied below via this helper.
+    auto accel = [&](AccelConfig cfg) {
+        cfg.perfCounters = perf_counters;
+        cfg.perfTrace = perf_trace;
+        return cfg;
+    };
 
     if (name == "gatk3") {
         sw.prune = false;
@@ -119,25 +129,25 @@ makeBackend(const std::string &name)
         return std::make_unique<AcceleratedBackend>(
             name,
             "32 IR units, 32-wide data parallel, pruning, async",
-            AccelConfig::paperOptimized(),
+            accel(AccelConfig::paperOptimized()),
             SchedulePolicy::AsynchronousParallel);
     }
     if (name == "iracc-taskp") {
         return std::make_unique<AcceleratedBackend>(
             name, "32 scalar IR units, synchronous batches",
-            AccelConfig::taskParallelOnly(),
+            accel(AccelConfig::taskParallelOnly()),
             SchedulePolicy::SynchronousParallel);
     }
     if (name == "iracc-taskp-async") {
         return std::make_unique<AcceleratedBackend>(
             name, "32 scalar IR units, async scheduling",
-            AccelConfig::taskParallelOnly(),
+            accel(AccelConfig::taskParallelOnly()),
             SchedulePolicy::AsynchronousParallel);
     }
     if (name == "hls") {
         return std::make_unique<AcceleratedBackend>(
             name, "SDAccel/HLS build: 16 scalar units, no pruning",
-            AccelConfig::hlsSdaccel(),
+            accel(AccelConfig::hlsSdaccel()),
             SchedulePolicy::AsynchronousParallel);
     }
     fatal("unknown realigner backend '%s'", name.c_str());

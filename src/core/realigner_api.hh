@@ -32,6 +32,7 @@
 #include "genomics/read.hh"
 #include "genomics/reference.hh"
 #include "realign/realigner.hh"
+#include "sim/perf_monitor.hh"
 
 namespace iracc {
 
@@ -60,6 +61,13 @@ struct BackendRunResult
 
     /** Accelerated backends: mean unit utilization. */
     double unitUtilization = 0.0;
+
+    /**
+     * Accelerated backends: performance-counter snapshot
+     * (perf.enabled == false unless the backend was created with
+     * counters on; see makeBackend and docs/OBSERVABILITY.md).
+     */
+    PerfReport perf;
 };
 
 /** Uniform realignment backend. */
@@ -82,9 +90,17 @@ class RealignerBackend
 
 /**
  * Create a backend by registry name; fatal() on unknown names.
+ *
+ * @param perf_counters collect simulator performance counters
+ * @param perf_trace    also record timeline trace events
+ *
+ * Both flags are honoured by the accelerated backends only; the
+ * software baselines have no simulator to instrument and ignore
+ * them.
  */
 std::unique_ptr<RealignerBackend> makeBackend(
-    const std::string &name);
+    const std::string &name, bool perf_counters = false,
+    bool perf_trace = false);
 
 /** All registry names in display order. */
 std::vector<std::string> backendNames();

@@ -67,6 +67,7 @@ AcceleratedIrSystem::realignContig(const ReferenceGenome &ref,
     out.makespan = sched.makespan;
     out.fpgaSeconds = sys.cyclesToSeconds(sched.makespan);
     out.timeline = std::move(sched.timeline);
+    out.perf = std::move(sched.perf);
     return out;
 }
 

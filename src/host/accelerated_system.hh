@@ -43,6 +43,12 @@ struct AcceleratedRunResult
     std::vector<UnitTimelineEntry> timeline;
 
     /**
+     * Performance counters (perf.enabled == false unless the
+     * AccelConfig enabled them; see docs/OBSERVABILITY.md).
+     */
+    PerfReport perf;
+
+    /**
      * End-to-end runtime the paper reports: host preprocessing +
      * transfer + compute + response.
      */

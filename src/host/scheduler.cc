@@ -34,6 +34,9 @@ struct RunState
     size_t nextTarget = 0;
     size_t completed = 0;
 
+    /** Cycle each target became ready to dispatch (perf). */
+    std::vector<Cycle> readyAt;
+
     // Synchronous mode bookkeeping.
     size_t batchOutstanding = 0;
 
@@ -69,6 +72,12 @@ struct RunState
         res.output = sys->readOutputs(descriptors[t]);
         out->results[t] = std::move(res);
         ++completed;
+        if (PerfMonitor *p = sys->perf()) {
+            p->sampleTargetLatency(sys->now() - readyAt[t]);
+            p->traceSpan("target " + std::to_string(t), "sched",
+                         kTraceTidScheduler, readyAt[t],
+                         sys->now(), t);
+        }
     }
 };
 
@@ -82,6 +91,7 @@ asyncFeed(RunState &st, uint32_t unit)
     if (st.nextTarget >= st.targets->size())
         return;
     size_t t = st.nextTarget++;
+    st.readyAt[t] = st.sys->now();
     st.transferInputs(t, [&st, unit, t] {
         st.sys->runTarget(unit, st.descriptors[t], t,
                           [&st, unit, t](IrComputeResult &&res) {
@@ -104,6 +114,8 @@ syncBatch(RunState &st)
         st.sys->numUnits(), st.targets->size() - batch_begin);
     st.nextTarget += batch_size;
     st.batchOutstanding = batch_size;
+    for (size_t i = 0; i < batch_size; ++i)
+        st.readyAt[batch_begin + i] = st.sys->now();
 
     // The paper's initial design transferred the whole batch's
     // data before launching any unit; chain the per-target bursts
@@ -163,6 +175,7 @@ scheduleTargets(FpgaSystem &sys,
     st.precomputed = &precomputed;
     st.out = &out;
     st.descriptors.reserve(targets.size());
+    st.readyAt.resize(targets.size(), 0);
     for (const MarshalledTarget &mt : targets)
         st.descriptors.push_back(sys.allocateTarget(mt));
 
@@ -185,6 +198,7 @@ scheduleTargets(FpgaSystem &sys,
              st.completed, targets.size());
     out.timeline = sys.timeline();
     out.fpga = sys.stats();
+    out.perf = sys.perfReport();
     return out;
 }
 

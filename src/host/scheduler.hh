@@ -51,6 +51,12 @@ struct ScheduleResult
 
     /** System statistics snapshot. */
     FpgaRunStats fpga;
+
+    /**
+     * Performance-counter snapshot (perf.enabled == false unless
+     * the AccelConfig asked for counters/tracing).
+     */
+    PerfReport perf;
 };
 
 /**

@@ -1,0 +1,361 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+bool
+JsonValue::asBool() const
+{
+    panic_if(k != Kind::Bool, "JSON value is not a bool");
+    return boolVal;
+}
+
+double
+JsonValue::asNumber() const
+{
+    panic_if(k != Kind::Number, "JSON value is not a number");
+    return numVal;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    panic_if(k != Kind::String, "JSON value is not a string");
+    return strVal;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    panic_if(k != Kind::Array, "JSON value is not an array");
+    return arrVal;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::asObject() const
+{
+    panic_if(k != Kind::Object, "JSON value is not an object");
+    return objVal;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return k == Kind::Object && objVal.count(key) > 0;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    panic_if(k != Kind::Object, "JSON value is not an object");
+    auto it = objVal.find(key);
+    panic_if(it == objVal.end(), "JSON object has no member '%s'",
+             key.c_str());
+    return it->second;
+}
+
+const JsonValue &
+JsonValue::at(size_t index) const
+{
+    panic_if(k != Kind::Array, "JSON value is not an array");
+    panic_if(index >= arrVal.size(),
+             "JSON array index %zu out of range", index);
+    return arrVal[index];
+}
+
+size_t
+JsonValue::size() const
+{
+    if (k == Kind::Array)
+        return arrVal.size();
+    if (k == Kind::Object)
+        return objVal.size();
+    return 0;
+}
+
+/** Recursive-descent parser over a string. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : src(text), err(error)
+    {
+    }
+
+    JsonValue
+    run()
+    {
+        JsonValue v = parseValue();
+        if (!err->empty())
+            return JsonValue();
+        skipWs();
+        if (pos != src.size()) {
+            fail("trailing characters after document");
+            return JsonValue();
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (err->empty()) {
+            *err = "JSON parse error at offset " +
+                   std::to_string(pos) + ": " + what;
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < src.size() &&
+               (src[pos] == ' ' || src[pos] == '\t' ||
+                src[pos] == '\n' || src[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < src.size() && src[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        if (pos >= src.size()) {
+            fail("unexpected end of input");
+            return JsonValue();
+        }
+        char c = src[pos];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n')
+            return parseNull();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        fail(std::string("unexpected character '") + c + "'");
+        return JsonValue();
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.k = JsonValue::Kind::Object;
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return v;
+        while (true) {
+            skipWs();
+            if (pos >= src.size() || src[pos] != '"') {
+                fail("expected object key string");
+                return JsonValue();
+            }
+            JsonValue key = parseString();
+            if (!err->empty())
+                return JsonValue();
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return JsonValue();
+            }
+            JsonValue member = parseValue();
+            if (!err->empty())
+                return JsonValue();
+            v.objVal[key.strVal] = std::move(member);
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return v;
+            fail("expected ',' or '}' in object");
+            return JsonValue();
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.k = JsonValue::Kind::Array;
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return v;
+        while (true) {
+            JsonValue elem = parseValue();
+            if (!err->empty())
+                return JsonValue();
+            v.arrVal.push_back(std::move(elem));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return v;
+            fail("expected ',' or ']' in array");
+            return JsonValue();
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.k = JsonValue::Kind::String;
+        consume('"');
+        while (pos < src.size()) {
+            char c = src[pos++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.strVal += c;
+                continue;
+            }
+            if (pos >= src.size())
+                break;
+            char esc = src[pos++];
+            switch (esc) {
+              case '"': v.strVal += '"'; break;
+              case '\\': v.strVal += '\\'; break;
+              case '/': v.strVal += '/'; break;
+              case 'b': v.strVal += '\b'; break;
+              case 'f': v.strVal += '\f'; break;
+              case 'n': v.strVal += '\n'; break;
+              case 'r': v.strVal += '\r'; break;
+              case 't': v.strVal += '\t'; break;
+              case 'u': {
+                if (pos + 4 > src.size()) {
+                    fail("truncated \\u escape");
+                    return JsonValue();
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = src[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad hex digit in \\u escape");
+                        return JsonValue();
+                    }
+                }
+                // UTF-8 encode the code point (BMP only; the
+                // exporter never emits surrogate pairs).
+                if (code < 0x80) {
+                    v.strVal += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    v.strVal +=
+                        static_cast<char>(0xC0 | (code >> 6));
+                    v.strVal +=
+                        static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    v.strVal +=
+                        static_cast<char>(0xE0 | (code >> 12));
+                    v.strVal += static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F));
+                    v.strVal +=
+                        static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+                return JsonValue();
+            }
+        }
+        fail("unterminated string");
+        return JsonValue();
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = pos;
+        consume('-');
+        while (pos < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '.' || src[pos] == 'e' ||
+                src[pos] == 'E' || src[pos] == '+' ||
+                src[pos] == '-'))
+            ++pos;
+        JsonValue v;
+        v.k = JsonValue::Kind::Number;
+        char *end = nullptr;
+        std::string text = src.substr(start, pos - start);
+        v.numVal = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() ||
+            end != text.c_str() + text.size()) {
+            fail("malformed number '" + text + "'");
+            return JsonValue();
+        }
+        return v;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.k = JsonValue::Kind::Bool;
+        if (src.compare(pos, 4, "true") == 0) {
+            v.boolVal = true;
+            pos += 4;
+            return v;
+        }
+        if (src.compare(pos, 5, "false") == 0) {
+            v.boolVal = false;
+            pos += 5;
+            return v;
+        }
+        fail("expected 'true' or 'false'");
+        return JsonValue();
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (src.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            return JsonValue();
+        }
+        fail("expected 'null'");
+        return JsonValue();
+    }
+
+    const std::string &src;
+    std::string *err;
+    size_t pos = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *error)
+{
+    panic_if(error == nullptr, "JsonValue::parse needs an error out");
+    error->clear();
+    JsonParser p(text, error);
+    return p.run();
+}
+
+} // namespace iracc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * Exists so the repository can *validate* the JSON it emits (the
+ * Chrome trace-event exporter and the counter dumps of
+ * src/sim/perf_monitor) without a third-party dependency: the
+ * counter-conservation tests parse exported traces back and check
+ * them structurally.  Supports the full JSON value grammar
+ * (objects, arrays, strings with escapes, numbers, booleans,
+ * null); numbers are held as double, which is sufficient for the
+ * cycle counts we round-trip (< 2^53).
+ */
+
+#ifndef IRACC_UTIL_JSON_HH
+#define IRACC_UTIL_JSON_HH
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace iracc {
+
+/** One parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return k; }
+    bool isNull() const { return k == Kind::Null; }
+    bool isObject() const { return k == Kind::Object; }
+    bool isArray() const { return k == Kind::Array; }
+    bool isNumber() const { return k == Kind::Number; }
+    bool isString() const { return k == Kind::String; }
+    bool isBool() const { return k == Kind::Bool; }
+
+    /** Value accessors; panic() on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::map<std::string, JsonValue> &asObject() const;
+
+    /** @return true when this object has member @p key. */
+    bool has(const std::string &key) const;
+
+    /** Object member access; panic() when missing. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Array element access; panic() when out of range. */
+    const JsonValue &at(size_t index) const;
+
+    /** Array/object element count (0 otherwise). */
+    size_t size() const;
+
+    /**
+     * Parse @p text as one JSON document.
+     *
+     * @param text  the document
+     * @param error filled with a position-stamped message on
+     *              failure (required)
+     * @return the parsed value; Null kind on failure with *error
+     *         non-empty
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *error);
+
+  private:
+    Kind k = Kind::Null;
+    bool boolVal = false;
+    double numVal = 0.0;
+    std::string strVal;
+    std::vector<JsonValue> arrVal;
+    std::map<std::string, JsonValue> objVal;
+
+    friend class JsonParser;
+};
+
+} // namespace iracc
+
+#endif // IRACC_UTIL_JSON_HH
