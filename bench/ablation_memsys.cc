@@ -12,6 +12,8 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "core/realign_job.hh"
+#include "core/realigner_api.hh"
 #include "core/workload.hh"
 #include "host/accelerated_system.hh"
 #include "sim/perf_monitor.hh"
@@ -33,10 +35,12 @@ runConfig(const GenomeWorkload &wl, const ChromosomeWorkload &chr,
 {
     std::vector<Read> reads = chr.reads;
     cfg.perfCounters = true;
-    AcceleratedIrSystem sys(cfg,
-                            SchedulePolicy::AsynchronousParallel);
-    auto run = sys.realignContig(wl.reference, chr.contig, reads);
-    return ConfigResult{run.fpgaSeconds, std::move(run.perf)};
+    RealignSession session(
+        makeAcceleratedBackend("sweep", "memsys sweep point", cfg,
+                               SchedulePolicy::AsynchronousParallel));
+    RealignJobResult job =
+        session.runContig(wl.reference, chr.contig, reads);
+    return ConfigResult{job.fpgaSeconds, std::move(job.perf)};
 }
 
 /** Mean occupancy across all DDR channels of one run. */

@@ -17,6 +17,7 @@
 
 #include "align/aligner.hh"
 #include "bench_common.hh"
+#include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "refine/pipeline.hh"
 #include "util/table.hh"
@@ -59,38 +60,33 @@ main()
     double primary = at.total();
 
     // ---- Pipeline 2: alignment refinement ------------------------
-    RealignStage gatk3_stage = [](const ReferenceGenome &ref,
-                                  int32_t contig,
-                                  std::vector<Read> &reads) {
-        SoftwareRealignerConfig cfg;
-        cfg.prune = false;
-        cfg.threads = 8;
-        cfg.workAmplification = kJvmWorkAmplification;
-        return SoftwareRealigner(cfg).realignContig(ref, contig,
-                                                    reads);
-    };
-    RefineStageTimes refine_total;
-    std::vector<std::vector<Read>> refined;
+    // One genome-wide refinement pass; the IR stage is a gatk3
+    // RealignSession driven through the staged job engine.
+    RealignSession gatk3 = makeSession("gatk3");
+    GenomeRealignStage gatk3_stage =
+        [&](const ReferenceGenome &ref, std::vector<Read> &reads) {
+            return gatk3.run(ref, reads).stats;
+        };
+
+    std::vector<Read> refined;
+    std::vector<Variant> known;
     for (const auto &chr : wl.chromosomes) {
-        std::vector<Read> reads = chr.reads;
-        RefineResult res = runRefinementPipeline(
-            wl.reference, chr.contig, reads, gatk3_stage,
-            chr.truth);
-        refine_total.sortSeconds += res.times.sortSeconds;
-        refine_total.dupMarkSeconds += res.times.dupMarkSeconds;
-        refine_total.realignSeconds += res.times.realignSeconds;
-        refine_total.bqsrSeconds += res.times.bqsrSeconds;
-        refined.push_back(std::move(reads));
+        refined.insert(refined.end(), chr.reads.begin(),
+                       chr.reads.end());
+        known.insert(known.end(), chr.truth.begin(),
+                     chr.truth.end());
     }
+    RefineResult res = runRefinementPipeline(
+        wl.reference, refined, gatk3_stage, known);
+    const RefineStageTimes &refine_total = res.times;
     double refinement = refine_total.total();
 
     // ---- Pipeline 3: variant calling -----------------------------
     Timer vc_timer;
     uint64_t calls = 0;
-    for (size_t c = 0; c < wl.chromosomes.size(); ++c) {
-        const auto &chr = wl.chromosomes[c];
+    for (const auto &chr : wl.chromosomes) {
         calls += callVariants(
-                     wl.reference, refined[c], chr.contig, 0,
+                     wl.reference, refined, chr.contig, 0,
                      wl.reference.contig(chr.contig).length())
                      .size();
     }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "refine/pipeline.hh"
 #include "util/stats.hh"
@@ -27,15 +28,13 @@ main()
 
     GenomeWorkload wl = buildWorkload(bench::standardWorkload());
 
-    RealignStage gatk3_stage = [](const ReferenceGenome &ref,
-                                  int32_t contig,
-                                  std::vector<Read> &reads) {
-        SoftwareRealignerConfig cfg;
-        cfg.prune = false;
-        cfg.threads = 8;
-        cfg.workAmplification = kJvmWorkAmplification;
-        return SoftwareRealigner(cfg).realignContig(ref, contig,
-                                                    reads);
+    // Per-chromosome IR through the staged job engine: each call
+    // is a one-contig RealignJob over the gatk3 backend.
+    RealignSession gatk3 = makeSession("gatk3");
+    RealignStage gatk3_stage = [&](const ReferenceGenome &ref,
+                                   int32_t contig,
+                                   std::vector<Read> &reads) {
+        return gatk3.runContig(ref, contig, reads).stats;
     };
 
     Table table({"Chrom", "Sort(s)", "DupMark(s)", "IR(s)",

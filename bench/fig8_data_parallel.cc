@@ -17,7 +17,7 @@
 #include "bench_common.hh"
 #include "core/workload.hh"
 #include "host/scheduler.hh"
-#include "realign/realigner.hh"
+#include "realign/stages.hh"
 #include "sim/perf_monitor.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -38,17 +38,12 @@ main()
     GenomeWorkload wl = buildWorkload(params);
     const ChromosomeWorkload &chr = wl.chromosomes[0];
 
-    SoftwareRealigner planner{SoftwareRealignerConfig{}};
-    auto plan = planner.planContig(wl.reference, chr.contig,
-                                   chr.reads);
-    std::vector<MarshalledTarget> targets;
-    for (size_t t = 0; t < plan.targets.size(); ++t) {
-        if (plan.readsPerTarget[t].empty())
-            continue;
-        targets.push_back(marshalTarget(buildTargetInput(
-            wl.reference, chr.reads, plan.targets[t],
-            plan.readsPerTarget[t])));
-    }
+    ContigPlan plan = planStage(wl.reference, chr.contig,
+                                chr.reads);
+    PreparedContig prepared = prepareStage(
+        wl.reference, chr.reads, plan, /*marshal=*/true);
+    const std::vector<MarshalledTarget> &targets =
+        prepared.marshalled;
 
     Table table({"Width", "Pruning", "HDC cycles", "Selector",
                  "Speedup vs scalar", "Comparisons"});

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "host/machine_config.hh"
 #include "util/table.hh"
@@ -68,15 +69,14 @@ main()
     double costs[3] = {0, 0, 0};
     int idx = 0;
     for (const Row &row : rows) {
-        auto backend = makeBackend(row.backend);
-        double seconds = 0.0;
+        RealignSession session = makeSession(row.backend);
+        std::vector<Read> reads;
         for (const auto &chr : wl.chromosomes) {
-            std::vector<Read> reads = chr.reads;
-            seconds += backend
-                           ->realignContig(wl.reference, chr.contig,
-                                           reads)
-                           .seconds;
+            reads.insert(reads.end(), chr.reads.begin(),
+                         chr.reads.end());
         }
+        double seconds =
+            session.run(wl.reference, reads).seconds;
         double full_seconds = seconds * scale;
         double full_cost = runCostUsd(full_seconds, row.instance);
         costs[idx++] = full_cost;

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -34,23 +35,22 @@ main()
         params.chromosomes = {18, 19, 20, 21, 22};
     GenomeWorkload wl = buildWorkload(params);
 
-    auto gatk3 = makeBackend("gatk3");
-    auto hls = makeBackend("hls");
-    auto rtl = makeBackend("iracc");
+    RealignSession gatk3 = makeSession("gatk3");
+    RealignSession hls = makeSession("hls");
+    RealignSession rtl = makeSession("iracc");
 
     Table table({"Chrom", "GATK3(s)", "HLS(s)", "HLS speedup",
                  "RTL speedup"});
     std::vector<double> hls_speedups, rtl_speedups;
     for (const auto &chr : wl.chromosomes) {
-        std::vector<Read> r1 = chr.reads;
-        double g = gatk3->realignContig(wl.reference, chr.contig,
-                                        r1).seconds;
-        std::vector<Read> r2 = chr.reads;
-        double h = hls->realignContig(wl.reference, chr.contig,
-                                      r2).seconds;
-        std::vector<Read> r3 = chr.reads;
-        double rt = rtl->realignContig(wl.reference, chr.contig,
-                                       r3).seconds;
+        auto seconds = [&](const RealignSession &s) {
+            std::vector<Read> reads = chr.reads;
+            return s.runContig(wl.reference, chr.contig, reads)
+                .seconds;
+        };
+        double g = seconds(gatk3);
+        double h = seconds(hls);
+        double rt = seconds(rtl);
         hls_speedups.push_back(g / h);
         rtl_speedups.push_back(g / rt);
         table.addRow({"Ch" + std::to_string(chr.number),

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "core/workload.hh"
 #include "host/machine_config.hh"
@@ -69,15 +70,14 @@ main(int argc, char **argv)
     double cost_per_genome[3] = {0, 0, 0};
     int idx = 0;
     for (const Option &opt : options) {
-        auto backend = makeBackend(opt.backend);
-        double sample_seconds = 0.0;
+        RealignSession session = makeSession(opt.backend);
+        std::vector<Read> reads;
         for (const auto &chr : wl.chromosomes) {
-            std::vector<Read> reads = chr.reads;
-            sample_seconds += backend
-                                  ->realignContig(wl.reference,
-                                                  chr.contig, reads)
-                                  .seconds;
+            reads.insert(reads.end(), chr.reads.begin(),
+                         chr.reads.end());
         }
+        double sample_seconds =
+            session.run(wl.reference, reads).seconds;
         // Extrapolate: sample bp -> whole genome, then x scale.
         double genome_seconds = sample_seconds *
             (genome_bp / static_cast<double>(scale)) / sample_bp;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "core/workload.hh"
 #include "genomics/io.hh"
@@ -178,21 +179,24 @@ cmdRealign(const Args &args)
     bool trace = !trace_path.empty();
     bool counters = trace || args.getInt("counters", 0) != 0;
 
-    auto backend = makeBackend(backend_name, counters, trace);
-    std::printf("backend: %s (%s)\n", backend->name().c_str(),
-                backend->description().c_str());
+    RealignJobConfig job_cfg;
+    job_cfg.threads = static_cast<uint32_t>(
+        args.getInt("job-threads", 1));
 
-    RealignStats total;
-    PerfReport perf;
-    double seconds = 0.0;
-    for (size_t c = 0; c < ref.numContigs(); ++c) {
-        BackendRunResult run = backend->realignContig(
-            ref, static_cast<int32_t>(c), reads);
-        total.merge(run.stats);
-        seconds += run.seconds;
-        if (run.perf.enabled)
-            perf.merge(run.perf, static_cast<uint32_t>(c));
-    }
+    RealignSession session(
+        makeBackend(backend_name, counters, trace), job_cfg);
+    std::printf("backend: %s (%s), job threads: %u\n",
+                session.backend().name().c_str(),
+                session.backend().description().c_str(),
+                job_cfg.threads);
+
+    std::vector<int32_t> contigs;
+    for (size_t c = 0; c < ref.numContigs(); ++c)
+        contigs.push_back(static_cast<int32_t>(c));
+    RealignJobResult job = session.run(ref, contigs, reads);
+    const RealignStats &total = job.stats;
+    const PerfReport &perf = job.perf;
+    double seconds = job.seconds;
     std::string out = args.get("out", dir + "/realigned.samlite");
     std::ofstream f(out);
     fatal_if(!f, "cannot write '%s'", out.c_str());
@@ -205,12 +209,14 @@ cmdRealign(const Args &args)
                     total.readsRealigned),
                 static_cast<unsigned long long>(
                     total.readsConsidered));
-    std::printf("runtime: %.3f s%s\nwrote %s\n", seconds,
-                backend_name.rfind("iracc", 0) == 0 ||
-                        backend_name == "hls"
-                    ? " (simulated FPGA + host)"
-                    : "",
-                out.c_str());
+    std::printf("runtime: %.3f s%s (host wall %.3f s", seconds,
+                job.simulated ? " (simulated FPGA + host)" : "",
+                job.wallSeconds);
+    if (job_cfg.threads > 1) {
+        std::printf(", critical path %.3f s",
+                    job.criticalPathSeconds);
+    }
+    std::printf(")\nwrote %s\n", out.c_str());
 
     if (counters) {
         if (perf.enabled) {
@@ -316,8 +322,8 @@ usage()
         "            [--coverage X] [--normal-coverage X]\n"
         "            [--paired 1] [--seed N]\n"
         "  realign   --dir DIR [--backend NAME] [--ref F]\n"
-        "            [--reads F] [--out F] [--counters 1]\n"
-        "            [--trace trace.json]\n"
+        "            [--reads F] [--out F] [--job-threads N]\n"
+        "            [--counters 1] [--trace trace.json]\n"
         "  call      --dir DIR [--ref F] [--reads F] [--out F]\n"
         "            [--lod X] [--min-depth N]\n"
         "  stats     --dir DIR [--ref F] [--reads F]\n\n"

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "accel/ir_compute.hh"
+#include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "core/workload.hh"
 #include "realign/score.hh"
@@ -97,17 +98,17 @@ main()
                 chr.reads.size(), chr.truth.size());
 
     std::vector<Read> reads = chr.reads;
-    auto backend = makeBackend("iracc");
-    BackendRunResult run = backend->realignContig(wl.reference,
-                                                  chr.contig, reads);
-    std::printf("backend: %s\n", backend->description().c_str());
+    RealignSession session = makeSession("iracc");
+    RealignJobResult job = session.run(wl.reference, reads);
+    std::printf("backend: %s\n",
+                session.backend().description().c_str());
     std::printf("targets: %llu, reads realigned: %llu\n",
-                static_cast<unsigned long long>(run.stats.targets),
+                static_cast<unsigned long long>(job.stats.targets),
                 static_cast<unsigned long long>(
-                    run.stats.readsRealigned));
+                    job.stats.readsRealigned));
     std::printf("simulated FPGA time: %.3f ms (125 MHz), pruning "
                 "eliminated %.0f%% of work\n",
-                run.fpgaSeconds * 1e3,
-                run.stats.whd.prunedFraction() * 100.0);
+                job.fpgaSeconds * 1e3,
+                job.stats.whd.prunedFraction() * 100.0);
     return 0;
 }

@@ -14,6 +14,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "core/workload.hh"
 #include "genomics/io.hh"
@@ -74,9 +75,8 @@ main(int argc, char **argv)
 
     // Realign on the simulated accelerator and persist the result.
     int32_t contig = ref.findContig(autosomeName(22));
-    auto backend = makeBackend("iracc");
-    BackendRunResult run = backend->realignContig(ref, contig,
-                                                  reads);
+    RealignSession session = makeSession("iracc");
+    RealignJobResult run = session.runContig(ref, contig, reads);
     {
         std::ofstream f(sam_out);
         writeSamLite(f, ref, reads);

@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "core/workload.hh"
 #include "refine/pipeline.hh"
@@ -53,11 +54,12 @@ runPipeline(const GenomeWorkload &wl, const ChromosomeWorkload &chr,
         stage = [&out, backend_name](const ReferenceGenome &ref,
                                      int32_t contig,
                                      std::vector<Read> &rs) {
-            auto b = makeBackend(backend_name);
-            BackendRunResult run = b->realignContig(ref, contig, rs);
-            out.realignSeconds += run.seconds;
-            out.readsRealigned += run.stats.readsRealigned;
-            return run.stats;
+            RealignSession session = makeSession(backend_name);
+            RealignJobResult job =
+                session.runContig(ref, contig, rs);
+            out.realignSeconds += job.seconds;
+            out.readsRealigned += job.stats.readsRealigned;
+            return job.stats;
         };
     } else {
         stage = [](const ReferenceGenome &, int32_t,

@@ -1,0 +1,130 @@
+#include "core/realign_job.hh"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+#include "util/timer.hh"
+
+namespace iracc {
+
+RealignSession::RealignSession(
+    std::unique_ptr<const RealignerBackend> backend,
+    RealignJobConfig config)
+    : be(std::move(backend)), cfg(config)
+{
+    fatal_if(!be, "RealignSession needs a backend");
+    fatal_if(cfg.threads == 0, "realign job needs >= 1 thread");
+}
+
+RealignJobResult
+RealignSession::run(const ReferenceGenome &ref,
+                    std::vector<Read> &reads) const
+{
+    std::vector<int32_t> contigs;
+    contigs.reserve(8);
+    for (const Read &r : reads) {
+        if (!std::binary_search(contigs.begin(), contigs.end(),
+                                r.contig)) {
+            contigs.insert(std::lower_bound(contigs.begin(),
+                                            contigs.end(), r.contig),
+                           r.contig);
+        }
+    }
+    return run(ref, contigs, reads);
+}
+
+RealignJobResult
+RealignSession::run(const ReferenceGenome &ref,
+                    const std::vector<int32_t> &contigs,
+                    std::vector<Read> &reads) const
+{
+    Timer wall;
+    RealignJobResult job;
+    if (contigs.empty()) {
+        job.wallSeconds = wall.seconds();
+        return job;
+    }
+
+    // Partition the read set by contig once; each contig's worker
+    // only ever touches its own (disjoint) read indices, so the
+    // shared read vector can be mutated concurrently.
+    std::map<int32_t, std::vector<uint32_t>> byContig;
+    for (int32_t c : contigs)
+        byContig[c]; // realign requested contigs even if empty
+    for (uint32_t i = 0; i < reads.size(); ++i) {
+        auto it = byContig.find(reads[i].contig);
+        if (it != byContig.end())
+            it->second.push_back(i);
+    }
+
+    std::vector<int32_t> order;
+    order.reserve(byContig.size());
+    for (const auto &kv : byContig)
+        order.push_back(kv.first);
+
+    // Workers beyond the contig count or the physical core count
+    // only add contention (each accelerated contig runs its own
+    // cycle-level simulation, a cache-heavy CPU-bound job), so cap
+    // at both.  Results are bit-identical for any worker count; the
+    // cap only affects wall-clock.
+    const uint32_t hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const uint32_t workers = static_cast<uint32_t>(std::min<size_t>(
+        std::min<size_t>(cfg.threads, hw), order.size()));
+
+    // Per-contig results land in preallocated slots and are merged
+    // in ascending contig order at the barrier, so the job result
+    // is bit-identical for any worker count.
+    std::vector<ContigJobResult> slots(order.size());
+    auto runOne = [&](size_t i) {
+        const int32_t contig = order[i];
+        auto exec = be->makeExecuteStage(workers);
+        slots[i].contig = contig;
+        slots[i].run = runContigPipeline(
+            ref, contig, reads, be->targetParams(), *exec,
+            be->hostThreads(), &byContig[contig], cfg.seed);
+    };
+
+    if (workers <= 1) {
+        for (size_t i = 0; i < order.size(); ++i)
+            runOne(i);
+    } else {
+        ThreadPool pool(workers);
+        pool.parallelFor(order.size(), runOne);
+    }
+
+    // Barrier reached: deterministic in-order reduction.
+    job.contigs = std::move(slots);
+    for (const ContigJobResult &c : job.contigs) {
+        job.stats.merge(c.run.stats);
+        job.seconds += c.run.seconds;
+        job.criticalPathSeconds =
+            std::max(job.criticalPathSeconds, c.run.seconds);
+        job.fpgaSeconds += c.run.fpgaSeconds;
+        job.simulated = job.simulated || c.run.simulated;
+        job.perf.merge(c.run.perf,
+                       static_cast<uint32_t>(c.contig));
+    }
+    job.wallSeconds = wall.seconds();
+    return job;
+}
+
+RealignJobResult
+RealignSession::runContig(const ReferenceGenome &ref, int32_t contig,
+                          std::vector<Read> &reads) const
+{
+    return run(ref, std::vector<int32_t>{contig}, reads);
+}
+
+RealignSession
+makeSession(const std::string &backend_name, RealignJobConfig config,
+            bool perf_counters, bool perf_trace)
+{
+    return RealignSession(
+        makeBackend(backend_name, perf_counters, perf_trace), config);
+}
+
+} // namespace iracc

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The genome-level realignment job engine.
+ *
+ * The paper's end-to-end claim (Section V-A, Figure 9: 42 h ->
+ * 31 min) is about a whole genome, not a contig.  A RealignSession
+ * takes the complete read set, partitions it by contig once, and
+ * drives every contig through the staged pipeline
+ * (Plan -> Prepare -> Execute -> Apply) concurrently on a worker
+ * pool -- per-contig FpgaSystem instances for accelerated
+ * backends, deterministic per-contig RNG streams, statistics and
+ * performance counters merged in contig order at the barrier.
+ * Results are bit-identical for any thread count (asserted by
+ * tests/realign_job_test.cc).
+ *
+ * RealignerBackend::realignContig is a thin shim over a
+ * one-contig job, so existing per-contig callers keep working.
+ */
+
+#ifndef IRACC_CORE_REALIGN_JOB_HH
+#define IRACC_CORE_REALIGN_JOB_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/realigner_api.hh"
+#include "core/stage_pipeline.hh"
+
+namespace iracc {
+
+/** Configuration of a genome-level realignment job. */
+struct RealignJobConfig
+{
+    /**
+     * Contig-level worker threads.  Each worker owns one contig at
+     * a time with its own Execute stage (its own simulated FPGA
+     * for accelerated backends); 1 = serial contig loop.  The
+     * effective worker count is capped at the contig count and at
+     * the host's hardware concurrency (extra workers only thrash
+     * caches); results are bit-identical for any value.
+     */
+    uint32_t threads = 1;
+
+    /**
+     * Base seed of the job's deterministic RNG streams.  Every
+     * contig derives its stream from (seed, contig), so results
+     * are identical for any `threads` value.
+     */
+    uint64_t seed = kRealignStreamSeed;
+};
+
+/** One contig's slice of a job result. */
+struct ContigJobResult
+{
+    int32_t contig = 0;
+    BackendRunResult run;
+};
+
+/** Aggregate result of a genome-level realignment job. */
+struct RealignJobResult
+{
+    /** Per-contig results, ascending contig order. */
+    std::vector<ContigJobResult> contigs;
+
+    /** Statistics merged over all contigs (contig order). */
+    RealignStats stats;
+
+    /**
+     * Modeled end-to-end seconds: sum of the per-contig
+     * BackendRunResult::seconds, i.e. what a serial one-card
+     * deployment would report (the paper's Figure 9 metric).
+     */
+    double seconds = 0.0;
+
+    /** Measured host wall-clock of the whole job. */
+    double wallSeconds = 0.0;
+
+    /**
+     * Slowest single contig's modeled seconds: the lower bound of
+     * a fleet deployment with one card per contig (the Section VI
+     * fleet-sizing view).
+     */
+    double criticalPathSeconds = 0.0;
+
+    /** Accelerated backends: summed simulated-FPGA seconds. */
+    double fpgaSeconds = 0.0;
+
+    /** True when the backend ran on the cycle-level simulator. */
+    bool simulated = false;
+
+    /**
+     * Performance counters merged over all contigs at the job
+     * barrier, each contig's trace under its contig id as the
+     * Chrome trace pid (see docs/OBSERVABILITY.md).
+     */
+    PerfReport perf;
+};
+
+/**
+ * A reusable genome-level realignment session binding one backend
+ * to a job configuration.  Thread-compatible: run() may be called
+ * repeatedly; each call is internally parallel.
+ */
+class RealignSession
+{
+  public:
+    RealignSession(std::unique_ptr<const RealignerBackend> backend,
+                   RealignJobConfig config = {});
+
+    const RealignerBackend &backend() const { return *be; }
+    const RealignJobConfig &config() const { return cfg; }
+
+    /**
+     * Realign every contig that has reads, mutating @p reads in
+     * place.  Contigs run concurrently on config().threads
+     * workers; reads of different contigs are disjoint, so
+     * workers never touch the same element.
+     */
+    RealignJobResult run(const ReferenceGenome &ref,
+                         std::vector<Read> &reads) const;
+
+    /** Realign an explicit contig set (ascending processing order). */
+    RealignJobResult run(const ReferenceGenome &ref,
+                         const std::vector<int32_t> &contigs,
+                         std::vector<Read> &reads) const;
+
+    /** One-contig convenience (what the realignContig shim uses). */
+    RealignJobResult runContig(const ReferenceGenome &ref,
+                               int32_t contig,
+                               std::vector<Read> &reads) const;
+
+  private:
+    std::unique_ptr<const RealignerBackend> be;
+    RealignJobConfig cfg;
+};
+
+/** Build a session over a registry backend (see makeBackend). */
+RealignSession makeSession(const std::string &backend_name,
+                           RealignJobConfig config = {},
+                           bool perf_counters = false,
+                           bool perf_trace = false);
+
+} // namespace iracc
+
+#endif // IRACC_CORE_REALIGN_JOB_HH

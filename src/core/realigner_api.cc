@@ -1,46 +1,56 @@
 #include "core/realigner_api.hh"
 
+#include <algorithm>
+
 #include "host/accelerated_system.hh"
 #include "util/logging.hh"
-#include "util/timer.hh"
 
 namespace iracc {
 
 namespace {
 
-/** Software baseline wrapper. */
+/** Software baseline backend: software Execute stage. */
 class SoftwareBackend : public RealignerBackend
 {
   public:
     SoftwareBackend(std::string name, std::string desc,
                     SoftwareRealignerConfig cfg)
         : backendName(std::move(name)), desc(std::move(desc)),
-          engine(cfg)
+          cfg(std::move(cfg))
     {
     }
 
     std::string name() const override { return backendName; }
     std::string description() const override { return desc; }
 
-    BackendRunResult
-    realignContig(const ReferenceGenome &ref, int32_t contig,
-                  std::vector<Read> &reads) const override
+    TargetCreationParams
+    targetParams() const override
     {
-        BackendRunResult out;
-        Timer t;
-        out.stats = engine.realignContig(ref, contig, reads);
-        out.seconds = t.seconds();
-        out.simulated = false;
-        return out;
+        return cfg.targetParams;
+    }
+
+    uint32_t hostThreads() const override { return cfg.threads; }
+
+    std::unique_ptr<ExecuteStage>
+    makeExecuteStage(uint32_t concurrent_contigs) const override
+    {
+        // Contig-parallel jobs split the backend's target-level
+        // workers across contigs instead of oversubscribing.
+        SoftwareRealignerConfig stage_cfg = cfg;
+        if (concurrent_contigs > 1) {
+            stage_cfg.threads = std::max(
+                1u, cfg.threads / concurrent_contigs);
+        }
+        return std::make_unique<SoftwareExecuteStage>(stage_cfg);
     }
 
   private:
     std::string backendName;
     std::string desc;
-    SoftwareRealigner engine;
+    SoftwareRealignerConfig cfg;
 };
 
-/** Simulated-FPGA backend wrapper. */
+/** Simulated-FPGA backend: accelerated Execute stage. */
 class AcceleratedBackend : public RealignerBackend
 {
   public:
@@ -54,25 +64,12 @@ class AcceleratedBackend : public RealignerBackend
     std::string name() const override { return backendName; }
     std::string description() const override { return desc; }
 
-    BackendRunResult
-    realignContig(const ReferenceGenome &ref, int32_t contig,
-                  std::vector<Read> &reads) const override
+    std::unique_ptr<ExecuteStage>
+    makeExecuteStage(uint32_t) const override
     {
-        AcceleratedRunResult run = system.realignContig(ref, contig,
-                                                        reads);
-        BackendRunResult out;
-        out.stats = run.realign;
-        out.seconds = run.totalSeconds();
-        out.simulated = true;
-        out.fpgaSeconds = run.fpgaSeconds;
-        out.unitUtilization = run.fpga.meanUnitUtilization;
-        if (run.makespan > 0) {
-            out.dmaFraction =
-                static_cast<double>(run.fpga.dmaBusyCycles) /
-                static_cast<double>(run.makespan);
-        }
-        out.perf = std::move(run.perf);
-        return out;
+        // executeTargets() instantiates a fresh FpgaSystem per
+        // call, so each contig gets its own simulated card.
+        return std::make_unique<AcceleratedExecuteStage>(system);
     }
 
   private:
@@ -82,6 +79,35 @@ class AcceleratedBackend : public RealignerBackend
 };
 
 } // anonymous namespace
+
+BackendRunResult
+RealignerBackend::realignContig(const ReferenceGenome &ref,
+                                int32_t contig,
+                                std::vector<Read> &reads) const
+{
+    auto exec = makeExecuteStage(1);
+    return runContigPipeline(ref, contig, reads, targetParams(),
+                             *exec, hostThreads());
+}
+
+std::unique_ptr<RealignerBackend>
+makeSoftwareBackend(std::string name, std::string description,
+                    SoftwareRealignerConfig config)
+{
+    fatal_if(config.threads == 0, "realigner needs >= 1 thread");
+    fatal_if(config.workAmplification < 1.0,
+             "work amplification must be >= 1.0");
+    return std::make_unique<SoftwareBackend>(
+        std::move(name), std::move(description), std::move(config));
+}
+
+std::unique_ptr<RealignerBackend>
+makeAcceleratedBackend(std::string name, std::string description,
+                       AccelConfig config, SchedulePolicy policy)
+{
+    return std::make_unique<AcceleratedBackend>(
+        std::move(name), std::move(description), config, policy);
+}
 
 std::unique_ptr<RealignerBackend>
 makeBackend(const std::string &name, bool perf_counters,
@@ -101,51 +127,51 @@ makeBackend(const std::string &name, bool perf_counters,
         sw.prune = false;
         sw.threads = 8;
         sw.workAmplification = kJvmWorkAmplification;
-        return std::make_unique<SoftwareBackend>(
+        return makeSoftwareBackend(
             name, "GATK3-style software IR, 8 threads", sw);
     }
     if (name == "gatk3-1t") {
         sw.prune = false;
         sw.threads = 1;
         sw.workAmplification = kJvmWorkAmplification;
-        return std::make_unique<SoftwareBackend>(
+        return makeSoftwareBackend(
             name, "GATK3-style software IR, 1 thread", sw);
     }
     if (name == "adam") {
         sw.prune = true;
         sw.threads = 8;
         sw.workAmplification = kJvmWorkAmplification;
-        return std::make_unique<SoftwareBackend>(
+        return makeSoftwareBackend(
             name, "ADAM-style optimized software IR, 8 threads", sw);
     }
     if (name == "native") {
         sw.prune = true;
         sw.threads = 8;
         sw.workAmplification = 1;
-        return std::make_unique<SoftwareBackend>(
+        return makeSoftwareBackend(
             name, "tuned native software IR, 8 threads", sw);
     }
     if (name == "iracc") {
-        return std::make_unique<AcceleratedBackend>(
+        return makeAcceleratedBackend(
             name,
             "32 IR units, 32-wide data parallel, pruning, async",
             accel(AccelConfig::paperOptimized()),
             SchedulePolicy::AsynchronousParallel);
     }
     if (name == "iracc-taskp") {
-        return std::make_unique<AcceleratedBackend>(
+        return makeAcceleratedBackend(
             name, "32 scalar IR units, synchronous batches",
             accel(AccelConfig::taskParallelOnly()),
             SchedulePolicy::SynchronousParallel);
     }
     if (name == "iracc-taskp-async") {
-        return std::make_unique<AcceleratedBackend>(
+        return makeAcceleratedBackend(
             name, "32 scalar IR units, async scheduling",
             accel(AccelConfig::taskParallelOnly()),
             SchedulePolicy::AsynchronousParallel);
     }
     if (name == "hls") {
-        return std::make_unique<AcceleratedBackend>(
+        return makeAcceleratedBackend(
             name, "SDAccel/HLS build: 16 scalar units, no pruning",
             accel(AccelConfig::hlsSdaccel()),
             SchedulePolicy::AsynchronousParallel);

@@ -20,6 +20,13 @@
  *                      (paper "IRAcc-TaskP-Async")
  *   "hls"              the SDAccel/HLS build: 16 units, scalar, no
  *                      pruning (paper Section V-B)
+ *
+ * Every backend is a bundle of stage-pipeline pieces (see
+ * core/stage_pipeline.hh): all backends share Plan / Prepare /
+ * Apply and differ only in the Execute stage they provide.  The
+ * per-contig realignContig call is a thin shim over a one-contig
+ * RealignJob (core/realign_job.hh); genome-wide callers should
+ * use a RealignSession directly.
  */
 
 #ifndef IRACC_CORE_REALIGNER_API_HH
@@ -29,48 +36,16 @@
 #include <string>
 #include <vector>
 
+#include "core/stage_pipeline.hh"
 #include "genomics/read.hh"
 #include "genomics/reference.hh"
+#include "host/scheduler.hh"
 #include "realign/realigner.hh"
 #include "sim/perf_monitor.hh"
 
 namespace iracc {
 
-/** Result of one backend run over a contig. */
-struct BackendRunResult
-{
-    RealignStats stats;
-
-    /**
-     * End-to-end runtime in seconds.  For software backends this
-     * is measured host wall-clock; for accelerated backends it is
-     * the simulated FPGA time (cycles / clock) plus measured host
-     * pre/post-processing, matching the paper's end-to-end
-     * measurement (Section V-A).
-     */
-    double seconds = 0.0;
-
-    /** True when `seconds` came from the cycle-level simulator. */
-    bool simulated = false;
-
-    /** Accelerated backends: simulated-FPGA seconds only. */
-    double fpgaSeconds = 0.0;
-
-    /** Accelerated backends: DMA share of total cycles. */
-    double dmaFraction = 0.0;
-
-    /** Accelerated backends: mean unit utilization. */
-    double unitUtilization = 0.0;
-
-    /**
-     * Accelerated backends: performance-counter snapshot
-     * (perf.enabled == false unless the backend was created with
-     * counters on; see makeBackend and docs/OBSERVABILITY.md).
-     */
-    PerfReport perf;
-};
-
-/** Uniform realignment backend. */
+/** Uniform realignment backend: a named Execute-stage factory. */
 class RealignerBackend
 {
   public:
@@ -82,10 +57,33 @@ class RealignerBackend
     /** Human-readable description for reports. */
     virtual std::string description() const = 0;
 
-    /** Realign one contig's reads in place. */
-    virtual BackendRunResult realignContig(
-        const ReferenceGenome &ref, int32_t contig,
-        std::vector<Read> &reads) const = 0;
+    /** Target-creation knobs shared by all stages. */
+    virtual TargetCreationParams targetParams() const { return {}; }
+
+    /**
+     * Create this backend's Execute stage for one contig.
+     *
+     * @param concurrent_contigs number of contigs the caller runs
+     *        concurrently; backends with internal target-level
+     *        threading divide their worker count by it so a
+     *        parallel RealignJob does not oversubscribe the host.
+     *        Results are identical either way.
+     */
+    virtual std::unique_ptr<ExecuteStage>
+    makeExecuteStage(uint32_t concurrent_contigs = 1) const = 0;
+
+    /** Host-side threads available for the Prepare stage. */
+    virtual uint32_t hostThreads() const { return 1; }
+
+    /**
+     * Realign one contig's reads in place -- a thin shim that
+     * drives a one-contig staged pipeline (Plan -> Prepare ->
+     * Execute -> Apply).  Genome-wide callers should prefer
+     * RealignSession (core/realign_job.hh).
+     */
+    BackendRunResult realignContig(const ReferenceGenome &ref,
+                                   int32_t contig,
+                                   std::vector<Read> &reads) const;
 };
 
 /**
@@ -102,16 +100,25 @@ std::unique_ptr<RealignerBackend> makeBackend(
     const std::string &name, bool perf_counters = false,
     bool perf_trace = false);
 
-/** All registry names in display order. */
-std::vector<std::string> backendNames();
+/**
+ * Create a software backend with an explicit configuration (for
+ * ablations and tests that sweep non-registry design points).
+ */
+std::unique_ptr<RealignerBackend> makeSoftwareBackend(
+    std::string name, std::string description,
+    SoftwareRealignerConfig config);
 
 /**
- * Work-model multiplier applied to the JVM-based baselines
- * (GATK3, ADAM) to account for interpreted-framework overhead
- * relative to this repository's native kernel.  Documented in
- * DESIGN.md as part of the software-baseline substitution.
+ * Create an accelerated backend with an explicit configuration
+ * (for ablations and tests that sweep non-registry design points;
+ * the AccelConfig's perfCounters/perfTrace flags are honoured).
  */
-constexpr double kJvmWorkAmplification = 1.5;
+std::unique_ptr<RealignerBackend> makeAcceleratedBackend(
+    std::string name, std::string description, AccelConfig config,
+    SchedulePolicy policy);
+
+/** All registry names in display order. */
+std::vector<std::string> backendNames();
 
 } // namespace iracc
 

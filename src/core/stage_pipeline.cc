@@ -1,0 +1,92 @@
+#include "core/stage_pipeline.hh"
+
+#include "util/timer.hh"
+
+namespace iracc {
+
+ExecuteOutcome
+SoftwareExecuteStage::execute(const PreparedContig &prepared,
+                              uint64_t rng_seed)
+{
+    ExecuteOutcome out;
+    Timer t;
+
+    SoftwareExecuteParams params;
+    params.prune = cfg.prune;
+    params.threads = cfg.threads;
+    params.workAmplification = cfg.workAmplification;
+    params.rngSeed = rng_seed;
+
+    out.decisions = executeStageSoftware(prepared, params, &out.whd);
+    out.seconds = t.seconds();
+    out.simulated = false;
+    return out;
+}
+
+ExecuteOutcome
+AcceleratedExecuteStage::execute(const PreparedContig &prepared,
+                                 uint64_t rng_seed)
+{
+    (void)rng_seed; // the accelerated datapath is RNG-free
+    AccelExecuteResult run = system.executeTargets(prepared);
+
+    ExecuteOutcome out;
+    out.decisions = std::move(run.decisions);
+    out.whd = run.fpga.whd;
+    out.seconds = run.fpgaSeconds + run.hostSeconds;
+    out.simulated = true;
+    out.fpgaSeconds = run.fpgaSeconds;
+    out.unitUtilization = run.fpga.meanUnitUtilization;
+    if (run.makespan > 0) {
+        out.dmaFraction =
+            static_cast<double>(run.fpga.dmaBusyCycles) /
+            static_cast<double>(run.makespan);
+    }
+    out.perf = std::move(run.perf);
+    return out;
+}
+
+BackendRunResult
+runContigPipeline(const ReferenceGenome &ref, int32_t contig,
+                  std::vector<Read> &reads,
+                  const TargetCreationParams &targets,
+                  ExecuteStage &exec, uint32_t prepare_threads,
+                  const std::vector<uint32_t> *candidates,
+                  uint64_t rng_seed)
+{
+    BackendRunResult out;
+    Timer t;
+
+    // Plan: target creation + read claiming (no mutation).
+    ContigPlan plan = planStage(ref, contig, reads, targets,
+                                candidates);
+    out.stageTimes.planSeconds = t.seconds();
+
+    // Prepare: consensus generation (+ marshalling when the
+    // Execute stage consumes byte images).
+    t.restart();
+    PreparedContig prepared =
+        prepareStage(ref, reads, plan,
+                     exec.needsMarshalledTargets(), prepare_threads);
+    out.stageTimes.prepareSeconds = t.seconds();
+
+    // Execute: the backend-specific kernel.
+    ExecuteOutcome outcome = exec.execute(prepared, rng_seed);
+    out.stageTimes.executeSeconds = outcome.seconds;
+
+    // Apply: decision writeback + stats assembly.
+    t.restart();
+    out.stats = applyStage(prepared, outcome.decisions, reads);
+    out.stageTimes.applySeconds = t.seconds();
+
+    out.stats.whd = outcome.whd;
+    out.seconds = out.stageTimes.hostSeconds() + outcome.seconds;
+    out.simulated = outcome.simulated;
+    out.fpgaSeconds = outcome.fpgaSeconds;
+    out.dmaFraction = outcome.dmaFraction;
+    out.unitUtilization = outcome.unitUtilization;
+    out.perf = std::move(outcome.perf);
+    return out;
+}
+
+} // namespace iracc

@@ -13,6 +13,40 @@ AcceleratedIrSystem::AcceleratedIrSystem(AccelConfig config,
 {
 }
 
+AccelExecuteResult
+AcceleratedIrSystem::executeTargets(const PreparedContig &prepared) const
+{
+    panic_if(prepared.marshalled.size() != prepared.inputs.size(),
+             "accelerated Execute stage needs marshalled targets "
+             "(prepareStage(..., marshal=true))");
+
+    AccelExecuteResult out;
+
+    // Per-call FpgaSystem: every contig of a parallel job runs on
+    // its own simulated card instance.
+    FpgaSystem sys(cfg);
+    ScheduleResult sched = scheduleTargets(sys, prepared.marshalled,
+                                           schedPolicy);
+
+    // Translate raw accelerator outputs into decisions (host work,
+    // measured separately from the simulated FPGA time).
+    Timer host_timer;
+    out.decisions.reserve(prepared.inputs.size());
+    for (size_t t = 0; t < prepared.inputs.size(); ++t) {
+        const IrComputeResult &res = sched.results[t];
+        out.decisions.push_back(outputToDecision(
+            prepared.inputs[t], res.bestConsensus, res.output));
+    }
+    out.hostSeconds = host_timer.seconds();
+
+    out.fpga = sched.fpga;
+    out.makespan = sched.makespan;
+    out.fpgaSeconds = sys.cyclesToSeconds(sched.makespan);
+    out.timeline = std::move(sched.timeline);
+    out.perf = std::move(sched.perf);
+    return out;
+}
+
 AcceleratedRunResult
 AcceleratedIrSystem::realignContig(const ReferenceGenome &ref,
                                    int32_t contig,
@@ -21,53 +55,28 @@ AcceleratedIrSystem::realignContig(const ReferenceGenome &ref,
     AcceleratedRunResult out;
     Timer host_timer;
 
-    // Host preprocessing: target creation, read assignment, input
+    // Plan + Prepare: target creation, read assignment, input
     // assembly, and marshalling into DMA-able byte arrays.
-    SoftwareRealignerConfig plan_cfg;
-    plan_cfg.targetParams = targetParams;
-    SoftwareRealigner planner(plan_cfg);
-    auto plan = planner.planContig(ref, contig, reads);
-
-    std::vector<IrTargetInput> inputs;
-    std::vector<MarshalledTarget> marshalled;
-    inputs.reserve(plan.targets.size());
-    marshalled.reserve(plan.targets.size());
-    for (size_t t = 0; t < plan.targets.size(); ++t) {
-        if (plan.readsPerTarget[t].empty())
-            continue;
-        inputs.push_back(buildTargetInput(ref, reads, plan.targets[t],
-                                          plan.readsPerTarget[t]));
-        marshalled.push_back(marshalTarget(inputs.back()));
-    }
+    ContigPlan plan = planStage(ref, contig, reads, targetParams);
+    PreparedContig prepared = prepareStage(ref, reads, plan,
+                                           /*marshal=*/true);
     out.hostSeconds += host_timer.seconds();
 
-    // Simulated FPGA execution.
-    FpgaSystem sys(cfg);
-    ScheduleResult sched = scheduleTargets(sys, marshalled,
-                                           schedPolicy);
+    // Execute: simulated FPGA run.
+    AccelExecuteResult exec = executeTargets(prepared);
+    out.hostSeconds += exec.hostSeconds;
 
-    // Host postprocessing: translate raw accelerator outputs into
-    // read updates (shared applyDecision path).
+    // Apply: shared decision-writeback path.
     host_timer.restart();
-    out.realign.targets = inputs.size();
-    for (size_t t = 0; t < inputs.size(); ++t) {
-        const IrComputeResult &res = sched.results[t];
-        ConsensusDecision decision = outputToDecision(
-            inputs[t], res.bestConsensus, res.output);
-        out.realign.readsRealigned +=
-            applyDecision(inputs[t], decision, reads);
-        out.realign.readsConsidered += inputs[t].numReads();
-        out.realign.consensusesEvaluated +=
-            inputs[t].numConsensuses();
-    }
+    out.realign = applyStage(prepared, exec.decisions, reads);
     out.hostSeconds += host_timer.seconds();
 
-    out.fpga = sched.fpga;
-    out.realign.whd = sched.fpga.whd;
-    out.makespan = sched.makespan;
-    out.fpgaSeconds = sys.cyclesToSeconds(sched.makespan);
-    out.timeline = std::move(sched.timeline);
-    out.perf = std::move(sched.perf);
+    out.fpga = exec.fpga;
+    out.realign.whd = exec.fpga.whd;
+    out.makespan = exec.makespan;
+    out.fpgaSeconds = exec.fpgaSeconds;
+    out.timeline = std::move(exec.timeline);
+    out.perf = std::move(exec.perf);
     return out;
 }
 

@@ -18,8 +18,37 @@
 #include "accel/fpga_system.hh"
 #include "host/scheduler.hh"
 #include "realign/realigner.hh"
+#include "realign/stages.hh"
 
 namespace iracc {
+
+/**
+ * Accelerated Execute-stage outcome: the decisions the apply
+ * stage consumes plus the simulated-FPGA metrics of the run.
+ */
+struct AccelExecuteResult
+{
+    /** One decision per prepared target, index-aligned. */
+    std::vector<ConsensusDecision> decisions;
+
+    /** FPGA-system statistics (cycles, DMA, utilization). */
+    FpgaRunStats fpga;
+
+    /** Last-response cycle of the run. */
+    Cycle makespan = 0;
+
+    /** Simulated FPGA wall-clock seconds (makespan / clock). */
+    double fpgaSeconds = 0.0;
+
+    /** Measured host seconds converting raw outputs to decisions. */
+    double hostSeconds = 0.0;
+
+    /** Per-unit timeline (for scheduling analyses). */
+    std::vector<UnitTimelineEntry> timeline;
+
+    /** Performance counters (enabled iff the AccelConfig asked). */
+    PerfReport perf;
+};
 
 /** Result of one accelerated realignment run. */
 struct AcceleratedRunResult
@@ -73,11 +102,23 @@ class AcceleratedIrSystem
 
     /**
      * Realign one contig's reads in place using the simulated
-     * FPGA system.
+     * FPGA system: Plan -> Prepare(marshal) -> Execute(FPGA) ->
+     * Apply over the shared stage pipeline (realign/stages.hh).
      */
     AcceleratedRunResult realignContig(const ReferenceGenome &ref,
                                        int32_t contig,
                                        std::vector<Read> &reads) const;
+
+    /**
+     * The accelerated Execute stage alone: run every marshalled
+     * target of a prepared contig through a fresh per-call
+     * FpgaSystem instance (so concurrent contigs in a RealignJob
+     * each get their own simulated card) and convert the raw
+     * outputs into decisions.  @p prepared must have been built
+     * with marshalling enabled.
+     */
+    AccelExecuteResult
+    executeTargets(const PreparedContig &prepared) const;
 
     const AccelConfig &config() const { return cfg; }
     SchedulePolicy policy() const { return schedPolicy; }

@@ -1,12 +1,10 @@
 #include "realign/realigner.hh"
 
 #include <algorithm>
-#include <mutex>
-#include <numeric>
 
 #include "realign/limits.hh"
+#include "realign/stages.hh"
 #include "util/logging.hh"
-#include "util/thread_pool.hh"
 
 namespace iracc {
 
@@ -136,54 +134,7 @@ SoftwareRealigner::planContig(const ReferenceGenome &ref,
                               int32_t contig,
                               const std::vector<Read> &reads) const
 {
-    ContigPlan plan;
-    plan.targets = createTargets(reads, contig,
-                                 ref.contig(contig).length(),
-                                 cfg.targetParams);
-
-    // Sort read indices by start position for range queries.
-    std::vector<uint32_t> order(reads.size());
-    std::iota(order.begin(), order.end(), 0u);
-    std::sort(order.begin(), order.end(),
-              [&reads](uint32_t a, uint32_t b) {
-                  return reads[a].pos != reads[b].pos
-                      ? reads[a].pos < reads[b].pos
-                      : a < b;
-              });
-
-    // A read may straddle two targets; the first target claims it so
-    // targets never share (and never race on) a read.
-    std::vector<char> claimed(reads.size(), 0);
-    // No read spans more than its length plus the largest deletion
-    // we model; 4 KiB of slack is conservative.
-    const int64_t max_span = kMaxReadLen + 4096;
-
-    plan.readsPerTarget.reserve(plan.targets.size());
-    for (const IrTarget &target : plan.targets) {
-        std::vector<uint32_t> assigned;
-        auto first = std::lower_bound(
-            order.begin(), order.end(), target.start - max_span,
-            [&reads](uint32_t idx, int64_t pos) {
-                return reads[idx].pos < pos;
-            });
-        for (auto it = first; it != order.end(); ++it) {
-            const Read &read = reads[*it];
-            if (read.pos >= target.end)
-                break;
-            if (read.contig != contig || read.duplicate ||
-                claimed[*it]) {
-                continue;
-            }
-            if (!read.overlaps(contig, target.start, target.end))
-                continue;
-            if (assigned.size() >= kMaxReads)
-                break;
-            claimed[*it] = 1;
-            assigned.push_back(*it);
-        }
-        plan.readsPerTarget.push_back(std::move(assigned));
-    }
-    return plan;
+    return planStage(ref, contig, reads, cfg.targetParams);
 }
 
 RealignStats
@@ -191,54 +142,24 @@ SoftwareRealigner::realignContig(const ReferenceGenome &ref,
                                  int32_t contig,
                                  std::vector<Read> &reads) const
 {
-    ContigPlan plan = planContig(ref, contig, reads);
+    ContigPlan plan = planStage(ref, contig, reads,
+                                cfg.targetParams);
+    PreparedContig prepared = prepareStage(ref, reads, plan,
+                                           /*marshal=*/false,
+                                           cfg.threads);
 
-    RealignStats stats;
-    std::mutex stats_mtx;
+    SoftwareExecuteParams exec;
+    exec.prune = cfg.prune;
+    exec.threads = cfg.threads;
+    exec.workAmplification = cfg.workAmplification;
+    exec.rngSeed = cfg.rngSeed;
 
-    auto process_target = [&](size_t t) {
-        const auto &indices = plan.readsPerTarget[t];
-        if (indices.empty())
-            return;
-        IrTargetInput input = buildTargetInput(ref, reads,
-                                               plan.targets[t],
-                                               indices);
-        RealignStats local;
-        local.targets = 1;
-        local.readsConsidered = input.numReads();
-        local.consensusesEvaluated = input.numConsensuses();
+    WhdStats whd;
+    std::vector<ConsensusDecision> decisions =
+        executeStageSoftware(prepared, exec, &whd);
 
-        MinWhdGrid grid = minWhd(input, cfg.prune, &local.whd);
-        // Model heavier per-comparison cost of the JVM/Spark
-        // baselines by redoing the kernel; results are identical.
-        // Fractional amplification re-runs a deterministic subset
-        // of targets (target index modulo the fractional part).
-        uint32_t reps = static_cast<uint32_t>(cfg.workAmplification);
-        double frac = cfg.workAmplification - reps;
-        if (frac > 0.0 &&
-            static_cast<double>(t % 16) < frac * 16.0) {
-            ++reps;
-        }
-        for (uint32_t extra = 1; extra < reps; ++extra) {
-            WhdStats scratch;
-            MinWhdGrid again = minWhd(input, cfg.prune, &scratch);
-            panic_if(!(again == grid),
-                     "WHD kernel is non-deterministic");
-        }
-        ConsensusDecision decision = scoreAndSelect(grid);
-        local.readsRealigned = applyDecision(input, decision, reads);
-
-        std::lock_guard<std::mutex> lock(stats_mtx);
-        stats.merge(local);
-    };
-
-    if (cfg.threads == 1) {
-        for (size_t t = 0; t < plan.targets.size(); ++t)
-            process_target(t);
-    } else {
-        ThreadPool pool(cfg.threads);
-        pool.parallelFor(plan.targets.size(), process_target);
-    }
+    RealignStats stats = applyStage(prepared, decisions, reads);
+    stats.whd = whd;
     return stats;
 }
 

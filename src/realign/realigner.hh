@@ -28,30 +28,21 @@
 #include "genomics/reference.hh"
 #include "realign/consensus.hh"
 #include "realign/score.hh"
+#include "realign/stages.hh"
 #include "realign/target.hh"
 #include "realign/whd.hh"
 
 namespace iracc {
 
-/** Aggregate statistics from realigning one or more contigs. */
-struct RealignStats
-{
-    uint64_t targets = 0;
-    uint64_t readsConsidered = 0;
-    uint64_t readsRealigned = 0;
-    uint64_t consensusesEvaluated = 0;
-    WhdStats whd;
-
-    void
-    merge(const RealignStats &o)
-    {
-        targets += o.targets;
-        readsConsidered += o.readsConsidered;
-        readsRealigned += o.readsRealigned;
-        consensusesEvaluated += o.consensusesEvaluated;
-        whd.merge(o.whd);
-    }
-};
+/**
+ * Work-model multiplier applied to the JVM-based baselines
+ * (GATK3, ADAM) to account for interpreted-framework overhead
+ * relative to this repository's native kernel.  The single source
+ * of truth for the model: backends feed it into
+ * SoftwareRealignerConfig::workAmplification (documented in
+ * DESIGN.md as part of the software-baseline substitution).
+ */
+constexpr double kJvmWorkAmplification = 1.5;
 
 /**
  * Map a window-relative consensus offset back to a reference
@@ -94,39 +85,37 @@ struct SoftwareRealignerConfig
     /**
      * Artificial work multiplier used only to model the
      * interpreted-framework overhead of the Java/Spark baselines
-     * relative to tuned native code; 1.0 = none.  Fractional
-     * values re-run the kernel on a deterministic fraction of
-     * targets (e.g. 1.5 re-runs every other target once).
+     * relative to tuned native code; 1.0 = none (the JVM baselines
+     * pass kJvmWorkAmplification).  Fractional values re-run the
+     * kernel on a deterministic fraction of targets picked by
+     * per-target RNG streams (see SoftwareExecuteParams).
      */
     double workAmplification = 1.0;
+
+    /** Seed of the per-target RNG streams (see realign/stages.hh). */
+    uint64_t rngSeed = kRealignStreamSeed;
 };
 
 /**
- * The software realignment engine.
+ * The software realignment engine: a thin composition of the
+ * shared stage pipeline (realign/stages.hh) with the software
+ * Execute stage.
  */
 class SoftwareRealigner
 {
   public:
     explicit SoftwareRealigner(SoftwareRealignerConfig config);
 
-    /**
-     * Plan the per-target read assignment for one contig: targets
-     * plus, per target, the claimed read indices.  Each read is
-     * claimed by at most one target so targets stay independent.
-     */
-    struct ContigPlan
-    {
-        std::vector<IrTarget> targets;
-        std::vector<std::vector<uint32_t>> readsPerTarget;
-    };
+    /** Plan-stage output (see iracc::ContigPlan). */
+    using ContigPlan = iracc::ContigPlan;
 
-    /** Build the plan for one contig (no mutation). */
+    /** Build the plan for one contig (the Plan stage; no mutation). */
     ContigPlan planContig(const ReferenceGenome &ref, int32_t contig,
                           const std::vector<Read> &reads) const;
 
     /**
      * Realign every target on one contig, mutating @p reads in
-     * place.
+     * place: Plan -> Prepare -> Execute(software) -> Apply.
      */
     RealignStats realignContig(const ReferenceGenome &ref,
                                int32_t contig,

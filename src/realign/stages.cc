@@ -1,0 +1,197 @@
+#include "realign/stages.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "realign/limits.hh"
+#include "realign/realigner.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace iracc {
+
+ContigPlan
+planStage(const ReferenceGenome &ref, int32_t contig,
+          const std::vector<Read> &reads,
+          const TargetCreationParams &params,
+          const std::vector<uint32_t> *candidates)
+{
+    ContigPlan plan;
+    plan.contig = contig;
+    plan.targets = createTargets(reads, contig,
+                                 ref.contig(contig).length(),
+                                 params);
+
+    // Sort candidate read indices by start position for range
+    // queries.  Reads on other contigs are never claimed, so a
+    // pre-partitioned per-contig candidate list yields the same
+    // plan as scanning the whole read set.
+    std::vector<uint32_t> order;
+    if (candidates) {
+        order = *candidates;
+    } else {
+        order.resize(reads.size());
+        std::iota(order.begin(), order.end(), 0u);
+    }
+    std::sort(order.begin(), order.end(),
+              [&reads](uint32_t a, uint32_t b) {
+                  return reads[a].pos != reads[b].pos
+                      ? reads[a].pos < reads[b].pos
+                      : a < b;
+              });
+
+    // A read may straddle two targets; the first target claims it so
+    // targets never share (and never race on) a read.
+    std::vector<char> claimed(reads.size(), 0);
+    // No read spans more than its length plus the largest deletion
+    // we model; 4 KiB of slack is conservative.
+    const int64_t max_span = kMaxReadLen + 4096;
+
+    plan.readsPerTarget.reserve(plan.targets.size());
+    for (const IrTarget &target : plan.targets) {
+        std::vector<uint32_t> assigned;
+        auto first = std::lower_bound(
+            order.begin(), order.end(), target.start - max_span,
+            [&reads](uint32_t idx, int64_t pos) {
+                return reads[idx].pos < pos;
+            });
+        for (auto it = first; it != order.end(); ++it) {
+            const Read &read = reads[*it];
+            if (read.pos >= target.end)
+                break;
+            if (read.contig != contig || read.duplicate ||
+                claimed[*it]) {
+                continue;
+            }
+            if (!read.overlaps(contig, target.start, target.end))
+                continue;
+            if (assigned.size() >= kMaxReads)
+                break;
+            claimed[*it] = 1;
+            assigned.push_back(*it);
+        }
+        plan.readsPerTarget.push_back(std::move(assigned));
+    }
+    return plan;
+}
+
+PreparedContig
+prepareStage(const ReferenceGenome &ref,
+             const std::vector<Read> &reads, const ContigPlan &plan,
+             bool marshal, uint32_t threads)
+{
+    PreparedContig out;
+    out.contig = plan.contig;
+
+    // Only non-empty targets flow downstream; record which planned
+    // targets survive so workers can fill preallocated slots.
+    std::vector<size_t> live;
+    live.reserve(plan.targets.size());
+    for (size_t t = 0; t < plan.targets.size(); ++t) {
+        if (!plan.readsPerTarget[t].empty())
+            live.push_back(t);
+    }
+
+    out.inputs.resize(live.size());
+    if (marshal)
+        out.marshalled.resize(live.size());
+
+    auto prepare_one = [&](size_t i) {
+        size_t t = live[i];
+        out.inputs[i] = buildTargetInput(ref, reads, plan.targets[t],
+                                         plan.readsPerTarget[t]);
+        if (marshal)
+            out.marshalled[i] = marshalTarget(out.inputs[i]);
+    };
+
+    if (threads <= 1 || live.size() < 2) {
+        for (size_t i = 0; i < live.size(); ++i)
+            prepare_one(i);
+    } else {
+        ThreadPool pool(threads);
+        pool.parallelFor(live.size(), prepare_one);
+    }
+    return out;
+}
+
+std::vector<ConsensusDecision>
+executeStageSoftware(const PreparedContig &prepared,
+                     const SoftwareExecuteParams &params,
+                     WhdStats *whd)
+{
+    panic_if(params.threads == 0, "execute stage needs >= 1 thread");
+    panic_if(params.workAmplification < 1.0,
+             "work amplification must be >= 1.0");
+
+    const size_t n = prepared.inputs.size();
+    std::vector<ConsensusDecision> decisions(n);
+    std::vector<WhdStats> local(n);
+
+    auto execute_one = [&](size_t t) {
+        const IrTargetInput &input = prepared.inputs[t];
+        MinWhdGrid grid = minWhd(input, params.prune, &local[t]);
+        // Model heavier per-comparison cost of the JVM/Spark
+        // baselines by redoing the kernel; results are identical.
+        // Fractional amplification re-runs a subset picked by the
+        // target's own RNG stream, keyed on (contig, target), so
+        // the subset -- and every derived statistic -- does not
+        // depend on thread count or contig execution order.
+        uint32_t reps =
+            static_cast<uint32_t>(params.workAmplification);
+        double frac = params.workAmplification - reps;
+        if (frac > 0.0) {
+            Rng stream = Rng::stream(
+                params.rngSeed,
+                static_cast<uint64_t>(prepared.contig), t);
+            if (stream.chance(frac))
+                ++reps;
+        }
+        for (uint32_t extra = 1; extra < reps; ++extra) {
+            WhdStats scratch;
+            MinWhdGrid again = minWhd(input, params.prune, &scratch);
+            panic_if(!(again == grid),
+                     "WHD kernel is non-deterministic");
+        }
+        decisions[t] = scoreAndSelect(grid);
+    };
+
+    if (params.threads == 1 || n < 2) {
+        for (size_t t = 0; t < n; ++t)
+            execute_one(t);
+    } else {
+        ThreadPool pool(params.threads);
+        pool.parallelFor(n, execute_one);
+    }
+
+    // Reduce kernel counters in target order: deterministic for
+    // any thread count.
+    if (whd) {
+        for (const WhdStats &s : local)
+            whd->merge(s);
+    }
+    return decisions;
+}
+
+RealignStats
+applyStage(const PreparedContig &prepared,
+           const std::vector<ConsensusDecision> &decisions,
+           std::vector<Read> &reads)
+{
+    panic_if(decisions.size() != prepared.inputs.size(),
+             "apply stage: %zu decisions for %zu targets",
+             decisions.size(), prepared.inputs.size());
+
+    RealignStats stats;
+    stats.targets = prepared.inputs.size();
+    for (size_t t = 0; t < prepared.inputs.size(); ++t) {
+        const IrTargetInput &input = prepared.inputs[t];
+        stats.readsConsidered += input.numReads();
+        stats.consensusesEvaluated += input.numConsensuses();
+        stats.readsRealigned +=
+            applyDecision(input, decisions[t], reads);
+    }
+    return stats;
+}
+
+} // namespace iracc

@@ -8,6 +8,39 @@
 namespace iracc {
 
 RefineResult
+runRefinementPipeline(const ReferenceGenome &ref,
+                      std::vector<Read> &reads,
+                      const GenomeRealignStage &realigner,
+                      const std::vector<Variant> &known_sites)
+{
+    RefineResult out;
+    Timer t;
+
+    coordinateSort(reads);
+    out.times.sortSeconds = t.seconds();
+
+    t.restart();
+    out.duplicatesMarked = markDuplicates(reads);
+    out.times.dupMarkSeconds = t.seconds();
+
+    // The genome-level IR stage realigns every contig (possibly in
+    // parallel); the reorder pass restores coordinate order just
+    // like the per-contig flow below.
+    t.restart();
+    out.realign = realigner(ref, reads);
+    coordinateSort(reads);
+    out.times.realignSeconds = t.seconds();
+
+    t.restart();
+    BqsrTable table;
+    table.observe(ref, reads, known_sites);
+    table.recalibrate(reads);
+    out.times.bqsrSeconds = t.seconds();
+
+    return out;
+}
+
+RefineResult
 runRefinementPipeline(const ReferenceGenome &ref, int32_t contig,
                       std::vector<Read> &reads,
                       const RealignStage &realigner,

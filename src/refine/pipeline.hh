@@ -62,6 +62,16 @@ using RealignStage = std::function<RealignStats(
     const ReferenceGenome &, int32_t, std::vector<Read> &)>;
 
 /**
+ * Genome-level realignment stage: takes the whole (multi-contig)
+ * read set.  Callers typically wrap a core RealignSession (this
+ * library cannot depend on src/core), which realigns every contig
+ * concurrently -- sort, duplicate marking and BQSR all key on the
+ * contig, so the surrounding stages are contig-order safe.
+ */
+using GenomeRealignStage = std::function<RealignStats(
+    const ReferenceGenome &, std::vector<Read> &)>;
+
+/**
  * Run the full refinement pipeline on one contig's reads.
  *
  * @param ref         reference genome
@@ -73,6 +83,16 @@ using RealignStage = std::function<RealignStats(
 RefineResult runRefinementPipeline(
     const ReferenceGenome &ref, int32_t contig,
     std::vector<Read> &reads, const RealignStage &realigner,
+    const std::vector<Variant> &known_sites);
+
+/**
+ * Genome-wide refinement: one Sort -> DupMark -> IR -> BQSR pass
+ * over the complete read set, with the IR stage free to process
+ * contigs in parallel (see core/realign_job.hh).
+ */
+RefineResult runRefinementPipeline(
+    const ReferenceGenome &ref, std::vector<Read> &reads,
+    const GenomeRealignStage &realigner,
     const std::vector<Variant> &known_sites);
 
 } // namespace iracc

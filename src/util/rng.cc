@@ -150,4 +150,21 @@ Rng::fork()
     return Rng(next());
 }
 
+Rng
+Rng::stream(uint64_t seed, uint64_t a, uint64_t b)
+{
+    // Mix the stream coordinates into the seed one SplitMix64 step
+    // at a time; the constructor then expands the result into full
+    // xoshiro state.  Purely functional: no shared state, so the
+    // same (seed, a, b) triple yields the same stream on every
+    // thread and in any creation order.
+    uint64_t x = seed;
+    uint64_t mixed = splitMix64(x);
+    x ^= a * 0xD6E8FEB86659FD93ull;
+    mixed ^= splitMix64(x);
+    x ^= b * 0xC2B2AE3D27D4EB4Full;
+    mixed ^= splitMix64(x);
+    return Rng(mixed);
+}
+
 } // namespace iracc

@@ -62,6 +62,19 @@ class Rng
     /** Derive an independent child generator (for per-thread use). */
     Rng fork();
 
+    /**
+     * Derive a named, order-independent generator stream.
+     *
+     * Unlike fork(), which consumes state from the parent and so
+     * depends on how many values were drawn before it, stream()
+     * is a pure function of (seed, a, b): every caller that names
+     * the same stream gets the same bit sequence no matter how
+     * many threads are running or in what order streams are
+     * created.  Used to give each (contig, target) its own
+     * reproducible randomness in the parallel realignment job.
+     */
+    static Rng stream(uint64_t seed, uint64_t a, uint64_t b = 0);
+
     /** Fisher-Yates shuffle of a vector. */
     template <typename T>
     void

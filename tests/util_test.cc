@@ -106,6 +106,50 @@ TEST(Rng, GeometricMeanMatches)
     EXPECT_NEAR(acc.mean(), (1.0 - p) / p, 0.1);
 }
 
+TEST(Rng, StreamIsPureFunctionOfKeys)
+{
+    // Same (seed, a, b) -> identical stream, regardless of when or
+    // in what order streams are created (the property the parallel
+    // RealignJob relies on for reproducible multithreaded runs).
+    Rng s1 = Rng::stream(42, 7, 3);
+    Rng junk = Rng::stream(42, 999, 1); // interleaved creation
+    (void)junk.next();
+    Rng s2 = Rng::stream(42, 7, 3);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(s1.next(), s2.next());
+}
+
+TEST(Rng, StreamKeysDecorrelate)
+{
+    // Distinct seeds or stream keys must yield distinct streams,
+    // including single-bit key changes.
+    const std::pair<uint64_t, uint64_t> keys[] = {
+        {0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {21, 5}, {22, 5}};
+    std::set<uint64_t> firsts;
+    for (const auto &k : keys) {
+        firsts.insert(Rng::stream(42, k.first, k.second).next());
+        firsts.insert(Rng::stream(43, k.first, k.second).next());
+    }
+    EXPECT_EQ(firsts.size(), 2 * (sizeof(keys) / sizeof(keys[0])));
+
+    Rng a = Rng::stream(42, 7, 0);
+    Rng b = Rng::stream(42, 7, 1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StreamChanceIsUniform)
+{
+    // chance(p) over many per-key streams hits ~p, so fractional
+    // work amplification re-runs the intended share of targets.
+    int hits = 0;
+    for (uint64_t t = 0; t < 10000; ++t)
+        hits += Rng::stream(42, 21, t).chance(0.5) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.5, 0.02);
+}
+
 TEST(Rng, ShuffleIsPermutation)
 {
     Rng rng(21);
