@@ -61,12 +61,15 @@ ddrOccupancy(const PerfReport &rep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     bench::banner("ablation_memsys",
                   "Sections III-B/IV -- interconnect width, DDR "
                   "channels, clock recipe");
+    obs::BenchReport report = bench::makeReport(
+        "ablation_memsys",
+        "Sections III-B/IV -- memory-system ablation");
 
     WorkloadParams params = bench::standardWorkload();
     params.chromosomes = {20};
@@ -148,5 +151,15 @@ main()
                 "channel and a\nmodest 256-bit TileLink sufficed; "
                 "frequency scales performance directly,\nbut "
                 "125 MHz was the routable recipe.\n");
+
+    report.addValue("baseFpgaSeconds", base_time);
+    report.addValue("baseDdrOccupancy",
+                    ddrOccupancy(base_res.perf));
+    report.addValue("baseUnitUtilization",
+                    base_res.perf.meanUnitUtilization());
+    report.addTable("interconnectWidths", widths);
+    report.addTable("ddrChannels", ddr);
+    report.addTable("clockRecipes", clock);
+    bench::finishReport(report, argc, argv);
     return 0;
 }

@@ -21,12 +21,15 @@
 using namespace iracc;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     bench::banner("ablation_pruning",
                   "Section III-A -- computation pruning ablation "
                   "(paper: >50% of computations eliminated)");
+    obs::BenchReport report = bench::makeReport(
+        "ablation_pruning",
+        "Section III-A -- computation pruning ablation");
 
     WorkloadParams params = bench::standardWorkload();
     if (params.chromosomes.empty())
@@ -82,5 +85,9 @@ main()
     std::printf("\nPaper: pruning eliminates >50%% of computations "
                 "for a small register and\ncompare; results are "
                 "bit-identical (verified by the test suite).\n");
+
+    report.addValue("eliminatedFractionMean", eliminated.mean());
+    report.addTable("perChromosome", table);
+    bench::finishReport(report, argc, argv);
     return 0;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/workload.hh"
+#include "obs/bench_report.hh"
 #include "util/logging.hh"
 
 namespace iracc {
@@ -81,6 +82,30 @@ banner(const char *experiment, const char *paper_ref)
                 static_cast<long long>(scaleDivisor()));
     std::printf("==============================================="
                 "=================\n\n");
+}
+
+/**
+ * Start a machine-readable report for this run, pre-filled with
+ * the bench identity and the scale/chromosome knobs (see
+ * obs/bench_report.hh for the schema).
+ */
+inline obs::BenchReport
+makeReport(const char *experiment, const char *paper_ref)
+{
+    obs::BenchReport rep(experiment, paper_ref);
+    rep.setScale(scaleDivisor());
+    rep.setChromosomes(chromosomeSet());
+    return rep;
+}
+
+/**
+ * Write @p rep if `--json <path>` or IRACC_BENCH_JSON names an
+ * output file; a no-op otherwise.  Call once, at the end of main.
+ */
+inline void
+finishReport(const obs::BenchReport &rep, int argc, char **argv)
+{
+    rep.writeToPath(obs::BenchReport::jsonPathFromArgs(argc, argv));
 }
 
 } // namespace bench

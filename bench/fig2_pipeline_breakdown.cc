@@ -7,6 +7,12 @@
  * primary pipeline's internal stage shares (SMEM generation,
  * suffix-array lookup, Smith-Waterman seed extension, output).
  *
+ * Every number printed here is read back from the host
+ * MetricsRegistry the libraries sample into (the
+ * `align.stage.*` / `refine.stage.*` / `variant.call.seconds`
+ * histograms), so this bench, `--metrics` exports and trace spans
+ * all report from one source of truth.
+ *
  * Paper shape to reproduce: refinement is the slowest pipeline
  * (~60 % of total, ~4x the primary pipeline); Smith-Waterman is
  * only ~5 % of the total and suffix-array lookup ~1.5 %, which is
@@ -19,20 +25,31 @@
 #include "bench_common.hh"
 #include "core/realign_job.hh"
 #include "core/realigner_api.hh"
+#include "obs/obs.hh"
 #include "refine/pipeline.hh"
 #include "util/table.hh"
-#include "util/timer.hh"
 #include "variant/caller.hh"
 
 using namespace iracc;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     bench::banner("fig2_pipeline_breakdown",
                   "Figure 2 -- genomic analysis execution time "
                   "breakdown (three pipelines)");
+    obs::BenchReport report = bench::makeReport(
+        "fig2_pipeline_breakdown",
+        "Figure 2 -- genomic analysis execution time breakdown");
+
+    // The one source of truth: every pipeline below samples its
+    // stage seconds into this registry, and every number printed
+    // is read back out of it.
+    obs::MetricsRegistry reg;
+    obs::Observability ob;
+    ob.metrics = &reg;
+    report.setMetrics(&reg);
 
     // A subset of chromosomes keeps the full three-pipeline run
     // tractable; the breakdown is a ratio, so the subset preserves
@@ -44,7 +61,7 @@ main()
 
     // ---- Pipeline 1: primary alignment ---------------------------
     ReadAligner aligner(wl.reference);
-    uint64_t aligned = 0, total_reads = 0;
+    aligner.setObservability(&ob);
     for (const auto &chr : wl.chromosomes) {
         // Strip the simulator's alignments; the aligner rebuilds
         // them from scratch, exactly the primary pipeline's job.
@@ -53,16 +70,16 @@ main()
             r.pos = 0;
             r.cigar = Cigar();
         }
-        aligned += aligner.alignAll(raw);
-        total_reads += raw.size();
+        aligner.alignAll(raw);
     }
-    const AlignerStageTimes &at = aligner.stageTimes();
-    double primary = at.total();
 
     // ---- Pipeline 2: alignment refinement ------------------------
     // One genome-wide refinement pass; the IR stage is a gatk3
     // RealignSession driven through the staged job engine.
-    RealignSession gatk3 = makeSession("gatk3");
+    RealignJobConfig job_cfg;
+    job_cfg.obs = &ob;
+    RealignSession gatk3 =
+        RealignSession(makeBackend("gatk3"), job_cfg);
     GenomeRealignStage gatk3_stage =
         [&](const ReferenceGenome &ref, std::vector<Read> &reads) {
             return gatk3.run(ref, reads).stats;
@@ -76,29 +93,47 @@ main()
         known.insert(known.end(), chr.truth.begin(),
                      chr.truth.end());
     }
-    RefineResult res = runRefinementPipeline(
-        wl.reference, refined, gatk3_stage, known);
-    const RefineStageTimes &refine_total = res.times;
-    double refinement = refine_total.total();
+    runRefinementPipeline(wl.reference, refined, gatk3_stage, known,
+                          &ob);
 
     // ---- Pipeline 3: variant calling -----------------------------
-    Timer vc_timer;
-    uint64_t calls = 0;
     for (const auto &chr : wl.chromosomes) {
-        calls += callVariants(
-                     wl.reference, refined, chr.contig, 0,
-                     wl.reference.contig(chr.contig).length())
-                     .size();
+        callVariants(wl.reference, refined, chr.contig, 0,
+                     wl.reference.contig(chr.contig).length(), {},
+                     &ob);
     }
-    double calling = vc_timer.seconds();
 
-    double total = primary + refinement + calling;
+    // ---- Report: everything below reads from the registry --------
+    const double smem = reg.histogramSum("align.stage.smem.seconds");
+    const double lookup =
+        reg.histogramSum("align.stage.lookup.seconds");
+    const double extend =
+        reg.histogramSum("align.stage.extend.seconds");
+    const double out_other =
+        reg.histogramSum("align.stage.output.seconds") +
+        reg.histogramSum("align.stage.other.seconds");
+    const double primary = smem + lookup + extend + out_other;
+
+    const double sort = reg.histogramSum("refine.stage.sort.seconds");
+    const double dupmark =
+        reg.histogramSum("refine.stage.dupmark.seconds");
+    const double realign =
+        reg.histogramSum("refine.stage.realign.seconds");
+    const double bqsr = reg.histogramSum("refine.stage.bqsr.seconds");
+    const double refinement = sort + dupmark + realign + bqsr;
+
+    const double calling = reg.histogramSum("variant.call.seconds");
+    const double total = primary + refinement + calling;
 
     std::printf("Pipeline totals (%llu reads, %llu aligned, %llu "
                 "variants called):\n",
-                static_cast<unsigned long long>(total_reads),
-                static_cast<unsigned long long>(aligned),
-                static_cast<unsigned long long>(calls));
+                static_cast<unsigned long long>(
+                    reg.counterValue("align.reads.total")),
+                static_cast<unsigned long long>(
+                    reg.counterValue("align.reads.aligned")),
+                static_cast<unsigned long long>(
+                    reg.counterValue("variant.calls.snv") +
+                    reg.counterValue("variant.calls.indel")));
     Table top({"Pipeline", "Seconds", "Share", "Paper share"});
     top.addRow({"1. Primary alignment", Table::num(primary, 2),
                 Table::pct(primary / total), "~15% (~17h)"});
@@ -113,35 +148,27 @@ main()
     Table stages({"Stage", "Pipeline", "Seconds", "Share",
                   "Paper"});
     stages.addRow({"SMEM generation", "primary",
-                   Table::num(at.smemSeconds, 2),
-                   Table::pct(at.smemSeconds / total), "~7%"});
-    stages.addRow({"Suffix array lookup", "primary",
-                   Table::num(at.lookupSeconds, 2),
-                   Table::pct(at.lookupSeconds / total), "~1.5%"});
-    stages.addRow({"Seed extension (SW)", "primary",
-                   Table::num(at.extendSeconds, 2),
-                   Table::pct(at.extendSeconds / total), "~5%"});
-    stages.addRow({"Output + other", "primary",
-                   Table::num(at.outputSeconds + at.otherSeconds, 2),
-                   Table::pct((at.outputSeconds + at.otherSeconds) /
-                              total),
-                   "~1.5%"});
-    stages.addRow({"Sort", "refinement",
-                   Table::num(refine_total.sortSeconds, 2),
-                   Table::pct(refine_total.sortSeconds / total),
-                   "~4%"});
-    stages.addRow({"Duplicate marking", "refinement",
-                   Table::num(refine_total.dupMarkSeconds, 2),
-                   Table::pct(refine_total.dupMarkSeconds / total),
+                   Table::num(smem, 2), Table::pct(smem / total),
                    "~7%"});
+    stages.addRow({"Suffix array lookup", "primary",
+                   Table::num(lookup, 2), Table::pct(lookup / total),
+                   "~1.5%"});
+    stages.addRow({"Seed extension (SW)", "primary",
+                   Table::num(extend, 2), Table::pct(extend / total),
+                   "~5%"});
+    stages.addRow({"Output + other", "primary",
+                   Table::num(out_other, 2),
+                   Table::pct(out_other / total), "~1.5%"});
+    stages.addRow({"Sort", "refinement", Table::num(sort, 2),
+                   Table::pct(sort / total), "~4%"});
+    stages.addRow({"Duplicate marking", "refinement",
+                   Table::num(dupmark, 2),
+                   Table::pct(dupmark / total), "~7%"});
     stages.addRow({"INDEL realignment", "refinement",
-                   Table::num(refine_total.realignSeconds, 2),
-                   Table::pct(refine_total.realignSeconds / total),
-                   "~34%"});
-    stages.addRow({"BQSR", "refinement",
-                   Table::num(refine_total.bqsrSeconds, 2),
-                   Table::pct(refine_total.bqsrSeconds / total),
-                   "~15%"});
+                   Table::num(realign, 2),
+                   Table::pct(realign / total), "~34%"});
+    stages.addRow({"BQSR", "refinement", Table::num(bqsr, 2),
+                   Table::pct(bqsr / total), "~15%"});
     stages.addRow({"Variant calling", "calling",
                    Table::num(calling, 2),
                    Table::pct(calling / total), "~25%"});
@@ -156,5 +183,14 @@ main()
                 "cheaper than their GATK3\nJava counterparts, so "
                 "the non-IR refinement stages under-weigh the "
                 "paper's\nshares (see EXPERIMENTS.md).\n");
+
+    report.addValue("primarySeconds", primary);
+    report.addValue("refinementSeconds", refinement);
+    report.addValue("callingSeconds", calling);
+    report.addValue("totalSeconds", total);
+    report.addValue("irShare", total > 0 ? realign / total : 0.0);
+    report.addTable("pipelines", top);
+    report.addTable("stages", stages);
+    bench::finishReport(report, argc, argv);
     return 0;
 }

@@ -19,12 +19,15 @@
 using namespace iracc;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     bench::banner("fig3_ir_fraction",
                   "Figure 3 -- IR share of the alignment-refinement "
                   "pipeline, per chromosome");
+    obs::BenchReport report = bench::makeReport(
+        "fig3_ir_fraction",
+        "Figure 3 -- IR share of refinement, per chromosome");
 
     GenomeWorkload wl = buildWorkload(bench::standardWorkload());
 
@@ -63,5 +66,11 @@ main()
                 "Measured range: %s - %s\n",
                 Table::pct(fractions.min()).c_str(),
                 Table::pct(fractions.max()).c_str());
+
+    report.addValue("irFractionMean", fractions.mean());
+    report.addValue("irFractionMin", fractions.min());
+    report.addValue("irFractionMax", fractions.max());
+    report.addTable("perChromosome", table);
+    bench::finishReport(report, argc, argv);
     return 0;
 }

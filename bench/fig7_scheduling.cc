@@ -125,6 +125,11 @@ main(int argc, char **argv)
                   "Figure 7 -- synchronous vs asynchronous "
                   "scheduling, 8 targets / 4 units");
 
+    obs::BenchReport report = bench::makeReport(
+        "fig7_scheduling",
+        "Figure 7 -- sync vs async scheduling, 8 targets / 4 "
+        "units");
+
     // `fig7_scheduling --trace out.json` additionally dumps both
     // runs as one Chrome trace (sync = process 0, async = 1).
     std::string trace_path;
@@ -172,6 +177,17 @@ main(int argc, char **argv)
                     .c_str());
     std::printf("Paper: async scheduling contributed an average "
                 "6.2x across the full workload.\n");
+
+    report.addValue("asyncGain", gain);
+    report.addValue("syncMakespanCycles",
+                    static_cast<double>(sync_res.makespan));
+    report.addValue("asyncMakespanCycles",
+                    static_cast<double>(async_res.makespan));
+    report.addValue("syncUnitUtilization",
+                    sync_res.fpga.meanUnitUtilization);
+    report.addValue("asyncUnitUtilization",
+                    async_res.fpga.meanUnitUtilization);
+    bench::finishReport(report, argc, argv);
 
     if (!trace_path.empty()) {
         PerfReport all;

@@ -25,12 +25,15 @@
 using namespace iracc;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     bench::banner("fig8_data_parallel",
                   "Figure 8 -- parallel Hamming distance calculator "
                   "(32 compares+accumulates/cycle)");
+    obs::BenchReport report = bench::makeReport(
+        "fig8_data_parallel",
+        "Figure 8 -- parallel Hamming distance calculator");
 
     // Marshal every target of one mid-size chromosome.
     WorkloadParams params = bench::standardWorkload();
@@ -48,7 +51,7 @@ main()
     Table table({"Width", "Pruning", "HDC cycles", "Selector",
                  "Speedup vs scalar", "Comparisons"});
 
-    uint64_t scalar_cycles = 0;
+    uint64_t scalar_cycles = 0, wide_cycles = 0;
     for (uint32_t width : {1u, 2u, 4u, 8u, 16u, 32u}) {
         for (bool prune : {true}) {
             uint64_t hdc = 0, sel = 0, cmps = 0;
@@ -60,6 +63,8 @@ main()
             }
             if (width == 1)
                 scalar_cycles = hdc;
+            if (width == 32)
+                wide_cycles = hdc;
             table.addRow({std::to_string(width),
                           prune ? "on" : "off",
                           std::to_string(hdc), std::to_string(sel),
@@ -108,5 +113,18 @@ main()
                 "while load cycles stay fixed,\nso the system "
                 "shifts from compute-bound toward load-bound -- "
                 "the saturation\nFigure 8 shows.\n");
+
+    report.addValue("scalarHdcCycles",
+                    static_cast<double>(scalar_cycles));
+    report.addValue("wide32HdcCycles",
+                    static_cast<double>(wide_cycles));
+    report.addValue("width32Speedup",
+                    wide_cycles
+                        ? static_cast<double>(scalar_cycles) /
+                              static_cast<double>(wide_cycles)
+                        : 0.0);
+    report.addTable("widthSweep", table);
+    report.addTable("systemView", sys_table);
+    bench::finishReport(report, argc, argv);
     return 0;
 }

@@ -24,12 +24,15 @@
 using namespace iracc;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     bench::banner("fig9_cost",
                   "Figure 9 (right) + Table II -- cost to perform "
                   "INDEL realignment, Ch1-Ch22");
+    obs::BenchReport report = bench::makeReport(
+        "fig9_cost",
+        "Figure 9 (right) + Table II -- realignment dollar cost");
 
     // Table II.
     Table machines({"Instance", "Processor", "C/T", "GHz", "Mem",
@@ -98,5 +101,14 @@ main()
                 "(paper: 32x) and %.0fx cheaper than\nADAM (paper: "
                 "17x).\n",
                 costs[0] / costs[2], costs[1] / costs[2]);
+
+    report.addValue("gatk3FullCostUsd", costs[0]);
+    report.addValue("adamFullCostUsd", costs[1]);
+    report.addValue("iraccFullCostUsd", costs[2]);
+    report.addValue("costRatioVsGatk3", costs[0] / costs[2]);
+    report.addValue("costRatioVsAdam", costs[1] / costs[2]);
+    report.addTable("machines", machines);
+    report.addTable("cost", cost);
+    bench::finishReport(report, argc, argv);
     return 0;
 }

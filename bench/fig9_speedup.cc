@@ -29,11 +29,14 @@
 using namespace iracc;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     bench::banner("fig9_speedup",
                   "Figure 9 (left) + Section V-B ADAM comparison");
+    obs::BenchReport report = bench::makeReport(
+        "fig9_speedup",
+        "Figure 9 (left) + Section V-B ADAM comparison");
 
     // IRACC_COUNTERS=1 turns the performance-counter layer on for
     // the accelerated backends (off by default so the headline
@@ -183,6 +186,18 @@ main()
                       Table::num(job.criticalPathSeconds, 3)});
     }
     scale.print();
+
+    report.addValue("speedupGeomean", geomean(sp_iracc));
+    report.addValue("speedupVsAdamGeomean", geomean(sp_adam));
+    report.addValue("speedupTaskpGeomean", geomean(sp_taskp));
+    report.addValue("speedupAsyncGeomean", geomean(sp_async));
+    report.addValue("gatk3Seconds", total_gatk3);
+    report.addValue("adamSeconds", total_adam);
+    report.addValue("iraccSeconds", total_iracc);
+    report.addTable("perChromosome", table);
+    report.addTable("jobScaling", scale);
+    bench::finishReport(report, argc, argv);
+
     std::printf("Modeled seconds stay constant by construction; "
                 "wall-clock speedup is the\nhost-side gain of "
                 "running contigs concurrently and tops out at "

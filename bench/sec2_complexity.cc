@@ -19,11 +19,14 @@
 using namespace iracc;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     bench::banner("sec2_complexity",
                   "Section II-C -- IR compute requirements");
+    obs::BenchReport report = bench::makeReport(
+        "sec2_complexity",
+        "Section II-C -- IR compute requirements");
 
     // Worst-case formula with the paper's operand sizes.
     const uint64_t c = kMaxConsensuses, r = kMaxReads;
@@ -79,5 +82,12 @@ main()
                 static_cast<long long>(bench::scaleDivisor()),
                 48000ll / bench::scaleDivisor() + 1,
                 320000ll / bench::scaleDivisor() + 1);
+
+    report.addValue("worstCaseComparisons",
+                    static_cast<double>(worst));
+    report.addValue("totalTargets",
+                    static_cast<double>(total_targets));
+    report.addTable("perChromosome", table);
+    bench::finishReport(report, argc, argv);
     return 0;
 }

@@ -21,12 +21,15 @@
 using namespace iracc;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     bench::banner("sec5_hls_comparison",
                   "Section V-B -- SDAccel/HLS build vs hand-built "
                   "RTL (both vs GATK3)");
+    obs::BenchReport report = bench::makeReport(
+        "sec5_hls_comparison",
+        "Section V-B -- SDAccel/HLS build vs hand-built RTL");
 
     WorkloadParams params = bench::standardWorkload();
     // A representative subset keeps this comparison quick; the
@@ -67,5 +70,10 @@ main()
                 "(16-unit OpenCL cap, no extracted\ndata "
                 "parallelism, no pruning); the RTL design reached "
                 "81.3x.\n");
+
+    report.addValue("hlsSpeedupGeomean", geomean(hls_speedups));
+    report.addValue("rtlSpeedupGeomean", geomean(rtl_speedups));
+    report.addTable("perChromosome", table);
+    bench::finishReport(report, argc, argv);
     return 0;
 }

@@ -15,11 +15,14 @@
 using namespace iracc;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("tab1_isa",
                   "Table I -- INDEL realignment accelerator "
                   "instructions (RoCC format)");
+    obs::BenchReport report = bench::makeReport(
+        "tab1_isa",
+        "Table I -- IR accelerator instruction set (RoCC format)");
 
     std::printf("RoCC instruction format (32 bits):\n");
     Table fmt({"Field", "Bits", "Meaning"});
@@ -61,5 +64,13 @@ main()
                     sequence[i].disassemble()});
     }
     dis.print();
+
+    report.addValue("commands", 5.0);
+    report.addValue("exampleSequenceLength",
+                    static_cast<double>(sequence.size()));
+    report.addTable("format", fmt);
+    report.addTable("commandSet", cmds);
+    report.addTable("disassembly", dis);
+    bench::finishReport(report, argc, argv);
     return 0;
 }

@@ -16,11 +16,14 @@
 using namespace iracc;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("tab_resource_model",
                   "Section III-A footnote 3 / Figure 6 -- VU9P "
                   "resource utilization vs unit count");
+    obs::BenchReport report = bench::makeReport(
+        "tab_resource_model",
+        "Section III-A / Figure 6 -- VU9P utilization vs units");
 
     std::printf("Per-unit buffer inventory (Figure 6 structure "
                 "sizes):\n");
@@ -62,5 +65,13 @@ main()
     std::printf("Max units that fit: %u (paper: 32; the unit count "
                 "is limited by block RAM,\nnot logic)\n",
                 maxUnitsThatFit(AccelConfig::paperOptimized()));
+
+    report.addValue("bramUtilization32", paper.bramUtilization);
+    report.addValue("clbUtilization32", paper.clbUtilization);
+    report.addValue("maxUnits",
+                    maxUnitsThatFit(AccelConfig::paperOptimized()));
+    report.addTable("buffers", bufs);
+    report.addTable("utilizationSweep", table);
+    bench::finishReport(report, argc, argv);
     return 0;
 }

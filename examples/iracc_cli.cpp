@@ -27,6 +27,7 @@
 #include "core/realigner_api.hh"
 #include "core/workload.hh"
 #include "genomics/io.hh"
+#include "obs/obs.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "variant/caller.hh"
@@ -173,15 +174,32 @@ cmdRealign(const Args &args)
         args.get("reads", dir + "/aligned.samlite"), ref);
 
     // Observability: --counters 1 prints the performance-counter
-    // summary; --trace FILE additionally records the timeline and
-    // writes it as Chrome trace-event JSON (chrome://tracing).
+    // summary; --trace FILE records both the host-side spans and
+    // (for accelerated backends) the simulator timeline, merged
+    // into one Chrome trace-event JSON; --metrics FILE exports the
+    // host metrics registry as JSON, or as Prometheus text when
+    // FILE ends in ".prom".
     std::string trace_path = args.get("trace", "");
+    std::string metrics_path = args.get("metrics", "");
     bool trace = !trace_path.empty();
     bool counters = trace || args.getInt("counters", 0) != 0;
+
+    // The registry is always on: its counters feed the exit
+    // summary, and sampling a few histograms per contig is far off
+    // the hot path.
+    obs::MetricsRegistry registry;
+    obs::SpanTracer tracer;
+    obs::Observability ob;
+    ob.metrics = &registry;
+    if (trace) {
+        ob.tracer = &tracer;
+        tracer.nameCurrentThread("realign driver");
+    }
 
     RealignJobConfig job_cfg;
     job_cfg.threads = static_cast<uint32_t>(
         args.getInt("job-threads", 1));
+    job_cfg.obs = &ob;
 
     RealignSession session(
         makeBackend(backend_name, counters, trace), job_cfg);
@@ -216,7 +234,38 @@ cmdRealign(const Args &args)
         std::printf(", critical path %.3f s",
                     job.criticalPathSeconds);
     }
-    std::printf(")\nwrote %s\n", out.c_str());
+    std::printf(")\n");
+
+    // Throughput summary from the metrics registry -- the same
+    // counters --metrics exports, so the printed numbers and the
+    // exported file can never disagree.
+    if (job.wallSeconds > 0.0) {
+        std::printf(
+            "throughput: %.0f reads/s, %.1f targets/s "
+            "(host wall)\n",
+            static_cast<double>(
+                registry.counterValue("realign.reads_considered")) /
+                job.wallSeconds,
+            static_cast<double>(
+                registry.counterValue("realign.targets")) /
+                job.wallSeconds);
+    }
+    std::printf("wrote %s\n", out.c_str());
+
+    if (!metrics_path.empty()) {
+        std::ofstream mf(metrics_path);
+        fatal_if(!mf, "cannot write metrics '%s'",
+                 metrics_path.c_str());
+        bool prom = metrics_path.size() >= 5 &&
+                    metrics_path.compare(metrics_path.size() - 5, 5,
+                                         ".prom") == 0;
+        if (prom)
+            registry.writePrometheus(mf);
+        else
+            registry.writeJson(mf);
+        std::printf("wrote %s (%s metrics)\n", metrics_path.c_str(),
+                    prom ? "Prometheus" : "JSON");
+    }
 
     if (counters) {
         if (perf.enabled) {
@@ -227,15 +276,22 @@ cmdRealign(const Args &args)
                         backend_name.c_str());
         }
     }
-    if (trace && perf.enabled) {
+    if (trace) {
+        // One merged trace: host wall-clock spans (pid 1000, one
+        // tid per worker thread) next to each contig's cycle-domain
+        // FPGA timeline (pid = contig id).  Software backends still
+        // get the host spans.
         std::ofstream tf(trace_path);
         fatal_if(!tf, "cannot write trace '%s'",
                  trace_path.c_str());
-        writeChromeTrace(tf, perf,
-                         perf.clockMhz > 0 ? perf.clockMhz : 125.0);
-        std::printf("wrote %s (%zu trace events; open in "
-                    "chrome://tracing or https://ui.perfetto.dev)\n",
-                    trace_path.c_str(), perf.trace.size());
+        obs::writeUnifiedChromeTrace(
+            tf, &tracer, perf.enabled ? &perf : nullptr,
+            perf.clockMhz > 0 ? perf.clockMhz : 125.0);
+        std::printf("wrote %s (%zu host spans, %zu sim events; "
+                    "open in chrome://tracing or "
+                    "https://ui.perfetto.dev)\n",
+                    trace_path.c_str(), tracer.spans().size(),
+                    perf.enabled ? perf.trace.size() : 0);
     }
     return 0;
 }
@@ -324,6 +380,7 @@ usage()
         "  realign   --dir DIR [--backend NAME] [--ref F]\n"
         "            [--reads F] [--out F] [--job-threads N]\n"
         "            [--counters 1] [--trace trace.json]\n"
+        "            [--metrics metrics.json|metrics.prom]\n"
         "  call      --dir DIR [--ref F] [--reads F] [--out F]\n"
         "            [--lod X] [--min-depth N]\n"
         "  stats     --dir DIR [--ref F] [--reads F]\n\n"

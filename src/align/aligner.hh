@@ -23,6 +23,10 @@
 
 namespace iracc {
 
+namespace obs {
+struct Observability;
+}
+
 /** Per-stage wall-clock seconds of an alignment run. */
 struct AlignerStageTimes
 {
@@ -74,11 +78,22 @@ class ReadAligner
     const AlignerStageTimes &stageTimes() const { return times; }
     void resetStageTimes() { times = AlignerStageTimes(); }
 
+    /**
+     * Attach (or detach, with nullptr) host observability: each
+     * alignAll() batch then emits one "align batch" trace span,
+     * samples the per-stage deltas into the
+     * `align.stage.<stage>.seconds` histograms, and bumps the
+     * `align.reads.total` / `align.reads.aligned` counters.  The
+     * per-read hot path is untouched either way.
+     */
+    void setObservability(obs::Observability *o) { obsv = o; }
+
   private:
     const ReferenceGenome &ref;
     AlignerParams params;
     std::vector<std::unique_ptr<SeedIndex>> indexes;
     AlignerStageTimes times;
+    obs::Observability *obsv = nullptr;
 };
 
 } // namespace iracc

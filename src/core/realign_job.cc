@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <thread>
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "util/timer.hh"
@@ -78,14 +80,21 @@ RealignSession::run(const ReferenceGenome &ref,
     // Per-contig results land in preallocated slots and are merged
     // in ascending contig order at the barrier, so the job result
     // is bit-identical for any worker count.
+    obs::Observability *obsv = cfg.obs;
     std::vector<ContigJobResult> slots(order.size());
     auto runOne = [&](size_t i) {
         const int32_t contig = order[i];
+        obs::ScopedSpan span(obsv,
+                             obsv && obsv->on()
+                                 ? "contig " + std::to_string(contig)
+                                 : std::string(),
+                             "realign.job",
+                             "realign.job.contig_seconds");
         auto exec = be->makeExecuteStage(workers);
         slots[i].contig = contig;
         slots[i].run = runContigPipeline(
             ref, contig, reads, be->targetParams(), *exec,
-            be->hostThreads(), &byContig[contig], cfg.seed);
+            be->hostThreads(), &byContig[contig], cfg.seed, obsv);
     };
 
     if (workers <= 1) {
@@ -93,8 +102,22 @@ RealignSession::run(const ReferenceGenome &ref,
             runOne(i);
     } else {
         ThreadPool pool(workers);
-        pool.parallelFor(order.size(), runOne);
+        if (obsv && obsv->metrics)
+            obs::instrumentThreadPool(pool, *obsv->metrics,
+                                      "realign.pool");
+        for (size_t i = 0; i < order.size(); ++i)
+            pool.submit([&runOne, i] { runOne(i); });
+        // The barrier-wait span measures how long the submitting
+        // thread idles at the fork-join point.
+        obs::ScopedSpan barrier(obsv, "job barrier", "realign.job",
+                                "realign.job.barrier_wait_seconds");
+        pool.waitIdle();
+        barrier.close();
     }
+
+    if (obsv && obsv->metrics)
+        obsv->metrics->counter("realign.job.contigs")
+            .add(order.size());
 
     // Barrier reached: deterministic in-order reduction.
     job.contigs = std::move(slots);

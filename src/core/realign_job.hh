@@ -28,6 +28,10 @@
 
 namespace iracc {
 
+namespace obs {
+struct Observability;
+}
+
 /** Configuration of a genome-level realignment job. */
 struct RealignJobConfig
 {
@@ -47,6 +51,18 @@ struct RealignJobConfig
      * are identical for any `threads` value.
      */
     uint64_t seed = kRealignStreamSeed;
+
+    /**
+     * Optional host observability (null = uninstrumented): one
+     * "contig N" span per contig with a
+     * `realign.job.contig_seconds` histogram, a "job barrier"
+     * span with `realign.job.barrier_wait_seconds`, a
+     * `realign.job.contigs` counter, worker-pool gauges under
+     * `realign.pool.*`, and per-stage instrumentation threaded
+     * into runContigPipeline.  Results stay bit-identical;
+     * observability only reads timings and counts.
+     */
+    obs::Observability *obs = nullptr;
 };
 
 /** One contig's slice of a job result. */

@@ -1,5 +1,6 @@
 #include "core/stage_pipeline.hh"
 
+#include "obs/obs.hh"
 #include "util/timer.hh"
 
 namespace iracc {
@@ -52,34 +53,64 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
                   const TargetCreationParams &targets,
                   ExecuteStage &exec, uint32_t prepare_threads,
                   const std::vector<uint32_t> *candidates,
-                  uint64_t rng_seed)
+                  uint64_t rng_seed, obs::Observability *obsv)
 {
     BackendRunResult out;
     Timer t;
 
     // Plan: target creation + read claiming (no mutation).
+    obs::ScopedSpan plan_span(obsv, "plan", "realign");
     ContigPlan plan = planStage(ref, contig, reads, targets,
                                 candidates);
+    plan_span.close();
     out.stageTimes.planSeconds = t.seconds();
 
     // Prepare: consensus generation (+ marshalling when the
     // Execute stage consumes byte images).
     t.restart();
+    obs::ScopedSpan prepare_span(obsv, "prepare", "realign");
     PreparedContig prepared =
         prepareStage(ref, reads, plan,
                      exec.needsMarshalledTargets(), prepare_threads);
+    prepare_span.close();
     out.stageTimes.prepareSeconds = t.seconds();
 
-    // Execute: the backend-specific kernel.
+    // Execute: the backend-specific kernel.  The span records host
+    // wall-clock of the call (for accelerated backends that is the
+    // simulation run); the histogram below records the modeled
+    // stage seconds that StageTimes reports.
+    obs::ScopedSpan exec_span(obsv, "execute", "realign");
     ExecuteOutcome outcome = exec.execute(prepared, rng_seed);
+    exec_span.close();
     out.stageTimes.executeSeconds = outcome.seconds;
 
     // Apply: decision writeback + stats assembly.
     t.restart();
+    obs::ScopedSpan apply_span(obsv, "apply", "realign");
     out.stats = applyStage(prepared, outcome.decisions, reads);
+    apply_span.close();
     out.stageTimes.applySeconds = t.seconds();
 
     out.stats.whd = outcome.whd;
+
+    if (obsv && obsv->metrics) {
+        obs::MetricsRegistry &reg = *obsv->metrics;
+        reg.histogram("realign.stage.plan.seconds")
+            .sample(out.stageTimes.planSeconds);
+        reg.histogram("realign.stage.prepare.seconds")
+            .sample(out.stageTimes.prepareSeconds);
+        reg.histogram("realign.stage.execute.seconds")
+            .sample(out.stageTimes.executeSeconds);
+        reg.histogram("realign.stage.apply.seconds")
+            .sample(out.stageTimes.applySeconds);
+        reg.counter("realign.targets").add(out.stats.targets);
+        reg.counter("realign.reads_considered")
+            .add(out.stats.readsConsidered);
+        reg.counter("realign.reads_realigned")
+            .add(out.stats.readsRealigned);
+        reg.counter("realign.consensuses_evaluated")
+            .add(out.stats.consensusesEvaluated);
+    }
     out.seconds = out.stageTimes.hostSeconds() + outcome.seconds;
     out.simulated = outcome.simulated;
     out.fpgaSeconds = outcome.fpgaSeconds;

@@ -27,6 +27,10 @@
 
 namespace iracc {
 
+namespace obs {
+struct Observability;
+}
+
 /** Host-measured wall-clock seconds per pipeline stage. */
 struct StageTimes
 {
@@ -177,13 +181,19 @@ class AcceleratedExecuteStage : public ExecuteStage
  * @param candidates      optional pre-partitioned read-index
  *                        subset for the Plan stage (see planStage)
  * @param rng_seed        base seed for deterministic RNG streams
+ * @param obs             optional host observability: one trace
+ *                        span per stage, per-stage
+ *                        `realign.stage.<stage>.seconds`
+ *                        histograms and realignment work counters
+ *                        (null = uninstrumented)
  */
 BackendRunResult runContigPipeline(
     const ReferenceGenome &ref, int32_t contig,
     std::vector<Read> &reads, const TargetCreationParams &targets,
     ExecuteStage &exec, uint32_t prepare_threads = 1,
     const std::vector<uint32_t> *candidates = nullptr,
-    uint64_t rng_seed = kRealignStreamSeed);
+    uint64_t rng_seed = kRealignStreamSeed,
+    obs::Observability *obs = nullptr);
 
 } // namespace iracc
 

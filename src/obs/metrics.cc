@@ -1,0 +1,267 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace iracc {
+namespace obs {
+
+HistogramMetric::HistogramMetric(std::vector<double> upper_bounds)
+    : ub(std::move(upper_bounds)), bins(ub.size() + 1),
+      lo(std::numeric_limits<double>::infinity()),
+      hi(-std::numeric_limits<double>::infinity())
+{
+    panic_if(!std::is_sorted(ub.begin(), ub.end()),
+             "histogram bounds must ascend");
+}
+
+void
+HistogramMetric::sample(double x)
+{
+    size_t i = static_cast<size_t>(
+        std::lower_bound(ub.begin(), ub.end(), x) - ub.begin());
+    bins[i].fetch_add(1, std::memory_order_relaxed);
+    n.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(total, x);
+
+    double cur = lo.load(std::memory_order_relaxed);
+    while (x < cur &&
+           !lo.compare_exchange_weak(cur, x,
+                                     std::memory_order_relaxed)) {
+    }
+    cur = hi.load(std::memory_order_relaxed);
+    while (x > cur &&
+           !hi.compare_exchange_weak(cur, x,
+                                     std::memory_order_relaxed)) {
+    }
+}
+
+double
+HistogramMetric::mean() const
+{
+    uint64_t c = count();
+    return c ? sum() / static_cast<double>(c) : 0.0;
+}
+
+double
+HistogramMetric::min() const
+{
+    return lo.load(std::memory_order_relaxed);
+}
+
+double
+HistogramMetric::max() const
+{
+    return hi.load(std::memory_order_relaxed);
+}
+
+uint64_t
+HistogramMetric::bucketCount(size_t i) const
+{
+    panic_if(i >= bins.size(), "histogram bucket %zu out of range",
+             i);
+    return bins[i].load(std::memory_order_relaxed);
+}
+
+std::vector<double>
+defaultSecondsBounds()
+{
+    return {1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.25, 0.5,
+            1.0,  2.5,  5.0,  10.0, 30.0, 100.0};
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    panic_if(gauges.count(name) || hists.count(name),
+             "metric '%s' already registered with another kind",
+             name.c_str());
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    panic_if(counters.count(name) || hists.count(name),
+             "metric '%s' already registered with another kind",
+             name.c_str());
+    auto &slot = gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    panic_if(counters.count(name) || gauges.count(name),
+             "metric '%s' already registered with another kind",
+             name.c_str());
+    auto &slot = hists[name];
+    if (!slot) {
+        slot = std::make_unique<HistogramMetric>(
+            bounds.empty() ? defaultSecondsBounds()
+                           : std::move(bounds));
+    }
+    return *slot;
+}
+
+uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second->value();
+}
+
+int64_t
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second->value();
+}
+
+double
+MetricsRegistry::histogramSum(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = hists.find(name);
+    return it == hists.end() ? 0.0 : it->second->sum();
+}
+
+uint64_t
+MetricsRegistry::histogramCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = hists.find(name);
+    return it == hists.end() ? 0 : it->second->count();
+}
+
+namespace {
+
+/** JSON cannot carry inf/nan; clamp extremes for empty metrics. */
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters) {
+        os << (first ? "" : ",") << jsonQuote(name) << ":"
+           << c->value();
+        first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges) {
+        os << (first ? "" : ",") << jsonQuote(name)
+           << ":{\"value\":" << g->value()
+           << ",\"highWater\":" << g->highWater() << "}";
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : hists) {
+        os << (first ? "" : ",") << jsonQuote(name)
+           << ":{\"count\":" << h->count() << ",\"sum\":";
+        writeNumber(os, h->sum());
+        os << ",\"mean\":";
+        writeNumber(os, h->mean());
+        if (h->count() > 0) {
+            os << ",\"min\":";
+            writeNumber(os, h->min());
+            os << ",\"max\":";
+            writeNumber(os, h->max());
+        }
+        os << ",\"bounds\":[";
+        for (size_t i = 0; i < h->bounds().size(); ++i) {
+            os << (i ? "," : "");
+            writeNumber(os, h->bounds()[i]);
+        }
+        // counts has one extra element: the +Inf bucket.
+        os << "],\"counts\":[";
+        for (size_t i = 0; i <= h->bounds().size(); ++i)
+            os << (i ? "," : "") << h->bucketCount(i);
+        os << "]}";
+        first = false;
+    }
+    os << "}}";
+}
+
+namespace {
+
+/** Prometheus metric names allow [a-zA-Z0-9_:] only. */
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out.empty() ? std::string("_") : out;
+}
+
+} // namespace
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (const auto &[name, c] : counters) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " counter\n"
+           << p << " " << c->value() << "\n";
+    }
+    for (const auto &[name, g] : gauges) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " gauge\n"
+           << p << " " << g->value() << "\n"
+           << "# TYPE " << p << "_high_water gauge\n"
+           << p << "_high_water " << g->highWater() << "\n";
+    }
+    for (const auto &[name, h] : hists) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " histogram\n";
+        uint64_t cum = 0;
+        for (size_t i = 0; i < h->bounds().size(); ++i) {
+            cum += h->bucketCount(i);
+            os << p << "_bucket{le=\"" << h->bounds()[i] << "\"} "
+               << cum << "\n";
+        }
+        os << p << "_bucket{le=\"+Inf\"} " << h->count() << "\n"
+           << p << "_sum " << h->sum() << "\n"
+           << p << "_count " << h->count() << "\n";
+    }
+}
+
+} // namespace obs
+} // namespace iracc

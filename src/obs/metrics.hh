@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Host-side metrics: a thread-safe registry of named counters,
+ * gauges, and fixed-bucket histograms.
+ *
+ * This is the wall-clock-domain counterpart of the simulator's
+ * PerfMonitor (src/sim/perf_monitor.hh): the FPGA model counts
+ * cycles, this registry counts what the *host software* does --
+ * reads aligned, pipeline stage seconds, thread-pool queue depth,
+ * task wait distributions.  Like the PerfMonitor, it is opt-in:
+ * components hold a null pointer and every instrumentation site is
+ * behind a single pointer test, so the uninstrumented hot path is
+ * unchanged.
+ *
+ * Metric handles returned by the registry are stable for the
+ * registry's lifetime and individually thread-safe (relaxed
+ * atomics; a histogram's count/sum/bucket updates are each atomic,
+ * so concurrent totals are exact even though a single sample's
+ * fields land independently).  Registration takes the registry
+ * mutex; instrument hot loops by hoisting the handle out.
+ *
+ * Export formats: writeJson() (machine-readable, round-trips
+ * through src/util/json) and writePrometheus() (text exposition
+ * format, for scraping).  The metric name catalogue lives in
+ * docs/OBSERVABILITY.md.
+ */
+
+#ifndef IRACC_OBS_METRICS_HH
+#define IRACC_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace iracc {
+namespace obs {
+
+/** Add @p d to @p a without std::atomic<double>::fetch_add (kept
+ *  portable to pre-C++20 library modes). */
+inline void
+atomicAdd(std::atomic<double> &a, double d)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + d,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t d = 1)
+    {
+        v.fetch_add(d, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return v.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v{0};
+};
+
+/** Instantaneous level (queue depth, in-flight contigs) with a
+ *  high-water mark. */
+class Gauge
+{
+  public:
+    void
+    set(int64_t x)
+    {
+        v.store(x, std::memory_order_relaxed);
+        raiseHighWater(x);
+    }
+
+    void
+    add(int64_t d)
+    {
+        int64_t now =
+            v.fetch_add(d, std::memory_order_relaxed) + d;
+        raiseHighWater(now);
+    }
+
+    int64_t value() const { return v.load(std::memory_order_relaxed); }
+    int64_t
+    highWater() const
+    {
+        return hw.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void
+    raiseHighWater(int64_t x)
+    {
+        int64_t cur = hw.load(std::memory_order_relaxed);
+        while (x > cur &&
+               !hw.compare_exchange_weak(cur, x,
+                                         std::memory_order_relaxed)) {
+        }
+    }
+
+    std::atomic<int64_t> v{0};
+    std::atomic<int64_t> hw{0};
+};
+
+/**
+ * Fixed-bucket histogram: cumulative-style buckets defined by
+ * ascending upper bounds, plus an implicit +Inf bucket, with exact
+ * count/sum and min/max.  All updates are lock-free.
+ */
+class HistogramMetric
+{
+  public:
+    /** @param upper_bounds ascending bucket upper bounds
+     *  (inclusive, Prometheus "le" semantics); may be empty, which
+     *  leaves only the +Inf bucket. */
+    explicit HistogramMetric(std::vector<double> upper_bounds);
+
+    void sample(double x);
+
+    uint64_t count() const { return n.load(std::memory_order_relaxed); }
+    double
+    sum() const
+    {
+        return total.load(std::memory_order_relaxed);
+    }
+    double mean() const;
+    double min() const; ///< +inf when empty
+    double max() const; ///< -inf when empty
+
+    const std::vector<double> &bounds() const { return ub; }
+
+    /** Count in bucket @p i; i == bounds().size() is +Inf. */
+    uint64_t bucketCount(size_t i) const;
+
+  private:
+    std::vector<double> ub;
+    std::vector<std::atomic<uint64_t>> bins; ///< ub.size() + 1
+    std::atomic<uint64_t> n{0};
+    std::atomic<double> total{0.0};
+    std::atomic<double> lo;
+    std::atomic<double> hi;
+};
+
+/** Default histogram bounds for durations in seconds
+ *  (1 us .. 100 s, roughly logarithmic). */
+std::vector<double> defaultSecondsBounds();
+
+/**
+ * The thread-safe metric registry.  Lookup-or-create by name;
+ * handles stay valid for the registry's lifetime.  A name is bound
+ * to one metric kind; requesting it as another kind panics.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /** @param bounds bucket upper bounds; empty selects
+     *  defaultSecondsBounds().  Only the first registration's
+     *  bounds stick. */
+    HistogramMetric &histogram(const std::string &name,
+                               std::vector<double> bounds = {});
+
+    // -- convenience readers (0 / empty semantics when absent) --
+    uint64_t counterValue(const std::string &name) const;
+    int64_t gaugeValue(const std::string &name) const;
+    double histogramSum(const std::string &name) const;
+    uint64_t histogramCount(const std::string &name) const;
+
+    /** One JSON object: {"counters":{...},"gauges":{...},
+     *  "histograms":{...}}.  Names escaped via util/json. */
+    void writeJson(std::ostream &os) const;
+
+    /** Prometheus text exposition format; metric names are
+     *  sanitized ('.' and other illegal characters -> '_'). */
+    void writePrometheus(std::ostream &os) const;
+
+  private:
+    mutable std::mutex mtx;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<HistogramMetric>> hists;
+};
+
+} // namespace obs
+} // namespace iracc
+
+#endif // IRACC_OBS_METRICS_HH

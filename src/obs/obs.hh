@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Umbrella header of the host-side observability layer: the
+ * metrics registry (obs/metrics.hh) and the span tracer + unified
+ * trace export (obs/span.hh), bundled behind the nullable
+ * obs::Observability struct instrumented code carries.
+ */
+
+#ifndef IRACC_OBS_OBS_HH
+#define IRACC_OBS_OBS_HH
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+#endif // IRACC_OBS_OBS_HH

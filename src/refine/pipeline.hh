@@ -21,6 +21,10 @@
 
 namespace iracc {
 
+namespace obs {
+struct Observability;
+}
+
 /** Per-stage seconds of one refinement run. */
 struct RefineStageTimes
 {
@@ -79,21 +83,27 @@ using GenomeRealignStage = std::function<RealignStats(
  * @param reads       read set, mutated in place
  * @param realigner   the IR stage implementation
  * @param known_sites known variants masked during BQSR
+ * @param obs         optional host observability: per-stage trace
+ *                    spans plus `refine.stage.<stage>.seconds`
+ *                    histograms and a `refine.duplicates_marked`
+ *                    counter (null = uninstrumented)
  */
 RefineResult runRefinementPipeline(
     const ReferenceGenome &ref, int32_t contig,
     std::vector<Read> &reads, const RealignStage &realigner,
-    const std::vector<Variant> &known_sites);
+    const std::vector<Variant> &known_sites,
+    obs::Observability *obs = nullptr);
 
 /**
  * Genome-wide refinement: one Sort -> DupMark -> IR -> BQSR pass
  * over the complete read set, with the IR stage free to process
- * contigs in parallel (see core/realign_job.hh).
+ * contigs in parallel (see core/realign_job.hh).  @p obs as above.
  */
 RefineResult runRefinementPipeline(
     const ReferenceGenome &ref, std::vector<Read> &reads,
     const GenomeRealignStage &realigner,
-    const std::vector<Variant> &known_sites);
+    const std::vector<Variant> &known_sites,
+    obs::Observability *obs = nullptr);
 
 } // namespace iracc
 

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -297,32 +298,6 @@ PerfMonitor::finalize(Cycle total_cycles)
 
 namespace {
 
-/** Escape a string for embedding in a JSON string literal. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
 /** Format a cycle count as microseconds at the given clock. */
 std::string
 cyclesToUs(Cycle cycles, double clock_mhz)
@@ -349,12 +324,10 @@ accumulatorRow(const Accumulator &a)
 } // namespace
 
 void
-writeChromeTrace(std::ostream &os, const PerfReport &rep,
-                 double clock_mhz)
+appendChromeTraceEvents(std::ostream &os, const PerfReport &rep,
+                        double clock_mhz, bool &first)
 {
     fatal_if(clock_mhz <= 0.0, "trace export needs a clock > 0");
-    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-    bool first = true;
     auto comma = [&] {
         if (!first)
             os << ",";
@@ -398,6 +371,15 @@ writeChromeTrace(std::ostream &os, const PerfReport &rep,
            << ",\"cycles\":" << ev.duration << ",\"target\":"
            << ev.targetId << "}}";
     }
+}
+
+void
+writeChromeTrace(std::ostream &os, const PerfReport &rep,
+                 double clock_mhz)
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    appendChromeTraceEvents(os, rep, clock_mhz, first);
     os << "\n]}\n";
 }
 

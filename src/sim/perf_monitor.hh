@@ -273,6 +273,16 @@ void writeChromeTrace(std::ostream &os, const PerfReport &rep,
                       double clock_mhz);
 
 /**
+ * Append @p rep's metadata and span records to an already-open
+ * traceEvents array (no enclosing wrapper object): the building
+ * block writeChromeTrace() and the host/sim unified exporter
+ * (obs::writeUnifiedChromeTrace) share.  @p first carries the
+ * comma state across appenders and is updated.
+ */
+void appendChromeTraceEvents(std::ostream &os, const PerfReport &rep,
+                             double clock_mhz, bool &first);
+
+/**
  * Render the counter summary as aligned text tables (per-unit
  * cycle accounting, channel table, buffer watermarks, and the
  * per-target distributions).

@@ -81,6 +81,20 @@ class JsonValue
     friend class JsonParser;
 };
 
+/**
+ * Escape @p s for embedding inside a JSON string literal (without
+ * the surrounding quotes).  Handles quotes, backslashes, and all
+ * control characters below 0x20, so any byte string round-trips
+ * through JsonValue::parse.  Every JSON writer in the repository
+ * (Chrome trace export, counter dumps, metrics registry, bench
+ * reports) must use this -- hand-rolled escaping has produced
+ * unparseable documents for names containing '"' or '\\'.
+ */
+std::string jsonEscape(const std::string &s);
+
+/** jsonEscape wrapped in double quotes: a complete string token. */
+std::string jsonQuote(const std::string &s);
+
 } // namespace iracc
 
 #endif // IRACC_UTIL_JSON_HH

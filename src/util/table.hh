@@ -29,6 +29,16 @@ class Table
     /** Render with aligned columns and a separator under the header. */
     std::string render() const;
 
+    /** Column titles (for machine-readable export). */
+    const std::vector<std::string> &header() const { return head; }
+
+    /** Appended rows, in insertion order. */
+    const std::vector<std::vector<std::string>> &
+    rowData() const
+    {
+        return rows;
+    }
+
     /** Render and write to stdout. */
     void print() const;
 

@@ -6,6 +6,18 @@
 
 namespace iracc {
 
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
 ThreadPool::ThreadPool(size_t num_threads)
 {
     panic_if(num_threads == 0, "ThreadPool requires >= 1 thread");
@@ -26,13 +38,32 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::setHooks(std::shared_ptr<const ThreadPoolHooks> h)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    panic_if(!tasks.empty() || activeTasks != 0,
+             "ThreadPool::setHooks requires an idle pool");
+    hooks = std::move(h);
+}
+
+void
 ThreadPool::submit(std::function<void()> task)
 {
+    std::shared_ptr<const ThreadPoolHooks> h;
+    size_t depth = 0;
     {
         std::lock_guard<std::mutex> lock(mtx);
-        tasks.push(std::move(task));
+        QueuedTask qt;
+        qt.fn = std::move(task);
+        if (hooks)
+            qt.enqueued = std::chrono::steady_clock::now();
+        tasks.push(std::move(qt));
+        h = hooks;
+        depth = tasks.size();
     }
     taskAvailable.notify_one();
+    if (h && h->onEnqueue)
+        h->onEnqueue(depth);
 }
 
 void
@@ -68,7 +99,9 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
+        std::shared_ptr<const ThreadPoolHooks> h;
+        size_t depth = 0;
         {
             std::unique_lock<std::mutex> lock(mtx);
             taskAvailable.wait(lock, [this] {
@@ -79,8 +112,22 @@ ThreadPool::workerLoop()
             task = std::move(tasks.front());
             tasks.pop();
             ++activeTasks;
+            h = hooks;
+            depth = tasks.size();
         }
-        task();
+        std::chrono::steady_clock::time_point started;
+        if (h) {
+            started = std::chrono::steady_clock::now();
+            if (h->onDequeue) {
+                h->onDequeue(std::chrono::duration<double>(
+                                 started - task.enqueued)
+                                 .count(),
+                             depth);
+            }
+        }
+        task.fn();
+        if (h && h->onTaskDone)
+            h->onTaskDone(secondsSince(started));
         {
             std::lock_guard<std::mutex> lock(mtx);
             --activeTasks;

@@ -9,15 +9,42 @@
 #ifndef IRACC_UTIL_THREAD_POOL_HH
 #define IRACC_UTIL_THREAD_POOL_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 namespace iracc {
+
+/**
+ * Optional pool instrumentation callbacks.  The util layer cannot
+ * depend on src/obs, so observability attaches through this
+ * neutral struct (see obs::instrumentThreadPool); when no hooks
+ * are installed -- the default -- the pool takes no timestamps and
+ * the hot path is unchanged.  Callbacks run outside the pool lock
+ * and must be thread-safe; install hooks only while the pool is
+ * idle.
+ */
+struct ThreadPoolHooks
+{
+    /** After a task is enqueued; @p depth = queued tasks. */
+    std::function<void(size_t depth)> onEnqueue;
+
+    /**
+     * After a worker dequeues a task, before running it.
+     * @p wait_seconds  time the task sat in the queue
+     * @p depth         tasks still queued
+     */
+    std::function<void(double wait_seconds, size_t depth)> onDequeue;
+
+    /** After a task finishes; @p busy_seconds = execution time. */
+    std::function<void(double busy_seconds)> onTaskDone;
+};
 
 /**
  * A minimal task-queue thread pool.  Tasks are void() callables;
@@ -49,11 +76,25 @@ class ThreadPool
 
     size_t numThreads() const { return workers.size(); }
 
+    /**
+     * Install (or clear, with nullptr) instrumentation hooks.
+     * Must be called while no tasks are queued or running.
+     */
+    void setHooks(std::shared_ptr<const ThreadPoolHooks> hooks);
+
   private:
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        /** Enqueue timestamp; only stamped when hooks are set. */
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers;
-    std::queue<std::function<void()>> tasks;
+    std::queue<QueuedTask> tasks;
+    std::shared_ptr<const ThreadPoolHooks> hooks;
     std::mutex mtx;
     std::condition_variable taskAvailable;
     std::condition_variable allIdle;

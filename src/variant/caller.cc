@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace iracc {
@@ -45,8 +46,10 @@ somaticLod(const PileupColumn &col, int ref_idx, int alt_idx)
 std::vector<CalledVariant>
 callVariants(const ReferenceGenome &ref, const std::vector<Read> &reads,
              int32_t contig, int64_t start, int64_t end,
-             const CallerParams &params)
+             const CallerParams &params, obs::Observability *obsv)
 {
+    obs::ScopedSpan span(obsv, "call variants", "variant",
+                         "variant.call.seconds");
     std::vector<PileupColumn> cols = buildPileup(reads, contig, start,
                                                  end);
     const Contig &ctg = ref.contig(contig);
@@ -111,6 +114,15 @@ callVariants(const ReferenceGenome &ref, const std::vector<Read> &reads,
                 calls.push_back(call);
             }
         }
+    }
+
+    if (obsv && obsv->metrics) {
+        uint64_t snvs = 0;
+        for (const CalledVariant &c : calls)
+            snvs += c.type == VariantType::Snv ? 1 : 0;
+        obsv->metrics->counter("variant.calls.snv").add(snvs);
+        obsv->metrics->counter("variant.calls.indel")
+            .add(calls.size() - snvs);
     }
     return calls;
 }

@@ -20,6 +20,10 @@
 
 namespace iracc {
 
+namespace obs {
+struct Observability;
+}
+
 /** Caller thresholds. */
 struct CallerParams
 {
@@ -48,11 +52,16 @@ struct CalledVariant
     uint32_t depth = 0;
 };
 
-/** Call variants over one contig interval. */
+/**
+ * Call variants over one contig interval.  @p obs optionally adds
+ * a "call variants" trace span, a `variant.call.seconds`
+ * histogram and `variant.calls.{snv,indel}` counters.
+ */
 std::vector<CalledVariant> callVariants(
     const ReferenceGenome &ref, const std::vector<Read> &reads,
     int32_t contig, int64_t start, int64_t end,
-    const CallerParams &params = {});
+    const CallerParams &params = {},
+    obs::Observability *obs = nullptr);
 
 /** Precision/recall of a call set against simulation truth. */
 struct CallAccuracy

@@ -218,6 +218,49 @@ TEST(PerfMonitor, TraceJsonRoundTrips)
     EXPECT_GT(metas, 0u);
 }
 
+TEST(PerfMonitor, TraceEscapesHostileNames)
+{
+    // Regression: track/span names containing quotes, backslashes,
+    // newlines, and control characters must produce valid JSON.
+    PerfReport rep;
+    rep.enabled = true;
+    rep.totalCycles = 100;
+    rep.trackNames.emplace_back(7, "unit \"7\"\\\n\x02");
+    TraceEvent ev;
+    ev.name = "t0 \"compute\"\\";
+    ev.cat = "unit\n";
+    ev.pid = 2;
+    ev.tid = 7;
+    ev.start = 10;
+    ev.duration = 30;
+    rep.trace.push_back(ev);
+
+    std::ostringstream os;
+    writeChromeTrace(os, rep, 125.0);
+    std::string err;
+    JsonValue root = JsonValue::parse(os.str(), &err);
+    ASSERT_EQ(root.kind(), JsonValue::Kind::Object) << err;
+
+    bool saw_span = false, saw_track = false;
+    const JsonValue &events = root.at("traceEvents");
+    for (size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        const std::string &ph = e.at("ph").asString();
+        if (ph == "X" && e.at("name").asString() ==
+                             "t0 \"compute\"\\") {
+            saw_span = true;
+            EXPECT_EQ(e.at("cat").asString(), "unit\n");
+        }
+        if (ph == "M" && e.at("name").asString() == "thread_name" &&
+            e.at("args").at("name").asString() ==
+                "unit \"7\"\\\n\x02") {
+            saw_track = true;
+        }
+    }
+    EXPECT_TRUE(saw_span);
+    EXPECT_TRUE(saw_track);
+}
+
 TEST(PerfMonitor, PerfJsonParses)
 {
     auto targets = makeTargets(3, 6);
