@@ -79,7 +79,7 @@ irCompute(const MarshalledTarget &target, uint32_t width, bool prune)
                     for (uint32_t lane = 0; lane < lanes; ++lane) {
                         uint32_t p = chunk + lane;
                         if (cons[k + p] != read[p])
-                            whd += qual[p];
+                            whd = whdAccumulate(whd, qual[p]);
                     }
                     // The running-minimum register is checked once
                     // per cycle (per chunk): computation pruning.

@@ -187,4 +187,46 @@ backendNames()
             "iracc-taskp-async", "hls"};
 }
 
+std::vector<BackendVariant>
+differentialVariants(const std::vector<uint32_t> &job_threads)
+{
+    std::vector<BackendVariant> out;
+    for (bool accelerated : {false, true}) {
+        for (bool prune : {false, true}) {
+            for (uint32_t threads : job_threads) {
+                BackendVariant v;
+                v.accelerated = accelerated;
+                v.prune = prune;
+                v.jobThreads = threads;
+                v.label =
+                    std::string(accelerated ? "accelerated"
+                                            : "software") +
+                    "/prune=" + (prune ? "on" : "off") +
+                    "/jobs=" + std::to_string(threads);
+                out.push_back(std::move(v));
+            }
+        }
+    }
+    return out;
+}
+
+std::unique_ptr<RealignerBackend>
+makeVariantBackend(const BackendVariant &variant)
+{
+    if (!variant.accelerated) {
+        SoftwareRealignerConfig cfg;
+        cfg.prune = variant.prune;
+        cfg.threads = 2;
+        cfg.workAmplification = 1.0;
+        return makeSoftwareBackend(
+            variant.label, "differential software design point",
+            cfg);
+    }
+    AccelConfig cfg = AccelConfig::paperOptimized();
+    cfg.pruning = variant.prune;
+    return makeAcceleratedBackend(
+        variant.label, "differential accelerated design point", cfg,
+        SchedulePolicy::AsynchronousParallel);
+}
+
 } // namespace iracc

@@ -120,6 +120,40 @@ std::unique_ptr<RealignerBackend> makeAcceleratedBackend(
 /** All registry names in display order. */
 std::vector<std::string> backendNames();
 
+/**
+ * One design point of the cross-backend differential-testing
+ * matrix (src/testing, tools/iracc_diff): a backend kind plus the
+ * knobs that must never change results -- every variant has to
+ * produce bit-identical realigned reads, statistics, and
+ * downstream variant calls on every workload.
+ */
+struct BackendVariant
+{
+    /** Stable display label, e.g. "accelerated/prune=on/jobs=4". */
+    std::string label;
+
+    /** false = software WHD kernel, true = simulated FPGA. */
+    bool accelerated = false;
+
+    /** Computation pruning on the kernel datapath. */
+    bool prune = false;
+
+    /** Contig-level RealignJob worker threads. */
+    uint32_t jobThreads = 1;
+};
+
+/**
+ * Enumerate the differential matrix {software, accelerated} x
+ * {prune off, on} x @p job_threads.  The first entry is the
+ * oracle: the unpruned single-threaded software baseline.
+ */
+std::vector<BackendVariant> differentialVariants(
+    const std::vector<uint32_t> &job_threads = {1, 4});
+
+/** Instantiate the backend of one differential design point. */
+std::unique_ptr<RealignerBackend> makeVariantBackend(
+    const BackendVariant &variant);
+
 } // namespace iracc
 
 #endif // IRACC_CORE_REALIGNER_API_HH

@@ -1,6 +1,8 @@
 #include "realign/consensus.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "realign/limits.hh"
 #include "util/logging.hh"
@@ -22,31 +24,52 @@ IrTargetInput::worstCaseComparisons() const
     return total;
 }
 
+std::string
+IrTargetInput::limitViolation() const
+{
+    auto fmt = [](auto... args) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), args...);
+        return std::string(buf);
+    };
+    if (consensuses.empty())
+        return "target with no consensuses";
+    if (consensuses.size() > kMaxConsensuses) {
+        return fmt("%zu consensuses exceeds limit %u",
+                   consensuses.size(), kMaxConsensuses);
+    }
+    if (readBases.size() > kMaxReads) {
+        return fmt("%zu reads exceeds limit %u", readBases.size(),
+                   kMaxReads);
+    }
+    if (readBases.size() != readQuals.size() ||
+        readBases.size() != readIndices.size()) {
+        return "read array size mismatch";
+    }
+    for (const auto &cons : consensuses) {
+        if (cons.size() > kMaxConsensusLen) {
+            return fmt("consensus length %zu exceeds limit %u",
+                       cons.size(), kMaxConsensusLen);
+        }
+    }
+    for (size_t j = 0; j < readBases.size(); ++j) {
+        if (readBases[j].size() > kMaxReadLen) {
+            return fmt("read length %zu exceeds limit %u",
+                       readBases[j].size(), kMaxReadLen);
+        }
+        if (readBases[j].size() != readQuals[j].size())
+            return fmt("read %zu base/qual length mismatch", j);
+        if (readBases[j].empty())
+            return "empty read in target";
+    }
+    return "";
+}
+
 void
 IrTargetInput::assertWithinLimits() const
 {
-    panic_if(consensuses.empty(), "target with no consensuses");
-    panic_if(consensuses.size() > kMaxConsensuses,
-             "%zu consensuses exceeds limit %u", consensuses.size(),
-             kMaxConsensuses);
-    panic_if(readBases.size() > kMaxReads,
-             "%zu reads exceeds limit %u", readBases.size(),
-             kMaxReads);
-    panic_if(readBases.size() != readQuals.size() ||
-             readBases.size() != readIndices.size(),
-             "read array size mismatch");
-    for (const auto &cons : consensuses)
-        panic_if(cons.size() > kMaxConsensusLen,
-                 "consensus length %zu exceeds limit %u", cons.size(),
-                 kMaxConsensusLen);
-    for (size_t j = 0; j < readBases.size(); ++j) {
-        panic_if(readBases[j].size() > kMaxReadLen,
-                 "read length %zu exceeds limit %u",
-                 readBases[j].size(), kMaxReadLen);
-        panic_if(readBases[j].size() != readQuals[j].size(),
-                 "read %zu base/qual length mismatch", j);
-        panic_if(readBases[j].empty(), "empty read in target");
-    }
+    std::string violation = limitViolation();
+    panic_if(!violation.empty(), "%s", violation.c_str());
 }
 
 std::vector<IndelEvent>

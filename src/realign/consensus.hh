@@ -15,6 +15,7 @@
 #define IRACC_REALIGN_CONSENSUS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "genomics/read.hh"
@@ -96,6 +97,17 @@ struct IrTargetInput
 
     /** Worst-case base comparisons (Section II-C formula). */
     uint64_t worstCaseComparisons() const;
+
+    /**
+     * Check every architectural limit (realign/limits.hh) without
+     * terminating: @return an empty string when the target fits the
+     * accelerator's input buffers, else a human-readable
+     * description of the first violation.  This is the validation
+     * boundary of the marshalling path -- an oversized target is
+     * rejected here with a clean diagnostic instead of corrupting
+     * state deep in the accelerator model.
+     */
+    std::string limitViolation() const;
 
     /** Validate every architectural limit; panics on violation. */
     void assertWithinLimits() const;

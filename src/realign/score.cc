@@ -30,14 +30,23 @@ scoreAndSelect(const MinWhdGrid &grid)
         return out; // nothing to select; keep the reference
 
     // Part 2: score each alternative consensus against the
-    // reference (consensus 0) and keep the minimum.
+    // reference (consensus 0) and keep the minimum.  A consensus on
+    // which no read can be placed at all (every grid entry
+    // kWhdInfinity -- e.g. a large-deletion candidate shorter than
+    // every read) carries no placement evidence; its zero score
+    // must not beat a feasible consensus, and a target where every
+    // alternative is infeasible must be a no-op, so infeasible
+    // consensuses are excluded from selection entirely.
     uint64_t best_score = 0;
     uint32_t best_cons = 0;
     for (size_t i = 1; i < num_cons; ++i) {
         uint64_t score = 0;
+        bool placeable = false;
         for (size_t j = 0; j < num_reads; ++j) {
             uint32_t ref_whd = grid.whd(0, j);
             uint32_t cur_whd = grid.whd(i, j);
+            if (cur_whd != kWhdInfinity)
+                placeable = true;
             if (ref_whd == kWhdInfinity || cur_whd == kWhdInfinity)
                 continue;
             score += ref_whd > cur_whd
@@ -45,6 +54,8 @@ scoreAndSelect(const MinWhdGrid &grid)
                 : static_cast<uint64_t>(cur_whd - ref_whd);
         }
         out.scores[i] = score;
+        if (!placeable)
+            continue;
         if (best_cons == 0 || score < best_score) {
             best_score = score;
             best_cons = static_cast<uint32_t>(i);

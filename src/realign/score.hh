@@ -45,7 +45,11 @@ struct ConsensusDecision
  * Run Algorithm 2 on a filled min-WHD grid.
  *
  * Infeasible grid entries (kWhdInfinity) contribute nothing to a
- * consensus score and never trigger a realignment.
+ * consensus score and never trigger a realignment, and a consensus
+ * with no feasible placement at all is never selected -- a
+ * degenerate target (zero reads, zero alternatives, or every read
+ * longer than every consensus) is therefore an unchanged-read
+ * no-op with bestConsensus == 0 in every backend.
  */
 ConsensusDecision scoreAndSelect(const MinWhdGrid &grid);
 

@@ -27,7 +27,7 @@ calcWhd(const BaseSeq &cons, const BaseSeq &read, const QualSeq &quals,
     uint32_t whd = 0;
     for (size_t n = 0; n < read.size(); ++n) {
         if (cons[k + n] != read[n])
-            whd += quals[n];
+            whd = whdAccumulate(whd, quals[n]);
     }
     return whd;
 }
@@ -60,15 +60,19 @@ minWhd(const IrTargetInput &input, bool prune, WhdStats *stats)
                 bool pruned = false;
                 for (size_t n = 0; n < read.size(); ++n) {
                     ++local.comparisons;
-                    if (cons[k + n] != read[n]) {
-                        whd += quals[n];
-                        if (prune && whd >= best) {
-                            // Cannot improve on the running minimum:
-                            // abandon this offset (paper's
-                            // computation pruning).
-                            pruned = true;
-                            break;
-                        }
+                    if (cons[k + n] != read[n])
+                        whd = whdAccumulate(whd, quals[n]);
+                    // The running minimum is checked once per
+                    // executed comparison -- exactly the hardware's
+                    // per-cycle check of the minimum register -- so
+                    // the work counters of the software kernel and
+                    // the scalar datapath model stay bit-identical.
+                    if (prune && whd >= best) {
+                        // Cannot improve on the running minimum:
+                        // abandon this offset (paper's computation
+                        // pruning).
+                        pruned = true;
+                        break;
                     }
                 }
                 if (pruned) {

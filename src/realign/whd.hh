@@ -30,7 +30,34 @@ namespace iracc {
 constexpr uint32_t kWhdInfinity =
     std::numeric_limits<uint32_t>::max();
 
-/** Work counters for the kernel (drive the ablation benches). */
+/**
+ * Largest representable weighted distance of a *placed* read.
+ * Quality accumulation saturates here so that a legitimately
+ * placeable read with an extreme weighted distance can never alias
+ * the kWhdInfinity "never placed" sentinel and silently lose its
+ * placement (both the software kernel and the accelerator's
+ * datapath model saturate identically).
+ */
+constexpr uint32_t kWhdMax = kWhdInfinity - 1;
+
+/** Saturating quality accumulation (see kWhdMax). */
+inline uint32_t
+whdAccumulate(uint32_t whd, uint8_t qual)
+{
+    uint64_t sum = static_cast<uint64_t>(whd) + qual;
+    return sum > kWhdMax ? kWhdMax : static_cast<uint32_t>(sum);
+}
+
+/**
+ * Work counters for the kernel (drive the ablation benches).
+ *
+ * Counter semantics are shared bit-for-bit between the software
+ * kernel and the accelerator datapath model at scalar width: a
+ * comparison counts when it executes, including the base (or
+ * block-RAM row) whose running sum triggers a pruning abort, and
+ * never beyond -- `comparisons <= comparisonsUnpruned` is an
+ * invariant (asserted by whd_test and perf_monitor_test).
+ */
 struct WhdStats
 {
     /** Base comparisons actually executed. */

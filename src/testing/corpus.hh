@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Self-contained repro cases for the differential harness.
+ *
+ * When tools/iracc_diff finds a cross-backend mismatch it minimizes
+ * the workload (testing/differential.hh) and serializes the result
+ * as one text file.  Committed cases live in tests/corpus/ and are
+ * replayed by tests/differential_test.cc on every ctest run, so a
+ * bug found by fuzzing stays fixed forever.
+ *
+ * Format (line-oriented, '#' comments):
+ *
+ *   # iracc-diff repro case v1
+ *   kind pipeline | kernel
+ *   seed <generator seed, informational>
+ *   variant <design point that diverged, informational>
+ *   detail <diagnosis at capture time>
+ *
+ * pipeline payload:
+ *   begin reference         FASTA, one contig per record
+ *   end reference
+ *   begin reads             SAM-lite lines (genomics/io.hh)
+ *   end reads
+ *
+ * kernel payload:
+ *   window <windowStart> <windowEnd>
+ *   begin consensuses       one base string per line
+ *   end consensuses
+ *   begin reads             "<bases> <q0,q1,...>" per line; decimal
+ *   end reads               qualities cover the full 0-255 range
+ */
+
+#ifndef IRACC_TESTING_CORPUS_HH
+#define IRACC_TESTING_CORPUS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "genomics/read.hh"
+#include "genomics/reference.hh"
+#include "realign/consensus.hh"
+#include "testing/differential.hh"
+
+namespace iracc {
+namespace difftest {
+
+/** One serializable repro case. */
+struct ReproCase
+{
+    /** "pipeline" (genome + reads) or "kernel" (one target). */
+    std::string kind;
+
+    /** Design point that diverged when the case was captured. */
+    std::string variant;
+
+    /** Diagnosis at capture time. */
+    std::string detail;
+
+    /** Generator seed the case came from. */
+    uint64_t seed = 0;
+
+    /** Pipeline payload. */
+    ReferenceGenome reference;
+    std::vector<Read> reads;
+
+    /** Kernel payload. */
+    IrTargetInput target;
+};
+
+/** Serialize a case (see file-format comment above). */
+void writeReproCase(std::ostream &os, const ReproCase &repro);
+
+/** Parse a case; fatal() on malformed input. */
+ReproCase readReproCase(std::istream &is);
+
+/**
+ * Write a case into @p dir as repro-<kind>-seed<seed>-<n>.case,
+ * picking the first unused n.  @return the path written.
+ */
+std::string saveReproCase(const ReproCase &repro,
+                          const std::string &dir);
+
+/** Load one case from a file path. */
+ReproCase loadReproCase(const std::string &path);
+
+/** Re-run the differential check a case captures. */
+DiffResult replayReproCase(const ReproCase &repro);
+
+/** Sorted *.case paths under @p dir (empty when none). */
+std::vector<std::string> listCorpus(const std::string &dir);
+
+} // namespace difftest
+} // namespace iracc
+
+#endif // IRACC_TESTING_CORPUS_HH

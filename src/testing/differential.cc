@@ -1,0 +1,511 @@
+#include "testing/differential.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "accel/ir_compute.hh"
+#include "core/realign_job.hh"
+#include "realign/marshal.hh"
+#include "realign/score.hh"
+#include "realign/whd.hh"
+#include "testing/workload_gen.hh"
+#include "variant/caller.hh"
+
+namespace iracc {
+namespace difftest {
+
+namespace {
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buf, sizeof(buf), format, args);
+    va_end(args);
+    return std::string(buf);
+}
+
+bool
+statsEqual(const WhdStats &a, const WhdStats &b)
+{
+    return a.comparisons == b.comparisons &&
+           a.comparisonsUnpruned == b.comparisonsUnpruned &&
+           a.offsetsEvaluated == b.offsetsEvaluated &&
+           a.offsetsPruned == b.offsetsPruned;
+}
+
+std::string
+statsString(const WhdStats &s)
+{
+    return fmt("cmp=%llu unpruned=%llu offsets=%llu pruned=%llu",
+               static_cast<unsigned long long>(s.comparisons),
+               static_cast<unsigned long long>(s.comparisonsUnpruned),
+               static_cast<unsigned long long>(s.offsetsEvaluated),
+               static_cast<unsigned long long>(s.offsetsPruned));
+}
+
+/**
+ * Semantic sanity of one software decision: a picked consensus must
+ * have placement evidence, a fully-infeasible target must be a
+ * no-op, and every realigned read must genuinely improve.  These
+ * invariants hold independently of any backend comparison, so a bug
+ * shared by every backend (which a pure differential is blind to)
+ * still fails here.
+ */
+DiffResult
+checkDecisionInvariants(const MinWhdGrid &grid,
+                        const ConsensusDecision &want)
+{
+    const size_t num_cons = grid.numConsensuses();
+    const size_t num_reads = grid.numReads();
+    if (want.bestConsensus != 0) {
+        bool placeable = false;
+        for (size_t j = 0; j < num_reads; ++j)
+            placeable |= grid.whd(want.bestConsensus, j) !=
+                         kWhdInfinity;
+        if (!placeable) {
+            return DiffResult::fail(
+                "software/oracle",
+                fmt("picked consensus %u has no feasible placement",
+                    want.bestConsensus));
+        }
+    } else if (want.numRealigned() != 0) {
+        return DiffResult::fail(
+            "software/oracle",
+            fmt("no consensus picked but %u reads realigned",
+                want.numRealigned()));
+    }
+    bool any_alternative = false;
+    for (size_t i = 1; i < num_cons; ++i)
+        for (size_t j = 0; j < num_reads; ++j)
+            any_alternative |= grid.whd(i, j) != kWhdInfinity;
+    if (!any_alternative &&
+        (want.bestConsensus != 0 || want.numRealigned() != 0)) {
+        return DiffResult::fail(
+            "software/oracle",
+            "degenerate target (no feasible alternative placement) "
+            "is not a no-op");
+    }
+    for (size_t j = 0; j < num_reads; ++j) {
+        if (!want.realign[j])
+            continue;
+        uint32_t ref_whd = grid.whd(0, j);
+        uint32_t cur_whd = grid.whd(want.bestConsensus, j);
+        if (cur_whd == kWhdInfinity ||
+            (ref_whd != kWhdInfinity && cur_whd >= ref_whd)) {
+            return DiffResult::fail(
+                "software/oracle",
+                fmt("read %zu realigned without improvement "
+                    "(ref=%u cur=%u)",
+                    j, ref_whd, cur_whd));
+        }
+    }
+    return {};
+}
+
+/** One pipeline variant's complete observable outcome. */
+struct PipelineOutcome
+{
+    std::vector<std::string> alignments; ///< per read, input order
+    RealignStats stats;
+    std::vector<std::string> calls;      ///< variant calls, genome order
+};
+
+PipelineOutcome
+runVariant(const BackendVariant &variant, const ReferenceGenome &ref,
+           std::vector<Read> reads)
+{
+    RealignJobConfig cfg;
+    cfg.threads = variant.jobThreads;
+    RealignSession session(makeVariantBackend(variant), cfg);
+    RealignJobResult result = session.run(ref, reads);
+
+    PipelineOutcome out;
+    out.stats = result.stats;
+    out.alignments.reserve(reads.size());
+    for (const Read &r : reads) {
+        out.alignments.push_back(
+            r.name + ":" + std::to_string(r.contig) + ":" +
+            std::to_string(r.pos) + ":" + r.cigar.toString());
+    }
+    for (size_t c = 0; c < ref.numContigs(); ++c) {
+        int32_t contig = static_cast<int32_t>(c);
+        for (const CalledVariant &v :
+             callVariants(ref, reads, contig, 0,
+                          ref.contig(contig).length())) {
+            std::ostringstream os;
+            os << v.contig << ':' << v.pos << ':'
+               << static_cast<int>(v.type) << ':' << v.altBase << ':'
+               << v.depth;
+            char af[40];
+            std::snprintf(af, sizeof(af), ":%.17g", v.alleleFraction);
+            os << af;
+            out.calls.push_back(os.str());
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+DiffResult
+diffKernelInput(const IrTargetInput &input)
+{
+    // Software kernel: pruning must not change the grid.
+    WhdStats stats_noprune, stats_prune;
+    MinWhdGrid grid = minWhd(input, false, &stats_noprune);
+    MinWhdGrid grid_pruned = minWhd(input, true, &stats_prune);
+    if (!(grid == grid_pruned)) {
+        return DiffResult::fail("software/prune=on",
+                                "pruned min-WHD grid diverges from "
+                                "unpruned grid");
+    }
+    if (stats_noprune.comparisons != stats_noprune.comparisonsUnpruned)
+        return DiffResult::fail(
+            "software/prune=off",
+            fmt("unpruned kernel executed %llu of %llu comparisons",
+                static_cast<unsigned long long>(
+                    stats_noprune.comparisons),
+                static_cast<unsigned long long>(
+                    stats_noprune.comparisonsUnpruned)));
+    if (stats_prune.comparisons > stats_prune.comparisonsUnpruned)
+        return DiffResult::fail(
+            "software/prune=on",
+            fmt("counter invariant violated: %s",
+                statsString(stats_prune).c_str()));
+
+    // Feasible placements must never surface as the infeasible
+    // sentinel (WHD accumulation saturates at kWhdMax instead).
+    for (size_t i = 0; i < input.numConsensuses(); ++i) {
+        for (size_t j = 0; j < input.numReads(); ++j) {
+            bool feasible = input.readBases[j].size() <=
+                            input.consensuses[i].size();
+            if (feasible && grid.whd(i, j) == kWhdInfinity) {
+                return DiffResult::fail(
+                    "software/prune=off",
+                    fmt("feasible pair (cons %zu, read %zu) reported "
+                        "as never placed",
+                        i, j));
+            }
+        }
+    }
+
+    ConsensusDecision want = scoreAndSelect(grid);
+    DiffResult invariants = checkDecisionInvariants(grid, want);
+    if (!invariants.ok)
+        return invariants;
+
+    // Targets outside the architectural limits stop at the clean
+    // rejection boundary; the accelerator never sees them.
+    if (!input.limitViolation().empty())
+        return {};
+
+    MarshalledTarget marshalled = marshalTarget(input);
+    // Byte-image round trip: what the unit reads back out of its
+    // block RAMs must be exactly what went in.
+    for (uint32_t i = 0; i < marshalled.numConsensuses; ++i) {
+        if (marshalled.consensusAt(i) != input.consensuses[i])
+            return DiffResult::fail(
+                "marshal", fmt("consensus %u image round-trip "
+                               "mismatch", i));
+    }
+    for (uint32_t j = 0; j < marshalled.numReads; ++j) {
+        if (marshalled.readAt(j) != input.readBases[j] ||
+            marshalled.qualsAt(j) != input.readQuals[j])
+            return DiffResult::fail(
+                "marshal",
+                fmt("read %u image round-trip mismatch", j));
+    }
+
+    for (uint32_t width : {1u, 32u}) {
+        for (bool prune : {false, true}) {
+            std::string label = fmt("accelerated/width=%u/prune=%s",
+                                    width, prune ? "on" : "off");
+            IrComputeResult hw = irCompute(marshalled, width, prune);
+            if (hw.bestConsensus != want.bestConsensus) {
+                return DiffResult::fail(
+                    label, fmt("picked consensus %u, software "
+                               "picked %u",
+                               hw.bestConsensus,
+                               want.bestConsensus));
+            }
+            for (size_t j = 0; j < input.numReads(); ++j) {
+                bool hw_flag = hw.output.realignFlags[j] != 0;
+                bool sw_flag = want.realign[j] != 0;
+                if (hw_flag != sw_flag) {
+                    return DiffResult::fail(
+                        label,
+                        fmt("read %zu realign flag %d, software %d",
+                            j, hw_flag ? 1 : 0, sw_flag ? 1 : 0));
+                }
+                uint32_t sw_pos =
+                    sw_flag ? want.newOffset[j] +
+                                  marshalled.targetStart
+                            : 0;
+                if (hw.output.newPositions[j] != sw_pos) {
+                    return DiffResult::fail(
+                        label,
+                        fmt("read %zu new position %u, software %u",
+                            j, hw.output.newPositions[j], sw_pos));
+                }
+            }
+            // At scalar width the datapath's prune granularity is
+            // one base, exactly the software kernel's: the work
+            // counters must agree bit for bit.
+            if (width == 1) {
+                const WhdStats &sw =
+                    prune ? stats_prune : stats_noprune;
+                if (!statsEqual(hw.whd, sw)) {
+                    return DiffResult::fail(
+                        label,
+                        fmt("WhdStats diverge: hw %s, sw %s",
+                            statsString(hw.whd).c_str(),
+                            statsString(sw).c_str()));
+                }
+            }
+        }
+    }
+    return {};
+}
+
+DiffResult
+diffKernelSeed(uint64_t seed, size_t *failed_index)
+{
+    std::vector<IrTargetInput> inputs = makeKernelInputs(seed);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        DiffResult r = diffKernelInput(inputs[i]);
+        if (!r.ok) {
+            if (failed_index != nullptr)
+                *failed_index = i;
+            r.detail = fmt("seed %llu input %zu: %s",
+                           static_cast<unsigned long long>(seed), i,
+                           r.detail.c_str()) ;
+            return r;
+        }
+    }
+    return {};
+}
+
+DiffResult
+diffPipeline(const ReferenceGenome &ref,
+             const std::vector<Read> &reads,
+             const std::vector<BackendVariant> &variants)
+{
+    if (variants.empty())
+        return {};
+    PipelineOutcome oracle = runVariant(variants[0], ref, reads);
+    for (size_t v = 1; v < variants.size(); ++v) {
+        const BackendVariant &variant = variants[v];
+        PipelineOutcome got = runVariant(variant, ref, reads);
+
+        for (size_t j = 0; j < reads.size(); ++j) {
+            if (got.alignments[j] != oracle.alignments[j]) {
+                return DiffResult::fail(
+                    variant.label,
+                    fmt("read %zu aligned as %s, oracle %s", j,
+                        got.alignments[j].c_str(),
+                        oracle.alignments[j].c_str()));
+            }
+        }
+        const RealignStats &a = got.stats;
+        const RealignStats &b = oracle.stats;
+        if (a.targets != b.targets ||
+            a.readsConsidered != b.readsConsidered ||
+            a.readsRealigned != b.readsRealigned ||
+            a.consensusesEvaluated != b.consensusesEvaluated) {
+            return DiffResult::fail(
+                variant.label,
+                fmt("realign stats diverge: targets %llu/%llu "
+                    "considered %llu/%llu realigned %llu/%llu "
+                    "consensuses %llu/%llu",
+                    static_cast<unsigned long long>(a.targets),
+                    static_cast<unsigned long long>(b.targets),
+                    static_cast<unsigned long long>(
+                        a.readsConsidered),
+                    static_cast<unsigned long long>(
+                        b.readsConsidered),
+                    static_cast<unsigned long long>(
+                        a.readsRealigned),
+                    static_cast<unsigned long long>(
+                        b.readsRealigned),
+                    static_cast<unsigned long long>(
+                        a.consensusesEvaluated),
+                    static_cast<unsigned long long>(
+                        b.consensusesEvaluated)));
+        }
+        // The would-be work is a pure function of the workload; the
+        // executed work additionally depends on prune granularity
+        // (per base in software, per chunk in hardware), so full
+        // counter equality holds only within a (kind, prune) cell.
+        if (a.whd.comparisonsUnpruned != b.whd.comparisonsUnpruned ||
+            a.whd.offsetsEvaluated != b.whd.offsetsEvaluated) {
+            return DiffResult::fail(
+                variant.label,
+                fmt("unpruned work diverges: %s vs oracle %s",
+                    statsString(a.whd).c_str(),
+                    statsString(b.whd).c_str()));
+        }
+        if (a.whd.comparisons > a.whd.comparisonsUnpruned) {
+            return DiffResult::fail(
+                variant.label,
+                fmt("counter invariant violated: %s",
+                    statsString(a.whd).c_str()));
+        }
+        if (!variant.prune && !statsEqual(a.whd, b.whd)) {
+            return DiffResult::fail(
+                variant.label,
+                fmt("unpruned WhdStats diverge: %s vs oracle %s",
+                    statsString(a.whd).c_str(),
+                    statsString(b.whd).c_str()));
+        }
+        if (got.calls != oracle.calls) {
+            size_t n = std::min(got.calls.size(),
+                                oracle.calls.size());
+            std::string where = fmt(
+                "call count %zu vs %zu", got.calls.size(),
+                oracle.calls.size());
+            for (size_t i = 0; i < n; ++i) {
+                if (got.calls[i] != oracle.calls[i]) {
+                    where = fmt("call %zu is %s, oracle %s", i,
+                                got.calls[i].c_str(),
+                                oracle.calls[i].c_str());
+                    break;
+                }
+            }
+            return DiffResult::fail(
+                variant.label,
+                "variant calls diverge: " + where);
+        }
+    }
+    return {};
+}
+
+DiffResult
+diffPipelineSeed(uint64_t seed)
+{
+    GenomeWorkload workload = makeDiffGenome(seed);
+    std::vector<Read> reads;
+    for (const ChromosomeWorkload &chrom : workload.chromosomes)
+        reads.insert(reads.end(), chrom.reads.begin(),
+                     chrom.reads.end());
+    DiffResult r = diffPipeline(workload.reference, reads);
+    if (!r.ok) {
+        r.detail = fmt("seed %llu: %s",
+                       static_cast<unsigned long long>(seed),
+                       r.detail.c_str());
+    }
+    return r;
+}
+
+std::vector<Read>
+minimizeReads(const ReferenceGenome &ref, std::vector<Read> reads,
+              const std::function<DiffResult(
+                  const ReferenceGenome &,
+                  const std::vector<Read> &)> &check)
+{
+    auto fails = [&](const std::vector<Read> &r) {
+        return !check(ref, r).ok;
+    };
+    if (!fails(reads))
+        return reads;
+
+    // Whole contigs first: a mismatch is almost always local to one.
+    std::set<int32_t> contigs;
+    for (const Read &r : reads)
+        contigs.insert(r.contig);
+    if (contigs.size() > 1) {
+        for (int32_t c : contigs) {
+            std::vector<Read> candidate;
+            for (const Read &r : reads)
+                if (r.contig != c)
+                    candidate.push_back(r);
+            if (!candidate.empty() && fails(candidate))
+                reads = std::move(candidate);
+        }
+    }
+
+    // Then delta-debugging style chunk removal down to single reads.
+    size_t chunk = std::max<size_t>(1, reads.size() / 2);
+    while (chunk >= 1) {
+        bool removed = false;
+        for (size_t start = 0;
+             start < reads.size() && reads.size() > 1;
+             /* advance below */) {
+            size_t len = std::min(chunk, reads.size() - start);
+            if (len == reads.size()) {
+                start += len;
+                continue;
+            }
+            std::vector<Read> candidate;
+            candidate.reserve(reads.size() - len);
+            candidate.insert(candidate.end(), reads.begin(),
+                             reads.begin() + start);
+            candidate.insert(candidate.end(),
+                             reads.begin() + start + len,
+                             reads.end());
+            if (fails(candidate)) {
+                reads = std::move(candidate);
+                removed = true; // same start now names new reads
+            } else {
+                start += len;
+            }
+        }
+        if (chunk == 1 && !removed)
+            break;
+        if (!removed)
+            chunk /= 2;
+    }
+    return reads;
+}
+
+IrTargetInput
+minimizeKernelInput(
+    IrTargetInput input,
+    const std::function<DiffResult(const IrTargetInput &)> &check)
+{
+    auto fails = [&](const IrTargetInput &t) {
+        return !check(t).ok;
+    };
+    if (!fails(input))
+        return input;
+
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        for (size_t j = 0; j < input.numReads();) {
+            IrTargetInput candidate = input;
+            candidate.readBases.erase(candidate.readBases.begin() + j);
+            candidate.readQuals.erase(candidate.readQuals.begin() + j);
+            candidate.readIndices.erase(
+                candidate.readIndices.begin() + j);
+            if (fails(candidate)) {
+                input = std::move(candidate);
+                shrunk = true;
+            } else {
+                ++j;
+            }
+        }
+        // Consensus 0 is the reference window and structural.
+        for (size_t i = 1; i < input.numConsensuses();) {
+            IrTargetInput candidate = input;
+            candidate.consensuses.erase(
+                candidate.consensuses.begin() + i);
+            candidate.events.erase(candidate.events.begin() + i);
+            if (fails(candidate)) {
+                input = std::move(candidate);
+                shrunk = true;
+            } else {
+                ++i;
+            }
+        }
+    }
+    return input;
+}
+
+} // namespace difftest
+} // namespace iracc

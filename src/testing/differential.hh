@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cross-backend differential checks: every registered backend
+ * design point must produce bit-identical results on the same
+ * workload.
+ *
+ * Kernel level, one IrTargetInput at a time:
+ *   - software minWhd with pruning == without pruning (grid and
+ *     offsets bit-equal), counters satisfy
+ *     comparisons <= comparisonsUnpruned;
+ *   - scoreAndSelect never picks a consensus with no feasible
+ *     placement; degenerate targets are no-ops;
+ *   - the accelerator datapath model (irCompute) at widths {1, 32}
+ *     x pruning {off, on} matches the software decision exactly
+ *     (picked consensus, realign flags, new positions);
+ *   - at scalar width the datapath's WhdStats equal the software
+ *     kernel's bit for bit;
+ *   - inputs that violate the architectural limits are rejected
+ *     with a clean limitViolation() diagnostic (never marshalled).
+ *
+ * Pipeline level, one genome workload at a time: every
+ * differentialVariants() design point ({software, accelerated} x
+ * {prune off, on} x job threads) realigns a copy of the same read
+ * set; realigned alignments (position + CIGAR per read), realign
+ * statistics, and downstream variant calls must all equal the
+ * oracle's (the unpruned single-job software variant).
+ *
+ * On mismatch the harness minimizes: greedy removal of contigs,
+ * then read chunks (pipeline) or reads/consensuses (kernel) while
+ * the divergence persists, producing the small repro the corpus
+ * stores (see testing/corpus.hh).
+ */
+
+#ifndef IRACC_TESTING_DIFFERENTIAL_HH
+#define IRACC_TESTING_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/realigner_api.hh"
+#include "genomics/read.hh"
+#include "genomics/reference.hh"
+#include "realign/consensus.hh"
+
+namespace iracc {
+namespace difftest {
+
+/** Outcome of one differential check. */
+struct DiffResult
+{
+    bool ok = true;
+
+    /** Design point that diverged (empty when ok). */
+    std::string variant;
+
+    /** Human-readable description of the first divergence. */
+    std::string detail;
+
+    static DiffResult
+    fail(std::string variant, std::string detail)
+    {
+        DiffResult r;
+        r.ok = false;
+        r.variant = std::move(variant);
+        r.detail = std::move(detail);
+        return r;
+    }
+};
+
+/** Kernel-level differential over one target input. */
+DiffResult diffKernelInput(const IrTargetInput &input);
+
+/**
+ * Kernel-level differential over every generated input of a seed.
+ * On failure, @p failed_index (if non-null) receives the index of
+ * the first diverging input within makeKernelInputs(seed).
+ */
+DiffResult diffKernelSeed(uint64_t seed,
+                          size_t *failed_index = nullptr);
+
+/**
+ * Pipeline-level differential: realign a copy of @p reads with
+ * every variant and compare alignments, statistics, and variant
+ * calls against the first variant (the oracle).
+ */
+DiffResult diffPipeline(
+    const ReferenceGenome &ref, const std::vector<Read> &reads,
+    const std::vector<BackendVariant> &variants =
+        differentialVariants());
+
+/** Pipeline differential over the generated genome of a seed. */
+DiffResult diffPipelineSeed(uint64_t seed);
+
+/**
+ * Greedy repro minimization for a pipeline mismatch: drop whole
+ * contigs, then binary-shrinking read chunks, then single reads,
+ * keeping each removal only while @p check still reports a
+ * mismatch.  @return the minimized read set (the input set when it
+ * no longer fails).
+ */
+std::vector<Read> minimizeReads(
+    const ReferenceGenome &ref, std::vector<Read> reads,
+    const std::function<DiffResult(const ReferenceGenome &,
+                                   const std::vector<Read> &)> &check);
+
+/**
+ * Greedy repro minimization for a kernel mismatch: drop reads and
+ * non-reference consensuses one at a time while @p check keeps
+ * failing.
+ */
+IrTargetInput minimizeKernelInput(
+    IrTargetInput input,
+    const std::function<DiffResult(const IrTargetInput &)> &check);
+
+} // namespace difftest
+} // namespace iracc
+
+#endif // IRACC_TESTING_DIFFERENTIAL_HH

@@ -1,0 +1,317 @@
+#include "testing/workload_gen.hh"
+
+#include <algorithm>
+
+#include "realign/limits.hh"
+
+namespace iracc {
+namespace difftest {
+
+namespace {
+
+/** Stream tags keeping kernel and pipeline generation independent. */
+constexpr uint64_t kKernelStream = 0xD1FFC0DEull;
+constexpr uint64_t kPipelineStream = 0xD1FF6E02ull;
+
+/**
+ * Per-target worst-case comparison budget.  Randomized dimensions
+ * are rejected above this so one seed's kernel sweep stays in the
+ * tens of milliseconds even with six kernel configurations run per
+ * target.
+ */
+constexpr uint64_t kComparisonBudget = 2'000'000;
+
+BaseSeq
+randomBases(Rng &rng, size_t len)
+{
+    static const char alphabet[4] = {'A', 'C', 'G', 'T'};
+    BaseSeq out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        out.push_back(alphabet[rng.below(4)]);
+    return out;
+}
+
+/** Boundary-biased quality: extremes are where sentinel and
+ *  saturation bugs live, so half the draws land on them. */
+uint8_t
+randomQual(Rng &rng)
+{
+    switch (rng.below(6)) {
+      case 0: return 0;
+      case 1: return 1;
+      case 2: return 254;
+      case 3: return 255;
+      default:
+        return static_cast<uint8_t>(rng.below(64));
+    }
+}
+
+QualSeq
+randomQuals(Rng &rng, size_t len)
+{
+    QualSeq out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        out.push_back(randomQual(rng));
+    return out;
+}
+
+/** Boundary-biased dimension draw over [lo, hi]. */
+size_t
+boundaryPick(Rng &rng, size_t lo, size_t hi,
+             std::initializer_list<size_t> edges)
+{
+    if (rng.chance(0.5)) {
+        size_t n = edges.size();
+        if (n > 0) {
+            size_t v = *(edges.begin() + rng.below(n));
+            return std::clamp(v, lo, hi);
+        }
+    }
+    return static_cast<size_t>(
+        rng.range(static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+}
+
+/** Skeleton with window metadata and placeholder events filled. */
+IrTargetInput
+makeSkeleton(Rng &rng, size_t window_len)
+{
+    IrTargetInput input;
+    input.windowStart = rng.below(5000);
+    input.windowEnd = input.windowStart +
+                      static_cast<int64_t>(window_len);
+    input.target.start = input.windowStart;
+    input.target.end = input.windowEnd;
+    return input;
+}
+
+void
+addConsensus(IrTargetInput &input, BaseSeq cons)
+{
+    input.consensuses.push_back(std::move(cons));
+    input.events.emplace_back();
+}
+
+/**
+ * Add a read.  70 % of reads are sampled from a random consensus at
+ * a random offset with a few point errors (realistic placements
+ * that exercise pruning); the rest are pure noise (worst case for
+ * the minimum search).
+ */
+void
+addRead(IrTargetInput &input, Rng &rng, size_t len)
+{
+    BaseSeq bases;
+    if (!input.consensuses.empty() && rng.chance(0.7)) {
+        const BaseSeq &cons =
+            input.consensuses[rng.below(input.consensuses.size())];
+        if (cons.size() >= len) {
+            size_t k = rng.below(cons.size() - len + 1);
+            bases = cons.substr(k, len);
+            size_t errors = rng.below(1 + len / 16);
+            for (size_t e = 0; e < errors; ++e) {
+                bases[rng.below(len)] =
+                    "ACGT"[rng.below(4)];
+            }
+        }
+    }
+    if (bases.empty())
+        bases = randomBases(rng, len);
+    input.readIndices.push_back(
+        static_cast<uint32_t>(input.readIndices.size()));
+    input.readQuals.push_back(randomQuals(rng, len));
+    input.readBases.push_back(std::move(bases));
+}
+
+/** Drop reads until the target fits the comparison budget. */
+void
+enforceBudget(IrTargetInput &input)
+{
+    while (input.numReads() > 0 &&
+           input.worstCaseComparisons() > kComparisonBudget) {
+        input.readBases.pop_back();
+        input.readQuals.pop_back();
+        input.readIndices.pop_back();
+    }
+}
+
+/**
+ * The deterministic boundary library: the degenerate and
+ * at-the-limit corners every seed must cover regardless of what
+ * the randomized draws produce.
+ */
+std::vector<IrTargetInput>
+boundaryLibrary(Rng &rng)
+{
+    std::vector<IrTargetInput> out;
+
+    // Zero consensuses with reads: rejected by marshalling, must be
+    // a clean software no-op.
+    {
+        IrTargetInput t = makeSkeleton(rng, 0);
+        addRead(t, rng, 40);
+        addRead(t, rng, 40);
+        out.push_back(std::move(t));
+    }
+
+    // Zero reads, several consensuses.
+    {
+        IrTargetInput t = makeSkeleton(rng, 80);
+        for (int i = 0; i < 3; ++i)
+            addConsensus(t, randomBases(rng, 80));
+        out.push_back(std::move(t));
+    }
+
+    // Reference only (no alternative consensus to pick).
+    {
+        IrTargetInput t = makeSkeleton(rng, 120);
+        addConsensus(t, randomBases(rng, 120));
+        for (int j = 0; j < 6; ++j)
+            addRead(t, rng, 30 + rng.below(60));
+        out.push_back(std::move(t));
+    }
+
+    // Every read longer than every consensus: no feasible
+    // placement anywhere, must be a no-op in every backend.
+    {
+        IrTargetInput t = makeSkeleton(rng, 40);
+        addConsensus(t, randomBases(rng, 40));
+        addConsensus(t, randomBases(rng, 32));
+        for (int j = 0; j < 4; ++j)
+            addRead(t, rng, 41 + rng.below(60));
+        out.push_back(std::move(t));
+    }
+
+    // Mixed feasibility: consensus 1 shorter than every read (an
+    // infeasible alternative), consensus 2 a genuine candidate.
+    {
+        IrTargetInput t = makeSkeleton(rng, 100);
+        addConsensus(t, randomBases(rng, 100));
+        addConsensus(t, randomBases(rng, 20));
+        BaseSeq alt = randomBases(rng, 100);
+        addConsensus(t, alt);
+        for (int j = 0; j < 5; ++j) {
+            size_t len = 30 + rng.below(40);
+            size_t k = rng.below(alt.size() - len + 1);
+            t.readIndices.push_back(
+                static_cast<uint32_t>(t.readIndices.size()));
+            t.readBases.push_back(alt.substr(k, len));
+            t.readQuals.push_back(randomQuals(rng, len));
+        }
+        out.push_back(std::move(t));
+    }
+
+    // Full occupancy at small lengths: kMaxConsensuses x kMaxReads.
+    {
+        IrTargetInput t = makeSkeleton(rng, 48);
+        for (uint32_t i = 0; i < kMaxConsensuses; ++i)
+            addConsensus(t, randomBases(rng, 40 + rng.below(9)));
+        for (uint32_t j = 0; j < kMaxReads; ++j)
+            addRead(t, rng, 8 + rng.below(24));
+        out.push_back(std::move(t));
+    }
+
+    // Maximum lengths: a kMaxConsensusLen window with reads at
+    // exactly kMaxReadLen (including one read == consensus length
+    // after the stride, i.e. the single-offset case).
+    {
+        IrTargetInput t = makeSkeleton(rng, kMaxConsensusLen);
+        addConsensus(t, randomBases(rng, kMaxConsensusLen));
+        addConsensus(t, randomBases(rng, kMaxReadLen));
+        addRead(t, rng, kMaxReadLen);
+        addRead(t, rng, kMaxReadLen);
+        out.push_back(std::move(t));
+    }
+
+    // Saturation stress: maximum-quality all-mismatch reads (the
+    // WHD accumulator's high end; full saturation is covered by
+    // whd_test, this keeps the differential on the same path).
+    {
+        IrTargetInput t = makeSkeleton(rng, 300);
+        addConsensus(t, BaseSeq(300, 'A'));
+        addConsensus(t, BaseSeq(280, 'A'));
+        for (int j = 0; j < 3; ++j) {
+            size_t len = 100 + rng.below(100);
+            t.readIndices.push_back(
+                static_cast<uint32_t>(t.readIndices.size()));
+            t.readBases.push_back(BaseSeq(len, 'C'));
+            t.readQuals.push_back(QualSeq(len, 255));
+        }
+        out.push_back(std::move(t));
+    }
+
+    return out;
+}
+
+IrTargetInput
+randomTarget(Rng &rng)
+{
+    size_t num_cons =
+        boundaryPick(rng, 0, kMaxConsensuses,
+                     {0, 1, 2, kMaxConsensuses - 1, kMaxConsensuses});
+    size_t cons_len =
+        boundaryPick(rng, 16, 384, {16, 17, 64, 255, 256, 257, 384});
+    IrTargetInput t = makeSkeleton(rng, cons_len);
+    for (size_t i = 0; i < num_cons; ++i) {
+        // Alternative consensuses vary in length like real indel
+        // candidates; occasionally degenerate to shorter than every
+        // read.
+        size_t len = i == 0 ? cons_len
+                            : boundaryPick(rng, 8, cons_len + 24,
+                                           {8, cons_len - 1, cons_len,
+                                            cons_len + 24});
+        addConsensus(t, randomBases(rng, len));
+    }
+    size_t num_reads =
+        boundaryPick(rng, 0, kMaxReads, {0, 1, 2, 31, kMaxReads});
+    for (size_t j = 0; j < num_reads; ++j) {
+        size_t len = boundaryPick(
+            rng, 1, std::min<size_t>(kMaxReadLen, cons_len + 8),
+            {1, 2, 16, cons_len - 1, cons_len, cons_len + 8,
+             kMaxReadLen});
+        addRead(t, rng, len);
+    }
+    enforceBudget(t);
+    return t;
+}
+
+} // anonymous namespace
+
+std::vector<IrTargetInput>
+makeKernelInputs(uint64_t seed)
+{
+    Rng rng = Rng::stream(kKernelStream, seed);
+    std::vector<IrTargetInput> out = boundaryLibrary(rng);
+    const size_t randomized = 6;
+    for (size_t i = 0; i < randomized; ++i)
+        out.push_back(randomTarget(rng));
+    return out;
+}
+
+GenomeWorkload
+makeDiffGenome(uint64_t seed)
+{
+    Rng rng = Rng::stream(kPipelineStream, seed);
+    WorkloadParams p;
+    p.seed = 0xD1FFADA12878ull ^
+             (seed * 0x9E3779B97F4A7C15ull);
+    // 1-2 small contigs so eight backend variants (four of them
+    // cycle-level simulations) stay affordable per seed.
+    p.scaleDivisor = 20000;
+    p.minContigLength = 15000;
+    p.chromosomes = rng.chance(0.5) ? std::vector<int>{22}
+                                    : std::vector<int>{21, 22};
+    p.coverage = 6.0 + static_cast<double>(rng.below(8));
+    static const int32_t read_lens[] = {36, 75, 100, 150, 250};
+    p.readSim.readLength = read_lens[rng.below(5)];
+    p.variants.insRate = 8e-4;
+    p.variants.delRate = 8e-4;
+    p.variants.maxIndelLen =
+        static_cast<int32_t>(4 + rng.below(21));
+    p.variants.clusterProb = 0.4;
+    return buildWorkload(p);
+}
+
+} // namespace difftest
+} // namespace iracc

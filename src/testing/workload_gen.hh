@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Randomized workload generation for the cross-backend differential
+ * harness (tools/iracc_diff, tests/differential_test.cc).
+ *
+ * Two granularities:
+ *
+ *  - Kernel-level: seeded IrTargetInput sets that sweep the
+ *    architectural limits in realign/limits.hh -- maximum read
+ *    length, maximum reads and consensuses per target -- plus the
+ *    degenerate corners the normal pipeline can never produce
+ *    (zero reads, zero consensuses, every read longer than every
+ *    consensus, a lone infeasible alternative).  These feed the
+ *    kernel differential directly, bypassing target planning.
+ *
+ *  - Pipeline-level: small seeded genomes + read sets built through
+ *    the regular workload synthesizer with seed-varied coverage,
+ *    read length, and indel model, which exercise the full staged
+ *    pipeline (Plan -> Prepare -> Execute -> Apply) of every
+ *    backend variant.
+ *
+ * Everything is a pure function of the seed.
+ */
+
+#ifndef IRACC_TESTING_WORKLOAD_GEN_HH
+#define IRACC_TESTING_WORKLOAD_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.hh"
+#include "realign/consensus.hh"
+
+namespace iracc {
+namespace difftest {
+
+/**
+ * Generate the kernel-level target set for one seed: a fixed
+ * library of limit-boundary and degenerate cases followed by
+ * randomized targets with boundary-biased dimensions.  Inputs may
+ * intentionally violate marshalling limits (the differential skips
+ * the accelerator model for those and checks the software kernel
+ * plus the clean-rejection path instead).
+ */
+std::vector<IrTargetInput> makeKernelInputs(uint64_t seed);
+
+/**
+ * Synthesize a small pipeline-level genome workload for one seed:
+ * 1-2 scaled contigs with seed-varied coverage, read length, and
+ * indel parameters.
+ */
+GenomeWorkload makeDiffGenome(uint64_t seed);
+
+} // namespace difftest
+} // namespace iracc
+
+#endif // IRACC_TESTING_WORKLOAD_GEN_HH

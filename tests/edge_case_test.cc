@@ -125,6 +125,127 @@ TEST(MarshalEdge, MaxLengthReadFillsSlotExactly)
     (void)res;
 }
 
+// ----- Degenerate targets ------------------------------------------
+//
+// Zero reads, zero consensuses, or every read longer than every
+// consensus: each must be an identical no-op in the software kernel
+// and in the accelerator datapath model at every width and pruning
+// setting, or be rejected at the clean marshalling boundary.
+
+/** Run one input through scoreAndSelect and every datapath config,
+ *  asserting every backend agrees on (bestConsensus, realign set). */
+void
+expectAllBackendsAgree(const IrTargetInput &input,
+                       uint32_t want_best, uint32_t want_realigned)
+{
+    MinWhdGrid grid = minWhd(input, false);
+    ConsensusDecision sw = scoreAndSelect(grid);
+    EXPECT_EQ(sw.bestConsensus, want_best);
+    EXPECT_EQ(sw.numRealigned(), want_realigned);
+
+    ASSERT_TRUE(input.limitViolation().empty());
+    MarshalledTarget m = marshalTarget(input);
+    for (uint32_t width : {1u, 32u}) {
+        for (bool prune : {false, true}) {
+            IrComputeResult hw = irCompute(m, width, prune);
+            EXPECT_EQ(hw.bestConsensus, sw.bestConsensus)
+                << "width " << width << " prune " << prune;
+            ASSERT_EQ(hw.output.realignFlags.size(),
+                      input.numReads());
+            for (size_t j = 0; j < input.numReads(); ++j) {
+                EXPECT_EQ(hw.output.realignFlags[j] != 0,
+                          sw.realign[j] != 0)
+                    << "read " << j;
+            }
+        }
+    }
+}
+
+TEST(DegenerateTarget, ZeroReadsIsANoOpInEveryBackend)
+{
+    Rng rng(21);
+    IrTargetInput input;
+    input.windowStart = 500;
+    input.windowEnd = 580;
+    for (int i = 0; i < 3; ++i) {
+        BaseSeq s;
+        for (int b = 0; b < 80; ++b)
+            s.push_back(kConcreteBases[rng.below(4)]);
+        input.consensuses.push_back(s);
+    }
+    input.events.resize(3);
+    expectAllBackendsAgree(input, 0, 0);
+}
+
+TEST(DegenerateTarget, AllReadsLongerThanEveryConsensusIsANoOp)
+{
+    Rng rng(22);
+    IrTargetInput input;
+    input.windowStart = 0;
+    input.windowEnd = 40;
+    for (size_t len : {size_t{40}, size_t{32}}) {
+        BaseSeq s;
+        for (size_t b = 0; b < len; ++b)
+            s.push_back(kConcreteBases[rng.below(4)]);
+        input.consensuses.push_back(s);
+    }
+    input.events.resize(2);
+    for (int j = 0; j < 4; ++j) {
+        size_t len = 41 + rng.below(40);
+        BaseSeq s;
+        for (size_t b = 0; b < len; ++b)
+            s.push_back(kConcreteBases[rng.below(4)]);
+        input.readBases.push_back(s);
+        input.readQuals.push_back(QualSeq(len, 30));
+        input.readIndices.push_back(static_cast<uint32_t>(j));
+    }
+    // No feasible placement exists anywhere: picking consensus 1
+    // (whose score is vacuously 0) used to realign nothing yet
+    // report an alternative; the decision must be bestConsensus 0.
+    expectAllBackendsAgree(input, 0, 0);
+}
+
+TEST(DegenerateTarget, InfeasibleConsensusCannotWin)
+{
+    Rng rng(23);
+    BaseSeq ref;
+    for (int b = 0; b < 100; ++b)
+        ref.push_back(kConcreteBases[rng.below(4)]);
+    BaseSeq alt = ref;
+    alt[50] = alt[50] == 'A' ? 'C' : 'A';
+
+    IrTargetInput input;
+    input.windowStart = 0;
+    input.windowEnd = 100;
+    input.consensuses = {ref, ref.substr(0, 20), alt};
+    input.events.resize(3);
+    // Reads sampled from the genuine alternative, spanning the SNP;
+    // all longer than the 20-base degenerate consensus 1.
+    for (int j = 0; j < 5; ++j) {
+        size_t off = 30 + rng.below(15);
+        size_t len = 30 + rng.below(10);
+        input.readBases.push_back(alt.substr(off, len));
+        input.readQuals.push_back(QualSeq(len, 40));
+        input.readIndices.push_back(static_cast<uint32_t>(j));
+    }
+    // Consensus 1 has no feasible placement; its vacuous zero score
+    // must not beat consensus 2, which genuinely fits the reads.
+    expectAllBackendsAgree(input, 2, 5);
+}
+
+TEST(DegenerateTarget, ZeroConsensusesRejectedCleanly)
+{
+    IrTargetInput input;
+    input.windowStart = 0;
+    input.windowEnd = 0;
+    input.readBases = {"ACGT"};
+    input.readQuals = {{30, 30, 30, 30}};
+    input.readIndices = {0};
+    EXPECT_NE(input.limitViolation().find("no consensuses"),
+              std::string::npos);
+    EXPECT_DEATH(marshalTarget(input), "no consensuses");
+}
+
 // ----- Target assembly degeneracies --------------------------------
 
 TEST(TargetEdge, TargetAtContigStartAndEnd)

@@ -136,6 +136,124 @@ TEST(Marshal, FullSizeTargetWithinLimits)
     EXPECT_EQ(m.readAt(0).size(), kMaxReadLen);
 }
 
+/** A minimal valid input to mutate one dimension past its limit. */
+IrTargetInput
+limitProbe()
+{
+    IrTargetInput input;
+    input.windowStart = 0;
+    input.windowEnd = 64;
+    input.consensuses = {BaseSeq(64, 'A')};
+    input.events.resize(1);
+    input.readBases = {BaseSeq(16, 'C')};
+    input.readQuals = {QualSeq(16, 30)};
+    input.readIndices = {0};
+    return input;
+}
+
+TEST(Marshal, GoldenVectorsAtExactLimits)
+{
+    // Every dimension simultaneously at its architectural maximum
+    // must marshal and round-trip bit-exactly through the byte
+    // images the accelerator reads.
+    Rng rng(11);
+    IrTargetInput input;
+    input.windowStart = 0;
+    input.windowEnd = kMaxConsensusLen;
+    for (uint32_t i = 0; i < kMaxConsensuses; ++i) {
+        BaseSeq s;
+        for (uint32_t b = 0; b < kMaxConsensusLen; ++b)
+            s.push_back(kConcreteBases[rng.below(4)]);
+        input.consensuses.push_back(s);
+    }
+    input.events.resize(kMaxConsensuses);
+    for (uint32_t j = 0; j < kMaxReads; ++j) {
+        BaseSeq s;
+        QualSeq q;
+        for (uint32_t b = 0; b < kMaxReadLen; ++b) {
+            s.push_back(kConcreteBases[rng.below(4)]);
+            q.push_back(static_cast<uint8_t>(rng.range(0, 255)));
+        }
+        input.readBases.push_back(s);
+        input.readQuals.push_back(q);
+        input.readIndices.push_back(j);
+    }
+    EXPECT_TRUE(input.limitViolation().empty());
+    MarshalledTarget m = marshalTarget(input);
+    ASSERT_EQ(m.numConsensuses, kMaxConsensuses);
+    ASSERT_EQ(m.numReads, kMaxReads);
+    for (uint32_t i = 0; i < kMaxConsensuses; ++i)
+        ASSERT_EQ(m.consensusAt(i), input.consensuses[i]) << i;
+    for (uint32_t j = 0; j < kMaxReads; ++j) {
+        ASSERT_EQ(m.readAt(j), input.readBases[j]) << j;
+        ASSERT_EQ(m.qualsAt(j), input.readQuals[j]) << j;
+    }
+}
+
+TEST(MarshalLimits, TooManyConsensusesRejectedCleanly)
+{
+    IrTargetInput input = limitProbe();
+    while (input.consensuses.size() <= kMaxConsensuses) {
+        input.consensuses.push_back(BaseSeq(64, 'G'));
+        input.events.emplace_back();
+    }
+    EXPECT_NE(input.limitViolation().find("consensuses exceeds"),
+              std::string::npos);
+    EXPECT_DEATH(marshalTarget(input), "consensuses exceeds");
+}
+
+TEST(MarshalLimits, TooManyReadsRejectedCleanly)
+{
+    IrTargetInput input = limitProbe();
+    while (input.readBases.size() <= kMaxReads) {
+        input.readBases.push_back(BaseSeq(16, 'C'));
+        input.readQuals.push_back(QualSeq(16, 30));
+        input.readIndices.push_back(
+            static_cast<uint32_t>(input.readIndices.size()));
+    }
+    EXPECT_NE(input.limitViolation().find("reads exceeds"),
+              std::string::npos);
+    EXPECT_DEATH(marshalTarget(input), "reads exceeds");
+}
+
+TEST(MarshalLimits, OverlongConsensusRejectedCleanly)
+{
+    IrTargetInput input = limitProbe();
+    input.consensuses[0] = BaseSeq(kMaxConsensusLen + 1, 'A');
+    EXPECT_NE(input.limitViolation().find("consensus length"),
+              std::string::npos);
+    EXPECT_DEATH(marshalTarget(input), "consensus length");
+}
+
+TEST(MarshalLimits, OverlongReadRejectedCleanly)
+{
+    IrTargetInput input = limitProbe();
+    input.readBases[0] = BaseSeq(kMaxReadLen + 1, 'C');
+    input.readQuals[0] = QualSeq(kMaxReadLen + 1, 30);
+    EXPECT_NE(input.limitViolation().find("read length"),
+              std::string::npos);
+    EXPECT_DEATH(marshalTarget(input), "read length");
+}
+
+TEST(MarshalLimits, MalformedReadsRejectedCleanly)
+{
+    IrTargetInput mismatch = limitProbe();
+    mismatch.readQuals[0].pop_back();
+    EXPECT_NE(mismatch.limitViolation().find("length mismatch"),
+              std::string::npos);
+
+    IrTargetInput empty = limitProbe();
+    empty.readBases[0].clear();
+    empty.readQuals[0].clear();
+    EXPECT_NE(empty.limitViolation().find("empty read"),
+              std::string::npos);
+
+    IrTargetInput skew = limitProbe();
+    skew.readIndices.push_back(1);
+    EXPECT_NE(skew.limitViolation().find("size mismatch"),
+              std::string::npos);
+}
+
 TEST(OutputToDecision, UnbiasesPositions)
 {
     Rng rng(9);

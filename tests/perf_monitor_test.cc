@@ -110,6 +110,41 @@ TEST(PerfMonitor, CycleConservationPerUnit)
     }
 }
 
+TEST(PerfMonitor, WhdCountersConsistentAcrossScheduler)
+{
+    auto targets = makeTargets(31, 20);
+    for (auto policy : {SchedulePolicy::SynchronousParallel,
+                        SchedulePolicy::AsynchronousParallel}) {
+        AccelConfig cfg = AccelConfig::paperOptimized();
+        cfg.numUnits = 4;
+        FpgaSystem sys(cfg);
+        ScheduleResult res = scheduleTargets(sys, targets, policy);
+
+        // The system-level counters are exactly the sum of the
+        // per-target datapath counters, and executed work never
+        // exceeds the would-be unpruned work.
+        WhdStats sum;
+        for (const IrComputeResult &r : res.results) {
+            EXPECT_LE(r.whd.comparisons, r.whd.comparisonsUnpruned);
+            EXPECT_LE(r.whd.offsetsPruned, r.whd.offsetsEvaluated);
+            sum.merge(r.whd);
+        }
+        EXPECT_EQ(res.fpga.whd.comparisons, sum.comparisons);
+        EXPECT_EQ(res.fpga.whd.comparisonsUnpruned,
+                  sum.comparisonsUnpruned);
+        EXPECT_EQ(res.fpga.whd.offsetsEvaluated,
+                  sum.offsetsEvaluated);
+        EXPECT_EQ(res.fpga.whd.offsetsPruned, sum.offsetsPruned);
+        EXPECT_LE(res.fpga.whd.comparisons,
+                  res.fpga.whd.comparisonsUnpruned);
+        // These targets' reads match well somewhere, so pruning
+        // (on in the paper-optimized config) must actually bite.
+        EXPECT_LT(res.fpga.whd.comparisons,
+                  res.fpga.whd.comparisonsUnpruned);
+        EXPECT_GT(res.fpga.whd.offsetsPruned, 0u);
+    }
+}
+
 TEST(PerfMonitor, DmaBytesMatchMarshalledPayload)
 {
     auto targets = makeTargets(23, 18);

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "accel/ir_compute.hh"
+#include "realign/marshal.hh"
 #include "realign/whd.hh"
 #include "util/rng.hh"
 
@@ -174,6 +176,111 @@ TEST(MinWhd, FirstMinimalOffsetWins)
     MinWhdGrid grid = minWhd(input, true);
     EXPECT_EQ(grid.whd(0, 0), 0u);
     EXPECT_EQ(grid.idx(0, 0), 0u);
+}
+
+TEST(CalcWhd, SaturatesAtWhdMaxInsteadOfAliasingInfinity)
+{
+    // 16,843,009 mismatches at quality 255 sum to exactly
+    // 4,294,967,295 == kWhdInfinity: before saturation was added,
+    // this legitimately placed read aliased the "never placed"
+    // sentinel and silently lost its placement.  The accumulator
+    // must stop one short, at kWhdMax.
+    const size_t aliasing_len = 16'843'009;
+    BaseSeq cons(aliasing_len, 'A');
+    BaseSeq read(aliasing_len, 'C');
+    QualSeq quals(aliasing_len, 255);
+    EXPECT_EQ(calcWhd(cons, read, quals, 0), kWhdMax);
+
+    // One more base would overflow past the sentinel; still kWhdMax.
+    cons.push_back('A');
+    read.push_back('C');
+    quals.push_back(255);
+    EXPECT_EQ(calcWhd(cons, read, quals, 0), kWhdMax);
+}
+
+TEST(MinWhd, SaturatedPlacementStaysPlaceable)
+{
+    const size_t aliasing_len = 16'843'009;
+    IrTargetInput input = makeInput({BaseSeq(aliasing_len, 'A')},
+                                    {BaseSeq(aliasing_len, 'C')},
+                                    {QualSeq(aliasing_len, 255)});
+    for (bool prune : {false, true}) {
+        MinWhdGrid grid = minWhd(input, prune);
+        // The read fits (single offset): it was placed, so the grid
+        // must record the saturated distance, not the sentinel.
+        EXPECT_EQ(grid.whd(0, 0), kWhdMax) << "prune " << prune;
+        EXPECT_EQ(grid.idx(0, 0), 0u);
+    }
+}
+
+TEST(MinWhd, PruneChecksEveryComparisonLikeHardware)
+{
+    // All-match read on a homopolymer: once offset 0 establishes a
+    // perfect minimum, every later offset must abort on its first
+    // comparison (whd 0 >= best 0), exactly like the hardware's
+    // per-cycle check of the running-minimum register.  The kernel
+    // used to test the bound only after a mismatch, so this input
+    // never pruned at all.
+    IrTargetInput input =
+        makeInput({"AAAAAAA"}, {"AAA"}, {{5, 5, 5}});
+    WhdStats stats;
+    MinWhdGrid grid = minWhd(input, true, &stats);
+    EXPECT_EQ(grid.whd(0, 0), 0u);
+    EXPECT_EQ(grid.idx(0, 0), 0u);
+    // Offset 0: 3 comparisons; offsets 1-4: one comparison each.
+    EXPECT_EQ(stats.comparisons, 7u);
+    EXPECT_EQ(stats.comparisonsUnpruned, 15u);
+    EXPECT_EQ(stats.offsetsEvaluated, 5u);
+    EXPECT_EQ(stats.offsetsPruned, 4u);
+    EXPECT_LE(stats.comparisons, stats.comparisonsUnpruned);
+}
+
+TEST(MinWhd, CountersMatchScalarDatapathBitForBit)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 20; ++trial) {
+        size_t num_cons = 1 + rng.below(4);
+        size_t num_reads = 1 + rng.below(8);
+        size_t cons_len = 40 + rng.below(80);
+
+        std::vector<BaseSeq> cons;
+        for (size_t i = 0; i < num_cons; ++i) {
+            BaseSeq s;
+            for (size_t b = 0; b < cons_len; ++b)
+                s.push_back(kConcreteBases[rng.below(4)]);
+            cons.push_back(s);
+        }
+        std::vector<BaseSeq> reads;
+        std::vector<QualSeq> quals;
+        for (size_t j = 0; j < num_reads; ++j) {
+            // Mix perfect placements (prune-heavy) with noise.
+            size_t len = 8 + rng.below(24);
+            size_t off = rng.below(cons_len - len + 1);
+            BaseSeq s = cons[rng.below(num_cons)].substr(off, len);
+            if (rng.chance(0.3))
+                s[rng.below(len)] = kConcreteBases[rng.below(4)];
+            QualSeq q;
+            for (size_t b = 0; b < len; ++b)
+                q.push_back(static_cast<uint8_t>(rng.range(0, 60)));
+            reads.push_back(s);
+            quals.push_back(q);
+        }
+        IrTargetInput input = makeInput(cons, reads, quals);
+        MarshalledTarget m = marshalTarget(input);
+
+        for (bool prune : {false, true}) {
+            WhdStats sw;
+            minWhd(input, prune, &sw);
+            IrComputeResult hw = irCompute(m, 1, prune);
+            EXPECT_EQ(sw.comparisons, hw.whd.comparisons)
+                << "trial " << trial << " prune " << prune;
+            EXPECT_EQ(sw.comparisonsUnpruned,
+                      hw.whd.comparisonsUnpruned);
+            EXPECT_EQ(sw.offsetsEvaluated, hw.whd.offsetsEvaluated);
+            EXPECT_EQ(sw.offsetsPruned, hw.whd.offsetsPruned);
+            EXPECT_LE(sw.comparisons, sw.comparisonsUnpruned);
+        }
+    }
 }
 
 TEST(WorstCase, ComplexityFormula)

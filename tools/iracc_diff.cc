@@ -1,0 +1,211 @@
+/**
+ * @file
+ * iracc_diff: the cross-backend differential fuzzer.
+ *
+ * Generates seeded randomized workloads (testing/workload_gen.hh),
+ * runs every registered backend design point on each, and asserts
+ * bit-equality of realigned outputs, min-WHD grids, work counters,
+ * and downstream variant calls (testing/differential.hh).  On a
+ * mismatch it greedily minimizes the workload and writes a
+ * self-contained repro case (testing/corpus.hh) for committing to
+ * tests/corpus/, then exits non-zero.
+ *
+ *   iracc_diff --seeds 200                      # CI budget
+ *   iracc_diff --seeds 5000 --start-seed 1000   # longer local run
+ *   iracc_diff --corpus tests/corpus            # where repros land
+ *
+ * Every seed runs the kernel-level differential (a dozen targets
+ * sweeping the realign/limits.hh boundaries); every
+ * --pipeline-every'th seed additionally synthesizes a small genome
+ * and runs the full eight-variant pipeline differential.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testing/corpus.hh"
+#include "testing/differential.hh"
+#include "testing/workload_gen.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace iracc;
+using namespace iracc::difftest;
+
+struct Options
+{
+    uint64_t seeds = 20;
+    uint64_t startSeed = 1;
+    std::string corpusDir = "iracc-diff-repros";
+    bool kernelOnly = false;
+    bool pipelineOnly = false;
+    uint64_t pipelineEvery = 10;
+    bool minimize = true;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --seeds N           seeds to fuzz (default 20)\n"
+        "  --start-seed S      first seed (default 1)\n"
+        "  --corpus DIR        where minimized repros are written\n"
+        "                      (default iracc-diff-repros)\n"
+        "  --pipeline-every K  run the full-pipeline differential\n"
+        "                      on every K'th seed (default 10)\n"
+        "  --kernel-only       skip the pipeline differential\n"
+        "  --pipeline-only     skip the kernel differential\n"
+        "  --no-minimize       emit repros without minimizing\n",
+        argv0);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "missing value for %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            opt.seeds = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--start-seed") {
+            opt.startSeed = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--corpus") {
+            opt.corpusDir = value();
+        } else if (arg == "--pipeline-every") {
+            opt.pipelineEvery =
+                std::strtoull(value(), nullptr, 0);
+            fatal_if(opt.pipelineEvery == 0,
+                     "--pipeline-every must be >= 1");
+        } else if (arg == "--kernel-only") {
+            opt.kernelOnly = true;
+        } else if (arg == "--pipeline-only") {
+            opt.pipelineOnly = true;
+        } else if (arg == "--no-minimize") {
+            opt.minimize = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            usage(argv[0]);
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+/** Capture, minimize, and persist one kernel mismatch. */
+void
+reportKernelMismatch(const Options &opt, uint64_t seed,
+                     size_t input_index, const DiffResult &result)
+{
+    std::fprintf(stderr,
+                 "MISMATCH (kernel) seed %llu [%s]: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 result.variant.c_str(), result.detail.c_str());
+    ReproCase repro;
+    repro.kind = "kernel";
+    repro.seed = seed;
+    repro.variant = result.variant;
+    repro.detail = result.detail;
+    repro.target = makeKernelInputs(seed)[input_index];
+    if (opt.minimize) {
+        repro.target =
+            minimizeKernelInput(repro.target, diffKernelInput);
+    }
+    std::string path = saveReproCase(repro, opt.corpusDir);
+    std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+}
+
+/** Capture, minimize, and persist one pipeline mismatch. */
+void
+reportPipelineMismatch(const Options &opt, uint64_t seed,
+                       const DiffResult &result)
+{
+    std::fprintf(stderr,
+                 "MISMATCH (pipeline) seed %llu [%s]: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 result.variant.c_str(), result.detail.c_str());
+    GenomeWorkload workload = makeDiffGenome(seed);
+    ReproCase repro;
+    repro.kind = "pipeline";
+    repro.seed = seed;
+    repro.variant = result.variant;
+    repro.detail = result.detail;
+    repro.reference = workload.reference;
+    for (const ChromosomeWorkload &chrom : workload.chromosomes)
+        repro.reads.insert(repro.reads.end(), chrom.reads.begin(),
+                           chrom.reads.end());
+    if (opt.minimize) {
+        repro.reads = minimizeReads(
+            repro.reference, std::move(repro.reads),
+            [](const ReferenceGenome &ref,
+               const std::vector<Read> &reads) {
+                return diffPipeline(ref, reads);
+            });
+    }
+    std::string path = saveReproCase(repro, opt.corpusDir);
+    std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    uint64_t kernel_targets = 0;
+    uint64_t pipeline_runs = 0;
+    uint64_t mismatches = 0;
+
+    for (uint64_t n = 0; n < opt.seeds; ++n) {
+        uint64_t seed = opt.startSeed + n;
+        if (!opt.pipelineOnly) {
+            size_t failed_index = 0;
+            DiffResult r = diffKernelSeed(seed, &failed_index);
+            kernel_targets += makeKernelInputs(seed).size();
+            if (!r.ok) {
+                ++mismatches;
+                reportKernelMismatch(opt, seed, failed_index, r);
+            }
+        }
+        if (!opt.kernelOnly && n % opt.pipelineEvery == 0) {
+            DiffResult r = diffPipelineSeed(seed);
+            ++pipeline_runs;
+            if (!r.ok) {
+                ++mismatches;
+                reportPipelineMismatch(opt, seed, r);
+            }
+        }
+        if ((n + 1) % 50 == 0) {
+            std::fprintf(stderr,
+                         "... %llu/%llu seeds, %llu mismatches\n",
+                         static_cast<unsigned long long>(n + 1),
+                         static_cast<unsigned long long>(opt.seeds),
+                         static_cast<unsigned long long>(
+                             mismatches));
+        }
+    }
+
+    size_t variants = differentialVariants().size();
+    std::printf(
+        "iracc_diff: %llu seeds (%llu kernel targets, %llu pipeline "
+        "workloads x %zu variants): %llu mismatches\n",
+        static_cast<unsigned long long>(opt.seeds),
+        static_cast<unsigned long long>(kernel_targets),
+        static_cast<unsigned long long>(pipeline_runs), variants,
+        static_cast<unsigned long long>(mismatches));
+    return mismatches == 0 ? 0 : 1;
+}
