@@ -22,6 +22,7 @@
 #include "bench_common.hh"
 #include "core/realign_job.hh"
 #include "core/realigner_api.hh"
+#include "obs/obs.hh"
 #include "sim/perf_monitor.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -186,6 +187,56 @@ main(int argc, char **argv)
                       Table::num(job.criticalPathSeconds, 3)});
     }
     scale.print();
+
+    // Hardened-path overhead and health: the same card driven
+    // through the self-healing execution path
+    // (host/hardened_executor.hh) with no faults injected.  Output
+    // is bit-identical to the plain backend (asserted by
+    // tests/fault_test.cc), so the modeled-seconds delta is the
+    // price of checksums and watchdog bookkeeping; the health
+    // fields land in the iracc-bench-v1 JSON so fleet dashboards
+    // can alert on degraded/failed contigs.
+    obs::MetricsRegistry hardened_metrics;
+    obs::Observability hardened_obs;
+    hardened_obs.metrics = &hardened_metrics;
+    report.setMetrics(&hardened_metrics);
+    RealignJobConfig hardened_cfg;
+    hardened_cfg.obs = &hardened_obs;
+    RealignSession hardened(
+        makeHardenedBackend("iracc", counters, false), hardened_cfg);
+    std::vector<Read> hardened_reads = genome_reads;
+    RealignJobResult hj = hardened.run(wl.reference, hardened_reads);
+    const RecoveryStats &hrec = hj.recovery;
+    std::printf("\nHardened execution path (backend iracc, no "
+                "faults): %s, %.3f s modeled vs %.3f s plain "
+                "(%.1f%% overhead)\n",
+                runStatusName(hj.status), hj.seconds, total_iracc,
+                total_iracc > 0.0
+                    ? (hj.seconds / total_iracc - 1.0) * 100.0
+                    : 0.0);
+
+    report.addValue("hardenedSeconds", hj.seconds);
+    report.addValue("hardenedOk",
+                    hj.status == RunStatus::Ok ? 1.0 : 0.0);
+    report.addValue("contigsDegraded",
+                    static_cast<double>(hj.degradedContigs.size()));
+    report.addValue("contigsFailed",
+                    static_cast<double>(hj.failedContigs.size()));
+    report.addValue("faultsInjected",
+                    static_cast<double>(hrec.faultsInjected));
+    report.addValue("faultChecksumCatches",
+                    static_cast<double>(hrec.checksumInputCatches +
+                                        hrec.checksumOutputCatches));
+    report.addValue("faultWatchdogCatches",
+                    static_cast<double>(hrec.watchdogCatches));
+    report.addValue("faultRetries",
+                    static_cast<double>(hrec.retries));
+    report.addValue("faultSoftwareFallbacks",
+                    static_cast<double>(hrec.softwareFallbacks));
+    report.addValue("faultQuarantinedUnits",
+                    static_cast<double>(hrec.quarantinedUnits));
+    report.addValue("faultFailedTargets",
+                    static_cast<double>(hrec.failedTargets));
 
     report.addValue("speedupGeomean", geomean(sp_iracc));
     report.addValue("speedupVsAdamGeomean", geomean(sp_adam));

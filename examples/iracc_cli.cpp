@@ -26,6 +26,7 @@
 #include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "core/workload.hh"
+#include "fault/fault.hh"
 #include "genomics/io.hh"
 #include "obs/obs.hh"
 #include "util/logging.hh"
@@ -184,6 +185,20 @@ cmdRealign(const Args &args)
     bool trace = !trace_path.empty();
     bool counters = trace || args.getInt("counters", 0) != 0;
 
+    // Hardened execution: --harden 1 routes an accelerated backend
+    // through the self-healing path (host/hardened_executor.hh);
+    // --fault-plan SPEC additionally injects the given fault
+    // schedule into the simulated card (and implies --harden).
+    // The exit code reports the run's health: 0 ok, 3 degraded
+    // (recovery fired, output still exact), 4 failed (targets left
+    // unrealigned).
+    std::string fault_spec = args.get("fault-plan", "");
+    bool harden = !fault_spec.empty() ||
+                  args.getInt("harden", 0) != 0;
+    FaultPlan fault_plan;
+    if (!fault_spec.empty())
+        fault_plan = FaultPlan::parse(fault_spec);
+
     // The registry is always on: its counters feed the exit
     // summary, and sampling a few histograms per contig is far off
     // the hot path.
@@ -202,11 +217,17 @@ cmdRealign(const Args &args)
     job_cfg.obs = &ob;
 
     RealignSession session(
-        makeBackend(backend_name, counters, trace), job_cfg);
+        harden ? makeHardenedBackend(backend_name, counters, trace,
+                                     fault_plan)
+               : makeBackend(backend_name, counters, trace),
+        job_cfg);
     std::printf("backend: %s (%s), job threads: %u\n",
                 session.backend().name().c_str(),
                 session.backend().description().c_str(),
                 job_cfg.threads);
+    if (!fault_spec.empty())
+        std::printf("fault plan: %s\n",
+                    fault_plan.describe().c_str());
 
     std::vector<int32_t> contigs;
     for (size_t c = 0; c < ref.numContigs(); ++c)
@@ -293,6 +314,48 @@ cmdRealign(const Args &args)
                     trace_path.c_str(), tracer.spans().size(),
                     perf.enabled ? perf.trace.size() : 0);
     }
+
+    // Health summary.  Hardened runs report how much of the
+    // recovery machinery fired; a degraded run's output is still
+    // bit-exact, a failed run left reads of the listed contigs
+    // unrealigned instead of aborting the job.
+    const RecoveryStats &rec = job.recovery;
+    if (harden || rec.faultsInjected > 0 || rec.anyRecovery()) {
+        std::printf(
+            "health: %s (faults injected: %llu, checksum catches: "
+            "%llu, watchdog catches: %llu, retries: %llu, software "
+            "fallbacks: %llu, quarantined units: %llu, failed "
+            "targets: %llu)\n",
+            runStatusName(job.status),
+            static_cast<unsigned long long>(rec.faultsInjected),
+            static_cast<unsigned long long>(
+                rec.checksumInputCatches +
+                rec.checksumOutputCatches),
+            static_cast<unsigned long long>(rec.watchdogCatches),
+            static_cast<unsigned long long>(rec.retries),
+            static_cast<unsigned long long>(rec.softwareFallbacks),
+            static_cast<unsigned long long>(rec.quarantinedUnits),
+            static_cast<unsigned long long>(rec.failedTargets));
+        auto contigList = [&ref](const std::vector<int32_t> &cs) {
+            std::string out;
+            for (int32_t c : cs) {
+                if (!out.empty())
+                    out += ", ";
+                out += ref.contig(c).name;
+            }
+            return out;
+        };
+        if (!job.degradedContigs.empty())
+            std::printf("degraded contigs: %s\n",
+                        contigList(job.degradedContigs).c_str());
+        if (!job.failedContigs.empty())
+            std::printf("failed contigs: %s\n",
+                        contigList(job.failedContigs).c_str());
+    }
+    if (job.status == RunStatus::Degraded)
+        return 3;
+    if (job.status == RunStatus::Failed)
+        return 4;
     return 0;
 }
 
@@ -381,6 +444,8 @@ usage()
         "            [--reads F] [--out F] [--job-threads N]\n"
         "            [--counters 1] [--trace trace.json]\n"
         "            [--metrics metrics.json|metrics.prom]\n"
+        "            [--harden 1] [--fault-plan SPEC]\n"
+        "            (realign exits 0 ok / 3 degraded / 4 failed)\n"
         "  call      --dir DIR [--ref F] [--reads F] [--out F]\n"
         "            [--lod X] [--min-depth N]\n"
         "  stats     --dir DIR [--ref F] [--reads F]\n\n"

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fault/fault.hh"
 #include "util/logging.hh"
 
 namespace iracc {
@@ -37,6 +38,13 @@ DeviceMemory::write(uint64_t addr, const void *src, uint64_t len)
              static_cast<unsigned long long>(size));
     const uint8_t *bytes = static_cast<const uint8_t *>(src);
     totalWritten += len;
+    uint64_t flip_addr = 0;
+    uint8_t flip_mask = 0;
+    if (faults) {
+        uint64_t byte_off;
+        if (faults->corruptWrite(addr, len, &byte_off, &flip_mask))
+            flip_addr = addr + byte_off;
+    }
     while (len > 0) {
         uint64_t off = addr & (kPageSize - 1);
         uint64_t chunk = std::min(len, kPageSize - off);
@@ -45,6 +53,8 @@ DeviceMemory::write(uint64_t addr, const void *src, uint64_t len)
         bytes += chunk;
         len -= chunk;
     }
+    if (flip_mask)
+        pageFor(flip_addr)[flip_addr & (kPageSize - 1)] ^= flip_mask;
 }
 
 void

@@ -20,6 +20,8 @@
 
 namespace iracc {
 
+class FaultInjector;
+
 /** Sparse byte-addressable device memory. */
 class DeviceMemory
 {
@@ -44,6 +46,15 @@ class DeviceMemory
     uint64_t allocated() const { return nextFree; }
     uint64_t bytesWritten() const { return totalWritten; }
 
+    /**
+     * Attach a fault injector (null = fault-free): every
+     * subsequent write() consults FaultInjector::corruptWrite and
+     * applies the requested bit flip to the stored bytes, modeling
+     * an in-flight or in-cell corruption the host can only detect
+     * by checksumming what it reads back.
+     */
+    void attachFaults(FaultInjector *injector) { faults = injector; }
+
   private:
     static constexpr uint64_t kPageBits = 16; // 64 KiB pages
     static constexpr uint64_t kPageSize = 1ull << kPageBits;
@@ -57,6 +68,7 @@ class DeviceMemory
     uint64_t nextFree = 64; // keep address 0 unmapped
     uint64_t totalWritten = 0;
     std::unordered_map<uint64_t, Page> pages;
+    FaultInjector *faults = nullptr;
 };
 
 } // namespace iracc

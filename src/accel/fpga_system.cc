@@ -1,5 +1,6 @@
 #include "accel/fpga_system.hh"
 
+#include "fault/fault.hh"
 #include "util/logging.hh"
 
 namespace iracc {
@@ -60,6 +61,19 @@ FpgaSystem::FpgaSystem(AccelConfig config)
     }
 }
 
+void
+FpgaSystem::attachFaults(FaultInjector *injector)
+{
+    faults = injector;
+    mem.attachFaults(injector);
+    dma.attachFaults(injector);
+    axilite.attachFaults(injector);
+    for (auto &ch : ddr)
+        ch->attachFaults(injector);
+    for (auto &u : units)
+        u->attachFaults(injector);
+}
+
 bool
 FpgaSystem::unitIdle(uint32_t unit) const
 {
@@ -72,6 +86,11 @@ FpgaSystem::dmaToDevice(uint64_t addr, const void *src,
                         uint64_t bytes,
                         std::function<void()> on_done)
 {
+    // DmaDrop fault: the burst is issued but never completes -- no
+    // bytes land and no completion fires, so the destination reads
+    // as whatever was there before (zeroes for fresh buffers).
+    if (faults && faults->dropDma())
+        return;
     Cycle done = dma.transfer(eq.now(), bytes);
     eq.schedule(done, [this, addr, src, bytes,
                        on_done = std::move(on_done)] {

@@ -161,6 +161,15 @@ class FpgaSystem
     const PerfMonitor *perf() const { return perfMon.get(); }
 
     /**
+     * Attach a fault injector to every hook point in the system:
+     * device memory (write corruption), the DMA/AXILite/DDR shared
+     * channels (stalls), the DMA engine (dropped bursts), and every
+     * IR unit (hangs, lost responses).  Null detaches.  Mirrors
+     * the perf-monitor fan-out in the constructor.
+     */
+    void attachFaults(FaultInjector *injector);
+
+    /**
      * Finalized counter snapshot.  Returns a disabled (empty)
      * report when counters are off.
      */
@@ -176,6 +185,7 @@ class FpgaSystem
     std::vector<std::unique_ptr<SharedChannel>> ddr;
     std::vector<std::unique_ptr<IrUnitModel>> units;
     std::unique_ptr<PerfMonitor> perfMon;
+    FaultInjector *faults = nullptr;
     uint64_t numCommands = 0;
     uint64_t numTargets = 0;
     WhdStats whdTotal;

@@ -1,5 +1,6 @@
 #include "accel/ir_unit.hh"
 
+#include "fault/fault.hh"
 #include "util/logging.hh"
 
 namespace iracc {
@@ -115,6 +116,13 @@ IrUnitModel::launch(uint64_t targetId,
              "unit %u started without ir_set_size", unitId);
     inFlight = true;
 
+    // UnitHang fault: the FSM accepted ir_start but the datapath
+    // deadlocks.  No events are scheduled, inFlight stays true, and
+    // the response callback is destroyed unfired -- exactly what
+    // the host's watchdog has to recover from.
+    if (faults && faults->hangUnit(unitId))
+        return;
+
     UnitTimelineEntry entry;
     entry.unit = unitId;
     entry.targetId = targetId;
@@ -202,6 +210,11 @@ IrUnitModel::launch(uint64_t targetId,
                                    on_response =
                                        std::move(on_response)]()
                                       mutable {
+                // DropResponse fault: the outputs are already in
+                // device memory but the RoCC completion is lost.
+                // The unit never returns to Idle.
+                if (faults && faults->dropResponse(unitId))
+                    return;
                 entry.finished = eq->now();
                 totalBusy += entry.finished - entry.dispatched;
                 ++numTargets;

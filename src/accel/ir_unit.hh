@@ -37,6 +37,8 @@
 
 namespace iracc {
 
+class FaultInjector;
+
 /** One completed-target timeline record (drives Figure 7). */
 struct UnitTimelineEntry
 {
@@ -105,6 +107,17 @@ class IrUnitModel
         perfBufferBase = buffer_base;
     }
 
+    /**
+     * Attach a fault injector (null = fault-free).  A UnitHang
+     * fault freezes the FSM right after ir_start is accepted: no
+     * events are scheduled and the unit stays busy forever, like a
+     * datapath deadlock.  A DropResponse fault loses the RoCC
+     * completion after the outputs are already in device memory;
+     * the unit likewise never returns to Idle, so either fault
+     * wedges the unit until the host gives up on it.
+     */
+    void attachFaults(FaultInjector *injector) { faults = injector; }
+
   private:
     /** Reassemble the marshalled target from device memory. */
     MarshalledTarget fetchInputs() const;
@@ -132,6 +145,7 @@ class IrUnitModel
     std::vector<UnitTimelineEntry> entries;
     PerfMonitor *perf = nullptr;
     size_t perfBufferBase = 0;
+    FaultInjector *faults = nullptr;
 };
 
 } // namespace iracc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hh"
 #include "util/logging.hh"
 
 namespace iracc {
@@ -27,6 +28,8 @@ SharedChannel::transfer(Cycle now, uint64_t bytes, uint64_t link_bpc)
     if (link_bpc > 0 && link_bpc < bytesPerCycle) {
         occupancy = ClockDomain::transferCycles(bytes, link_bpc);
     }
+    if (faults)
+        occupancy += faults->stallCycles(channelName);
     busyUntil = start + occupancy;
     totalBusy += occupancy;
     totalBytes += bytes;

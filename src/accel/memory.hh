@@ -27,6 +27,8 @@
 
 namespace iracc {
 
+class FaultInjector;
+
 /** A bandwidth-limited, in-order shared channel. */
 class SharedChannel
 {
@@ -74,6 +76,14 @@ class SharedChannel
         perfChan = chan_idx;
     }
 
+    /**
+     * Attach a fault injector (null = fault-free): a ChannelStall
+     * spec matching this channel's name extends both the occupancy
+     * and the completion of the transfer it fires on, modeling an
+     * arbiter livelock or a DRAM refresh storm.
+     */
+    void attachFaults(FaultInjector *injector) { faults = injector; }
+
   private:
     std::string channelName;
     uint64_t bytesPerCycle;
@@ -84,6 +94,7 @@ class SharedChannel
     uint64_t numTransfers = 0;
     PerfMonitor *perf = nullptr;
     size_t perfChan = 0;
+    FaultInjector *faults = nullptr;
 };
 
 } // namespace iracc

@@ -130,6 +130,12 @@ RealignSession::run(const ReferenceGenome &ref,
         job.simulated = job.simulated || c.run.simulated;
         job.perf.merge(c.run.perf,
                        static_cast<uint32_t>(c.contig));
+        job.recovery.merge(c.run.recovery);
+        job.status = worseStatus(job.status, c.run.status);
+        if (c.run.status == RunStatus::Degraded)
+            job.degradedContigs.push_back(c.contig);
+        else if (c.run.status == RunStatus::Failed)
+            job.failedContigs.push_back(c.contig);
     }
     job.wallSeconds = wall.seconds();
     return job;

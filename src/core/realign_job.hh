@@ -110,6 +110,18 @@ struct RealignJobResult
      * Chrome trace pid (see docs/OBSERVABILITY.md).
      */
     PerfReport perf;
+
+    /**
+     * Recovery counters merged over all contigs, and the worst
+     * per-contig health.  A Degraded job produced fully correct
+     * output through retries/fallbacks; a Failed job left the
+     * reads of `failedContigs` (partially) unrealigned rather than
+     * aborting (see docs/ROBUSTNESS.md).
+     */
+    RecoveryStats recovery;
+    RunStatus status = RunStatus::Ok;
+    std::vector<int32_t> degradedContigs;
+    std::vector<int32_t> failedContigs;
 };
 
 /**

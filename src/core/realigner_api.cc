@@ -78,6 +78,78 @@ class AcceleratedBackend : public RealignerBackend
     AcceleratedIrSystem system;
 };
 
+/** Hardened simulated-FPGA backend: self-healing Execute stage. */
+class HardenedBackend : public RealignerBackend
+{
+  public:
+    HardenedBackend(std::string name, std::string desc,
+                    AccelConfig cfg, FaultPlan plan,
+                    HardenPolicy policy)
+        : backendName(std::move(name)), desc(std::move(desc)),
+          cfg(cfg), plan(std::move(plan)), policy(policy)
+    {
+    }
+
+    std::string name() const override { return backendName; }
+    std::string description() const override { return desc; }
+
+    std::unique_ptr<ExecuteStage>
+    makeExecuteStage(uint32_t) const override
+    {
+        // Each stage (= contig) gets its own FpgaSystem and its
+        // own FaultInjector instance, so the plan's occurrence
+        // counters restart per contig and contig-parallel runs
+        // stay deterministic.
+        return std::make_unique<HardenedExecuteStage>(cfg, plan,
+                                                      policy);
+    }
+
+  private:
+    std::string backendName;
+    std::string desc;
+    AccelConfig cfg;
+    FaultPlan plan;
+    HardenPolicy policy;
+};
+
+/** Registry configuration of one accelerated backend name. */
+struct AccelRegistryEntry
+{
+    const char *desc;
+    AccelConfig cfg;
+    SchedulePolicy policy;
+};
+
+bool
+accelRegistryEntry(const std::string &name, AccelRegistryEntry *out)
+{
+    if (name == "iracc") {
+        *out = {"32 IR units, 32-wide data parallel, pruning, async",
+                AccelConfig::paperOptimized(),
+                SchedulePolicy::AsynchronousParallel};
+        return true;
+    }
+    if (name == "iracc-taskp") {
+        *out = {"32 scalar IR units, synchronous batches",
+                AccelConfig::taskParallelOnly(),
+                SchedulePolicy::SynchronousParallel};
+        return true;
+    }
+    if (name == "iracc-taskp-async") {
+        *out = {"32 scalar IR units, async scheduling",
+                AccelConfig::taskParallelOnly(),
+                SchedulePolicy::AsynchronousParallel};
+        return true;
+    }
+    if (name == "hls") {
+        *out = {"SDAccel/HLS build: 16 scalar units, no pruning",
+                AccelConfig::hlsSdaccel(),
+                SchedulePolicy::AsynchronousParallel};
+        return true;
+    }
+    return false;
+}
+
 } // anonymous namespace
 
 BackendRunResult
@@ -107,6 +179,33 @@ makeAcceleratedBackend(std::string name, std::string description,
 {
     return std::make_unique<AcceleratedBackend>(
         std::move(name), std::move(description), config, policy);
+}
+
+std::unique_ptr<RealignerBackend>
+makeHardenedBackend(std::string name, std::string description,
+                    AccelConfig config, FaultPlan plan,
+                    HardenPolicy policy)
+{
+    return std::make_unique<HardenedBackend>(
+        std::move(name), std::move(description), config,
+        std::move(plan), policy);
+}
+
+std::unique_ptr<RealignerBackend>
+makeHardenedBackend(const std::string &name, bool perf_counters,
+                    bool perf_trace, FaultPlan plan,
+                    HardenPolicy policy)
+{
+    AccelRegistryEntry entry;
+    fatal_if(!accelRegistryEntry(name, &entry),
+             "backend '%s' is not accelerated; --harden and "
+             "--fault-plan need a simulated device",
+             name.c_str());
+    entry.cfg.perfCounters = perf_counters;
+    entry.cfg.perfTrace = perf_trace;
+    return makeHardenedBackend(
+        name, std::string(entry.desc) + " (hardened)", entry.cfg,
+        std::move(plan), policy);
 }
 
 std::unique_ptr<RealignerBackend>
@@ -151,30 +250,11 @@ makeBackend(const std::string &name, bool perf_counters,
         return makeSoftwareBackend(
             name, "tuned native software IR, 8 threads", sw);
     }
-    if (name == "iracc") {
-        return makeAcceleratedBackend(
-            name,
-            "32 IR units, 32-wide data parallel, pruning, async",
-            accel(AccelConfig::paperOptimized()),
-            SchedulePolicy::AsynchronousParallel);
-    }
-    if (name == "iracc-taskp") {
-        return makeAcceleratedBackend(
-            name, "32 scalar IR units, synchronous batches",
-            accel(AccelConfig::taskParallelOnly()),
-            SchedulePolicy::SynchronousParallel);
-    }
-    if (name == "iracc-taskp-async") {
-        return makeAcceleratedBackend(
-            name, "32 scalar IR units, async scheduling",
-            accel(AccelConfig::taskParallelOnly()),
-            SchedulePolicy::AsynchronousParallel);
-    }
-    if (name == "hls") {
-        return makeAcceleratedBackend(
-            name, "SDAccel/HLS build: 16 scalar units, no pruning",
-            accel(AccelConfig::hlsSdaccel()),
-            SchedulePolicy::AsynchronousParallel);
+    AccelRegistryEntry entry;
+    if (accelRegistryEntry(name, &entry)) {
+        return makeAcceleratedBackend(name, entry.desc,
+                                      accel(entry.cfg),
+                                      entry.policy);
     }
     fatal("unknown realigner backend '%s'", name.c_str());
 }
@@ -224,6 +304,11 @@ makeVariantBackend(const BackendVariant &variant)
     }
     AccelConfig cfg = AccelConfig::paperOptimized();
     cfg.pruning = variant.prune;
+    if (variant.hardened) {
+        return makeHardenedBackend(
+            variant.label,
+            "differential hardened accelerated design point", cfg);
+    }
     return makeAcceleratedBackend(
         variant.label, "differential accelerated design point", cfg,
         SchedulePolicy::AsynchronousParallel);

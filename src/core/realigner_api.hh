@@ -117,6 +117,26 @@ std::unique_ptr<RealignerBackend> makeAcceleratedBackend(
     std::string name, std::string description, AccelConfig config,
     SchedulePolicy policy);
 
+/**
+ * Create a hardened accelerated backend with an explicit
+ * configuration: the same simulated card, driven through the
+ * self-healing execution path (host/hardened_executor.hh) with
+ * @p plan attached to its fault hooks.  An empty plan yields
+ * bit-identical results to makeAcceleratedBackend.
+ */
+std::unique_ptr<RealignerBackend> makeHardenedBackend(
+    std::string name, std::string description, AccelConfig config,
+    FaultPlan plan = {}, HardenPolicy policy = {});
+
+/**
+ * Hardened variant of a registry backend: resolves @p name to its
+ * accelerated configuration and wraps it in the hardened path.
+ * fatal() on software names -- there is no device to harden.
+ */
+std::unique_ptr<RealignerBackend> makeHardenedBackend(
+    const std::string &name, bool perf_counters, bool perf_trace,
+    FaultPlan plan = {}, HardenPolicy policy = {});
+
 /** All registry names in display order. */
 std::vector<std::string> backendNames();
 
@@ -140,6 +160,14 @@ struct BackendVariant
 
     /** Contig-level RealignJob worker threads. */
     uint32_t jobThreads = 1;
+
+    /**
+     * Accelerated only: drive the simulated card through the
+     * hardened execution path (fault-free -- the differential
+     * matrix asserts the hardening machinery itself changes
+     * nothing).
+     */
+    bool hardened = false;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "core/stage_pipeline.hh"
 
+#include <string>
+
 #include "obs/obs.hh"
 #include "util/timer.hh"
 
@@ -44,6 +46,32 @@ AcceleratedExecuteStage::execute(const PreparedContig &prepared,
             static_cast<double>(run.makespan);
     }
     out.perf = std::move(run.perf);
+    return out;
+}
+
+ExecuteOutcome
+HardenedExecuteStage::execute(const PreparedContig &prepared,
+                              uint64_t rng_seed)
+{
+    (void)rng_seed; // the accelerated datapath is RNG-free
+    HardenedExecuteResult run =
+        hardenedExecuteTargets(cfg, prepared, plan, policy);
+
+    ExecuteOutcome out;
+    out.decisions = std::move(run.decisions);
+    out.whd = run.whd;
+    out.seconds = run.fpgaSeconds + run.hostSeconds;
+    out.simulated = true;
+    out.fpgaSeconds = run.fpgaSeconds;
+    out.unitUtilization = run.fpga.meanUnitUtilization;
+    if (run.makespan > 0) {
+        out.dmaFraction =
+            static_cast<double>(run.fpga.dmaBusyCycles) /
+            static_cast<double>(run.makespan);
+    }
+    out.perf = std::move(run.perf);
+    out.recovery = run.recovery;
+    out.status = run.status;
     return out;
 }
 
@@ -110,6 +138,40 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
             .add(out.stats.readsRealigned);
         reg.counter("realign.consensuses_evaluated")
             .add(out.stats.consensusesEvaluated);
+
+        // Fault/recovery counters, only when something happened so
+        // fault-free runs keep a clean registry.
+        const RecoveryStats &rec = outcome.recovery;
+        if (rec.faultsInjected > 0) {
+            reg.counter("fault.injected").add(rec.faultsInjected);
+            for (size_t k = 0; k < kNumFaultKinds; ++k) {
+                if (rec.faultsByKind[k] > 0) {
+                    reg.counter(std::string("fault.injected.") +
+                                faultKindName(
+                                    static_cast<FaultKind>(k)))
+                        .add(rec.faultsByKind[k]);
+                }
+            }
+        }
+        auto count = [&reg](const char *name, uint64_t value) {
+            if (value > 0)
+                reg.counter(name).add(value);
+        };
+        count("fault.checksum_input_catches",
+              rec.checksumInputCatches);
+        count("fault.checksum_output_catches",
+              rec.checksumOutputCatches);
+        count("fault.watchdog_catches", rec.watchdogCatches);
+        count("fault.retries", rec.retries);
+        count("fault.retry_successes", rec.retrySuccesses);
+        count("fault.software_fallbacks", rec.softwareFallbacks);
+        count("fault.quarantined_units", rec.quarantinedUnits);
+        count("fault.stale_responses", rec.staleResponses);
+        count("fault.failed_targets", rec.failedTargets);
+        count("realign.contigs_degraded",
+              outcome.status == RunStatus::Degraded ? 1 : 0);
+        count("realign.contigs_failed",
+              outcome.status == RunStatus::Failed ? 1 : 0);
     }
     out.seconds = out.stageTimes.hostSeconds() + outcome.seconds;
     out.simulated = outcome.simulated;
@@ -117,6 +179,8 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
     out.dmaFraction = outcome.dmaFraction;
     out.unitUtilization = outcome.unitUtilization;
     out.perf = std::move(outcome.perf);
+    out.recovery = outcome.recovery;
+    out.status = outcome.status;
     return out;
 }
 

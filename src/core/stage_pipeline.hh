@@ -18,9 +18,11 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "genomics/read.hh"
 #include "genomics/reference.hh"
 #include "host/accelerated_system.hh"
+#include "host/hardened_executor.hh"
 #include "realign/realigner.hh"
 #include "realign/stages.hh"
 #include "sim/perf_monitor.hh"
@@ -81,6 +83,13 @@ struct BackendRunResult
      * counters on; see makeBackend and docs/OBSERVABILITY.md).
      */
     PerfReport perf;
+
+    /**
+     * Hardened backends: recovery-event counters and run health
+     * (Ok for every other backend; see docs/ROBUSTNESS.md).
+     */
+    RecoveryStats recovery;
+    RunStatus status = RunStatus::Ok;
 };
 
 /** Uniform outcome of a backend's Execute stage. */
@@ -106,6 +115,10 @@ struct ExecuteOutcome
     double dmaFraction = 0.0;
     double unitUtilization = 0.0;
     PerfReport perf;
+
+    /** Hardened backends: recovery counters and run health. */
+    RecoveryStats recovery;
+    RunStatus status = RunStatus::Ok;
 };
 
 /**
@@ -170,6 +183,33 @@ class AcceleratedExecuteStage : public ExecuteStage
 
   private:
     const AcceleratedIrSystem &system;
+};
+
+/**
+ * Execute stage of the hardened accelerated backends: delegates to
+ * hardenedExecuteTargets (host/hardened_executor.hh), which wraps
+ * a fresh per-contig FpgaSystem with checksum verification, a
+ * watchdog, bounded retry, software fallback, and unit quarantine,
+ * and surfaces RecoveryStats / RunStatus through ExecuteOutcome.
+ */
+class HardenedExecuteStage : public ExecuteStage
+{
+  public:
+    HardenedExecuteStage(AccelConfig cfg, FaultPlan plan,
+                         HardenPolicy policy)
+        : cfg(cfg), plan(std::move(plan)), policy(policy)
+    {
+    }
+
+    bool needsMarshalledTargets() const override { return true; }
+
+    ExecuteOutcome execute(const PreparedContig &prepared,
+                           uint64_t rng_seed) override;
+
+  private:
+    AccelConfig cfg;
+    FaultPlan plan;
+    HardenPolicy policy;
 };
 
 /**

@@ -1,0 +1,453 @@
+#include "host/hardened_executor.hh"
+
+#include <string>
+
+#include "accel/ir_compute.hh"
+#include "host/scheduler.hh"
+#include "realign/marshal.hh"
+#include "util/logging.hh"
+
+namespace iracc {
+
+namespace {
+
+/** Lifecycle of one target inside the hardened dispatcher. */
+enum class TargetPhase : uint8_t {
+    Pending,    ///< waiting for a usable unit
+    Dispatched, ///< DMA issued, inputs not yet verified/launched
+    Launched,   ///< ir_start accepted, waiting for the response
+    Resolved,   ///< decision recorded (hardware or fallback)
+};
+
+struct TargetState
+{
+    TargetPhase phase = TargetPhase::Pending;
+    uint32_t attempts = 0;  ///< hardware attempts so far
+    uint64_t epoch = 0;     ///< bumped when an attempt is abandoned
+    int32_t unit = -1;      ///< unit of the current attempt
+    int32_t lastUnit = -1;  ///< unit of the previous failed attempt
+};
+
+struct UnitState
+{
+    bool reserved = false;    ///< a target's attempt owns it
+    bool quarantined = false; ///< retired for the rest of the run
+    uint32_t strikes = 0;     ///< output-corruption count
+};
+
+/** Shared state of one hardened run. */
+struct HardenedRun
+{
+    FpgaSystem *sys;
+    const PreparedContig *prepared;
+    const HardenPolicy *pol;
+    HardenedExecuteResult *out;
+    std::vector<TargetDescriptor> descriptors;
+    std::vector<TargetState> targets;
+    std::vector<UnitState> units;
+    std::vector<WhdStats> whdPerTarget;
+    size_t unresolved = 0;
+    size_t inFlight = 0;
+
+    const MarshalledTarget &
+    marshalled(size_t t) const
+    {
+        return prepared->marshalled[t];
+    }
+
+    /** Trace one recovery event on the scheduler track. */
+    void
+    trace(const std::string &name, uint64_t id)
+    {
+        if (PerfMonitor *p = sys->perf()) {
+            p->traceSpan(name, "fault", kTraceTidScheduler,
+                         sys->now(), sys->now() + 1, id);
+        }
+    }
+
+    /** CRC the device copy of target @p t's three input buffers. */
+    uint32_t
+    deviceInputChecksum(size_t t) const
+    {
+        const MarshalledTarget &mt = marshalled(t);
+        const TargetDescriptor &desc = descriptors[t];
+        DeviceMemory &mem = sys->memory();
+        std::vector<uint8_t> buf = mem.readVec(
+            desc.bufferAddr[static_cast<size_t>(
+                IrBuffer::ConsensusBases)],
+            mt.consensusData.size());
+        uint32_t crc = crc32(buf.data(), buf.size());
+        buf = mem.readVec(
+            desc.bufferAddr[static_cast<size_t>(
+                IrBuffer::ReadBases)],
+            mt.readData.size());
+        crc = crc32(buf.data(), buf.size(), crc);
+        buf = mem.readVec(
+            desc.bufferAddr[static_cast<size_t>(
+                IrBuffer::ReadQuals)],
+            mt.qualData.size());
+        return crc32(buf.data(), buf.size(), crc);
+    }
+
+    /** CRC the device copy of target @p t's two output buffers. */
+    uint32_t
+    deviceOutputChecksum(size_t t) const
+    {
+        const TargetDescriptor &desc = descriptors[t];
+        DeviceMemory &mem = sys->memory();
+        std::vector<uint8_t> buf = mem.readVec(
+            desc.bufferAddr[static_cast<size_t>(IrBuffer::OutFlags)],
+            desc.numReads);
+        uint32_t crc = crc32(buf.data(), buf.size());
+        buf = mem.readVec(
+            desc.bufferAddr[static_cast<size_t>(
+                IrBuffer::OutPositions)],
+            static_cast<uint64_t>(desc.numReads) * 4);
+        return crc32(buf.data(), buf.size(), crc);
+    }
+
+    /** Record target @p t's verified hardware result. */
+    void
+    resolveHardware(size_t t, const IrComputeResult &res,
+                    const AccelTargetOutput &arch_out)
+    {
+        out->decisions[t] = outputToDecision(prepared->inputs[t],
+                                             res.bestConsensus,
+                                             arch_out);
+        whdPerTarget[t] = res.whd;
+        if (targets[t].attempts > 1)
+            ++out->recovery.retrySuccesses;
+        finish(t);
+    }
+
+    /** Resolve target @p t on the host-side datapath model. */
+    void
+    resolveFallback(size_t t)
+    {
+        const AccelConfig &cfg = sys->config();
+        IrComputeResult res = irCompute(marshalled(t),
+                                        cfg.dataParallelWidth,
+                                        cfg.pruning);
+        out->decisions[t] = outputToDecision(prepared->inputs[t],
+                                             res.bestConsensus,
+                                             res.output);
+        whdPerTarget[t] = res.whd;
+        ++out->recovery.softwareFallbacks;
+        trace("fallback target " + std::to_string(t), t);
+        finish(t);
+    }
+
+    /** Give up on target @p t: no-op decision, reads unchanged. */
+    void
+    resolveFailed(size_t t)
+    {
+        const MarshalledTarget &mt = marshalled(t);
+        ConsensusDecision d;
+        d.scores.assign(mt.numConsensuses, 0);
+        d.realign.assign(mt.numReads, 0);
+        d.newOffset.assign(mt.numReads, 0);
+        out->decisions[t] = std::move(d);
+        ++out->recovery.failedTargets;
+        finish(t);
+    }
+
+    void
+    finish(size_t t)
+    {
+        releaseUnit(t);
+        targets[t].phase = TargetPhase::Resolved;
+        --unresolved;
+    }
+
+    void
+    releaseUnit(size_t t)
+    {
+        TargetState &st = targets[t];
+        if (st.unit >= 0) {
+            units[st.unit].reserved = false;
+            st.lastUnit = st.unit;
+            st.unit = -1;
+        }
+    }
+
+    /** Abandon target @p t's current attempt (failed attempt). */
+    void
+    abandonAttempt(size_t t)
+    {
+        TargetState &st = targets[t];
+        ++st.epoch;
+        releaseUnit(t);
+        if (st.phase != TargetPhase::Pending)
+            --inFlight;
+        st.phase = TargetPhase::Pending;
+        if (st.attempts >= pol->maxAttempts)
+            exhausted(t);
+    }
+
+    /** Hardware attempts exhausted: fall back or fail. */
+    void
+    exhausted(size_t t)
+    {
+        if (pol->softwareFallback)
+            resolveFallback(t);
+        else
+            resolveFailed(t);
+    }
+
+    /** Retire unit @p u for the rest of the run. */
+    void
+    quarantine(uint32_t u)
+    {
+        if (units[u].quarantined)
+            return;
+        units[u].quarantined = true;
+        ++out->recovery.quarantinedUnits;
+        trace("quarantine unit " + std::to_string(u), u);
+    }
+
+    /**
+     * Pick a usable unit for target @p t, preferring one other
+     * than the unit of its last failed attempt.  -1 = none free.
+     */
+    int32_t
+    pickUnit(size_t t) const
+    {
+        int32_t fallback = -1;
+        for (uint32_t u = 0; u < units.size(); ++u) {
+            if (units[u].reserved || units[u].quarantined)
+                continue;
+            if (static_cast<int32_t>(u) != targets[t].lastUnit)
+                return static_cast<int32_t>(u);
+            fallback = static_cast<int32_t>(u);
+        }
+        return fallback;
+    }
+
+    /** True while any non-quarantined unit exists. */
+    bool
+    anyUsableUnit() const
+    {
+        for (const UnitState &u : units)
+            if (!u.quarantined)
+                return true;
+        return false;
+    }
+
+    void launch(size_t t);
+    void dispatch(size_t t, uint32_t unit);
+    size_t dispatchRound();
+    void watchdogSweep();
+};
+
+/** Inputs landed for target @p t: verify, then ir_start. */
+void
+HardenedRun::launch(size_t t)
+{
+    TargetState &st = targets[t];
+    if (pol->verifyInputs &&
+        deviceInputChecksum(t) != inputChecksum(marshalled(t))) {
+        ++out->recovery.checksumInputCatches;
+        trace("checksum-in target " + std::to_string(t), t);
+        // The DMA path corrupted the images; the unit never ran,
+        // so no unit is blamed.  Retry re-DMAs from the host copy.
+        abandonAttempt(t);
+        return;
+    }
+    st.phase = TargetPhase::Launched;
+    const uint32_t unit = static_cast<uint32_t>(st.unit);
+    const uint64_t epoch = st.epoch;
+    // No precomputed result: the unit computes from the very bytes
+    // in device memory, so an undetected input corruption would
+    // propagate (which is what the checksum above exists to stop).
+    sys->runTarget(
+        unit, descriptors[t], t,
+        [this, t, unit, epoch](IrComputeResult &&res) {
+            TargetState &ts = targets[t];
+            if (ts.epoch != epoch ||
+                ts.phase != TargetPhase::Launched) {
+                ++out->recovery.staleResponses;
+                return;
+            }
+            if (pol->verifyOutputs &&
+                deviceOutputChecksum(t) !=
+                    outputChecksum(res.output)) {
+                ++out->recovery.checksumOutputCatches;
+                trace("checksum-out target " + std::to_string(t),
+                      t);
+                // The unit's MemWriters corrupted the buffers; it
+                // finished (it is idle again) but takes a strike.
+                if (++units[unit].strikes >=
+                    pol->quarantineThreshold) {
+                    quarantine(unit);
+                }
+                abandonAttempt(t);
+                return;
+            }
+            // The device copy is the architectural result.
+            AccelTargetOutput arch = sys->readOutputs(
+                descriptors[t]);
+            --inFlight;
+            resolveHardware(t, res, arch);
+        });
+}
+
+/** Issue target @p t's attempt on unit @p unit. */
+void
+HardenedRun::dispatch(size_t t, uint32_t unit)
+{
+    TargetState &st = targets[t];
+    st.unit = static_cast<int32_t>(unit);
+    units[unit].reserved = true;
+    if (st.attempts > 0) {
+        ++out->recovery.retries;
+        trace("retry target " + std::to_string(t), t);
+    }
+    ++st.attempts;
+    st.phase = TargetPhase::Dispatched;
+    ++inFlight;
+    const uint64_t epoch = st.epoch;
+    transferTargetInputs(*sys, marshalled(t), descriptors[t],
+                         [this, t, epoch] {
+                             if (targets[t].epoch == epoch)
+                                 launch(t);
+                             else
+                                 ++out->recovery.staleResponses;
+                         });
+}
+
+/** Dispatch every pending target a usable unit exists for. */
+size_t
+HardenedRun::dispatchRound()
+{
+    size_t dispatched = 0;
+    for (size_t t = 0; t < targets.size(); ++t) {
+        if (targets[t].phase != TargetPhase::Pending)
+            continue;
+        int32_t unit = pickUnit(t);
+        if (unit < 0)
+            break;
+        dispatch(t, static_cast<uint32_t>(unit));
+        ++dispatched;
+    }
+    return dispatched;
+}
+
+/**
+ * The event queue went quiet with targets still in flight: every
+ * one of them lost its completion path.  Reclaim them.
+ */
+void
+HardenedRun::watchdogSweep()
+{
+    for (size_t t = 0; t < targets.size(); ++t) {
+        TargetState &st = targets[t];
+        if (st.phase == TargetPhase::Dispatched) {
+            // The DMA burst vanished before the unit ever saw the
+            // target; the unit is still idle and blameless.
+            ++out->recovery.watchdogCatches;
+            trace("watchdog target " + std::to_string(t), t);
+            abandonAttempt(t);
+        } else if (st.phase == TargetPhase::Launched) {
+            // ir_start was accepted and no response came back: the
+            // unit is wedged (hang or lost response) and can never
+            // be reused -- quarantine it on the spot.
+            ++out->recovery.watchdogCatches;
+            trace("watchdog target " + std::to_string(t), t);
+            quarantine(static_cast<uint32_t>(st.unit));
+            abandonAttempt(t);
+        }
+    }
+}
+
+} // anonymous namespace
+
+HardenedExecuteResult
+hardenedExecuteTargets(const AccelConfig &cfg,
+                       const PreparedContig &prepared,
+                       const FaultPlan &plan,
+                       const HardenPolicy &policy)
+{
+    panic_if(prepared.marshalled.size() != prepared.inputs.size(),
+             "hardened Execute stage needs marshalled targets "
+             "(prepareStage(..., marshal=true))");
+    fatal_if(policy.maxAttempts == 0,
+             "harden policy needs >= 1 attempt");
+
+    HardenedExecuteResult out;
+    out.decisions.resize(prepared.inputs.size());
+
+    // Per-call FpgaSystem and injector: every contig of a parallel
+    // job runs on its own simulated card with its own fault
+    // schedule state.
+    FpgaSystem sys(cfg);
+    FaultInjector injector(plan);
+    sys.attachFaults(&injector);
+
+    HardenedRun run;
+    run.sys = &sys;
+    run.prepared = &prepared;
+    run.pol = &policy;
+    run.out = &out;
+    run.targets.resize(prepared.inputs.size());
+    run.units.resize(sys.numUnits());
+    run.whdPerTarget.resize(prepared.inputs.size());
+    run.unresolved = prepared.inputs.size();
+    run.descriptors.reserve(prepared.marshalled.size());
+    for (const MarshalledTarget &mt : prepared.marshalled)
+        run.descriptors.push_back(sys.allocateTarget(mt));
+
+    // Round loop: dispatch what we can, drive the simulation, and
+    // sweep for lost targets whenever the queue goes quiet.  The
+    // cycle budget is a backstop against livelock; a busy-but-slow
+    // round (injected stalls) simply extends into the next round.
+    while (run.unresolved > 0) {
+        size_t dispatched = run.dispatchRound();
+        if (run.inFlight == 0) {
+            if (dispatched > 0)
+                continue; // all dispatches resolved synchronously
+            // No hardware progress is possible: either every unit
+            // is quarantined or nothing is pending.
+            for (size_t t = 0; t < run.targets.size(); ++t) {
+                if (run.targets[t].phase == TargetPhase::Pending)
+                    run.exhausted(t);
+            }
+            continue;
+        }
+        Cycle budget = policy.watchdogBaseCycles +
+                       policy.watchdogPerTargetCycles *
+                           static_cast<Cycle>(run.inFlight);
+        sys.events().runUntil(sys.now() + budget);
+        if (!sys.events().empty())
+            continue; // forward progress; extend the budget
+        run.watchdogSweep();
+    }
+
+    // Kernel work counters from each target's final attempt only,
+    // merged in target order -- identical to the fault-free totals
+    // even when retries re-ran targets.
+    for (const WhdStats &w : run.whdPerTarget)
+        out.whd.merge(w);
+
+    out.recovery.faultsInjected = injector.totalInjected();
+    for (size_t k = 0; k < kNumFaultKinds; ++k) {
+        out.recovery.faultsByKind[k] =
+            injector.injected(static_cast<FaultKind>(k));
+    }
+    if (out.recovery.failedTargets > 0)
+        out.status = RunStatus::Failed;
+    else if (out.recovery.anyRecovery())
+        out.status = RunStatus::Degraded;
+
+    // (Timing note: decisions were assembled inside the event loop;
+    // the host-side share of that work is not separable from the
+    // simulation here, so hostSeconds stays 0 and `seconds` is the
+    // simulated time alone, like the plain path's dominant term.)
+    out.makespan = sys.now();
+    out.fpgaSeconds = sys.cyclesToSeconds(out.makespan);
+    out.fpga = sys.stats();
+    out.fpga.whd = out.whd;
+    out.perf = sys.perfReport();
+    return out;
+}
+
+} // namespace iracc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Hardened, self-healing Execute path for the accelerated backend.
+ *
+ * The plain scheduler (host/scheduler.hh) assumes a perfect
+ * device: every DMA burst lands, every unit responds, every byte
+ * survives.  This path assumes none of that.  It wraps the same
+ * per-contig FpgaSystem with the integrity and recovery machinery
+ * a deployed cloud-FPGA driver needs:
+ *
+ *   - CRC-32 checksums over the marshalled input images, verified
+ *     against a device-memory readback after the DMA lands and
+ *     before ir_start (catches corrupted or dropped input bursts);
+ *   - CRC-32 checksums over the output buffers, verified against
+ *     the response's expected bytes (catches MemWriter corruption);
+ *   - a cycle-budget watchdog per dispatched round: when the event
+ *     queue goes quiet with targets still unresolved, the targets
+ *     are reclaimed (hung units, lost responses, vanished DMA);
+ *   - bounded deterministic retry, preferring a different unit;
+ *   - quarantine: a unit that wedges (hang / lost response) is
+ *     retired immediately, a unit that repeatedly corrupts its
+ *     outputs is retired after `quarantineThreshold` strikes;
+ *   - per-target software fallback (the functional datapath model
+ *     run on the host's pristine copy of the marshalled bytes)
+ *     when hardware attempts are exhausted or no units remain.
+ *
+ * Every recovery event is counted in RecoveryStats; the contig
+ * pipeline exports them as `fault.*` metrics and the run degrades
+ * to RunStatus::Degraded / ::Failed instead of aborting the job.
+ * With an empty FaultPlan the results are bit-identical to the
+ * plain accelerated path (asserted by tests/fault_test.cc).
+ */
+
+#ifndef IRACC_HOST_HARDENED_EXECUTOR_HH
+#define IRACC_HOST_HARDENED_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/fpga_system.hh"
+#include "fault/fault.hh"
+#include "realign/stages.hh"
+
+namespace iracc {
+
+/**
+ * Outcome of the hardened Execute path over one contig, beyond
+ * the decisions themselves.
+ */
+struct HardenedExecuteResult
+{
+    /** One decision per prepared target, index-aligned. */
+    std::vector<ConsensusDecision> decisions;
+
+    /** Kernel work counters, from each target's final successful
+     *  attempt, merged in target order (retries excluded). */
+    WhdStats whd;
+
+    /** Recovery-event counters of the run. */
+    RecoveryStats recovery;
+
+    /** Ok / Degraded / Failed (see RunStatus). */
+    RunStatus status = RunStatus::Ok;
+
+    /** FPGA-system statistics of the (possibly retried) run. */
+    FpgaRunStats fpga;
+
+    /** Final cycle of the simulated run. */
+    Cycle makespan = 0;
+
+    /** Simulated FPGA wall-clock seconds. */
+    double fpgaSeconds = 0.0;
+
+    /** Measured host seconds converting raw outputs to decisions. */
+    double hostSeconds = 0.0;
+
+    /** Performance counters (enabled iff the AccelConfig asked). */
+    PerfReport perf;
+};
+
+/**
+ * Run every marshalled target of a prepared contig through a fresh
+ * FpgaSystem with @p plan attached, recovering from every injected
+ * fault per @p policy.  @p prepared must have been built with
+ * marshalling enabled.  The corresponding Execute stage lives in
+ * core/stage_pipeline.hh (HardenedExecuteStage), mirroring how
+ * AcceleratedIrSystem::executeTargets pairs with
+ * AcceleratedExecuteStage.
+ */
+HardenedExecuteResult hardenedExecuteTargets(
+    const AccelConfig &cfg, const PreparedContig &prepared,
+    const FaultPlan &plan, const HardenPolicy &policy = {});
+
+} // namespace iracc
+
+#endif // IRACC_HOST_HARDENED_EXECUTOR_HH

@@ -21,6 +21,27 @@ schedulePolicyName(SchedulePolicy policy)
     panic("invalid SchedulePolicy");
 }
 
+void
+transferTargetInputs(FpgaSystem &sys, const MarshalledTarget &target,
+                     const TargetDescriptor &desc,
+                     std::function<void()> on_done)
+{
+    // The three arrays move as one burst; payloads land in device
+    // memory at the completion events.
+    sys.dmaToDevice(
+        desc.bufferAddr[static_cast<size_t>(
+            IrBuffer::ConsensusBases)],
+        target.consensusData.data(), target.consensusData.size(),
+        [] {});
+    sys.dmaToDevice(
+        desc.bufferAddr[static_cast<size_t>(IrBuffer::ReadBases)],
+        target.readData.data(), target.readData.size(), [] {});
+    sys.dmaToDevice(
+        desc.bufferAddr[static_cast<size_t>(IrBuffer::ReadQuals)],
+        target.qualData.data(), target.qualData.size(),
+        std::move(on_done));
+}
+
 namespace {
 
 /** Shared dispatch state for one scheduling run. */
@@ -44,24 +65,8 @@ struct RunState
     void
     transferInputs(size_t t, std::function<void()> on_done)
     {
-        const MarshalledTarget &mt = (*targets)[t];
-        const TargetDescriptor &desc = descriptors[t];
-        // The three arrays move as one burst; payloads land in
-        // device memory at the completion event.
-        sys->dmaToDevice(
-            desc.bufferAddr[static_cast<size_t>(
-                IrBuffer::ConsensusBases)],
-            mt.consensusData.data(), mt.consensusData.size(),
-            [] {});
-        sys->dmaToDevice(
-            desc.bufferAddr[static_cast<size_t>(
-                IrBuffer::ReadBases)],
-            mt.readData.data(), mt.readData.size(), [] {});
-        sys->dmaToDevice(
-            desc.bufferAddr[static_cast<size_t>(
-                IrBuffer::ReadQuals)],
-            mt.qualData.data(), mt.qualData.size(),
-            std::move(on_done));
+        transferTargetInputs(*sys, (*targets)[t], descriptors[t],
+                             std::move(on_done));
     }
 
     /** Collect one completed target: outputs come back out of

@@ -21,6 +21,7 @@
 #define IRACC_HOST_SCHEDULER_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "accel/fpga_system.hh"
@@ -66,6 +67,20 @@ struct ScheduleResult
 ScheduleResult scheduleTargets(
     FpgaSystem &sys, const std::vector<MarshalledTarget> &targets,
     SchedulePolicy policy);
+
+/**
+ * DMA one marshalled target's three input arrays to the device
+ * buffers named by its descriptor.  The arrays move as one burst;
+ * payloads land in device memory at the completion events and
+ * @p on_done fires when the last array has landed.  The target
+ * must outlive the transfer.  Shared by the scheduling policies
+ * and the hardened execution path (host/hardened_executor), so
+ * both move bytes through the identical DMA sequence.
+ */
+void transferTargetInputs(FpgaSystem &sys,
+                          const MarshalledTarget &target,
+                          const TargetDescriptor &desc,
+                          std::function<void()> on_done);
 
 } // namespace iracc
 

@@ -1,5 +1,6 @@
 #include "realign/marshal.hh"
 
+#include "fault/fault.hh"
 #include "realign/limits.hh"
 #include "util/logging.hh"
 
@@ -51,6 +52,38 @@ MarshalledTarget::qualsAt(uint32_t j) const
         ++len;
     return QualSeq(qualData.begin() + static_cast<long>(off),
                    qualData.begin() + static_cast<long>(off + len));
+}
+
+uint32_t
+inputChecksum(const MarshalledTarget &target)
+{
+    uint32_t crc = crc32(target.consensusData.data(),
+                         target.consensusData.size());
+    crc = crc32(target.readData.data(), target.readData.size(),
+                crc);
+    return crc32(target.qualData.data(), target.qualData.size(),
+                 crc);
+}
+
+std::vector<uint8_t>
+outputBytes(const AccelTargetOutput &out)
+{
+    std::vector<uint8_t> bytes = out.realignFlags;
+    bytes.reserve(bytes.size() + out.newPositions.size() * 4);
+    for (uint32_t p : out.newPositions) {
+        bytes.push_back(static_cast<uint8_t>(p));
+        bytes.push_back(static_cast<uint8_t>(p >> 8));
+        bytes.push_back(static_cast<uint8_t>(p >> 16));
+        bytes.push_back(static_cast<uint8_t>(p >> 24));
+    }
+    return bytes;
+}
+
+uint32_t
+outputChecksum(const AccelTargetOutput &out)
+{
+    std::vector<uint8_t> bytes = outputBytes(out);
+    return crc32(bytes.data(), bytes.size());
 }
 
 MarshalledTarget

@@ -86,6 +86,24 @@ struct AccelTargetOutput
 MarshalledTarget marshalTarget(const IrTargetInput &input);
 
 /**
+ * CRC-32 over a target's three input images, in DMA order
+ * (consensuses, reads, qualities).  The hardened execution path
+ * compares it against the same checksum of a device-memory
+ * readback to catch corrupted or dropped input bursts before
+ * ir_start.
+ */
+uint32_t inputChecksum(const MarshalledTarget &target);
+
+/**
+ * Serialize raw outputs exactly as the unit's MemWriters store
+ * them: realign flags, then little-endian 4-byte positions.
+ */
+std::vector<uint8_t> outputBytes(const AccelTargetOutput &out);
+
+/** CRC-32 over outputBytes(out). */
+uint32_t outputChecksum(const AccelTargetOutput &out);
+
+/**
  * Convert raw accelerator outputs into a ConsensusDecision
  * compatible with applyDecision(), given the target input (which
  * carries the window start for un-biasing positions).

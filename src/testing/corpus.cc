@@ -73,7 +73,8 @@ readSection(std::istream &is, const std::string &tag)
 void
 writeReproCase(std::ostream &os, const ReproCase &repro)
 {
-    fatal_if(repro.kind != "pipeline" && repro.kind != "kernel",
+    fatal_if(repro.kind != "pipeline" && repro.kind != "kernel" &&
+                 repro.kind != "fault",
              "unknown repro kind '%s'", repro.kind.c_str());
     os << "# iracc-diff repro case v1\n";
     os << "kind " << repro.kind << '\n';
@@ -82,7 +83,12 @@ writeReproCase(std::ostream &os, const ReproCase &repro)
         os << "variant " << oneLine(repro.variant) << '\n';
     if (!repro.detail.empty())
         os << "detail " << oneLine(repro.detail) << '\n';
-    if (repro.kind == "pipeline") {
+    if (repro.kind == "fault") {
+        fatal_if(repro.faultPlan.empty(),
+                 "fault repro case needs a fault plan");
+        os << "faultplan " << oneLine(repro.faultPlan) << '\n';
+    }
+    if (repro.kind != "kernel") {
         os << "begin reference\n";
         writeFasta(os, repro.reference);
         os << "end reference\n";
@@ -120,12 +126,16 @@ readReproCase(std::istream &is)
             fields >> repro.kind;
         } else if (key == "seed") {
             fields >> repro.seed;
-        } else if (key == "variant" || key == "detail") {
+        } else if (key == "variant" || key == "detail" ||
+                   key == "faultplan") {
             std::string rest;
             std::getline(fields, rest);
             if (!rest.empty() && rest[0] == ' ')
                 rest.erase(0, 1);
-            (key == "variant" ? repro.variant : repro.detail) = rest;
+            (key == "variant"
+                 ? repro.variant
+                 : key == "detail" ? repro.detail
+                                   : repro.faultPlan) = rest;
         } else if (key == "window") {
             fields >> repro.target.windowStart >>
                 repro.target.windowEnd;
@@ -139,7 +149,7 @@ readReproCase(std::istream &is)
             if (tag == "reference") {
                 repro.reference = readFasta(section);
             } else if (tag == "reads" &&
-                       repro.kind == "pipeline") {
+                       repro.kind != "kernel") {
                 repro.reads = readSamLite(section, repro.reference);
             } else if (tag == "consensuses") {
                 std::string cons;
@@ -174,8 +184,11 @@ readReproCase(std::istream &is)
             fatal("corpus case: unknown key '%s'", key.c_str());
         }
     }
-    fatal_if(repro.kind != "pipeline" && repro.kind != "kernel",
+    fatal_if(repro.kind != "pipeline" && repro.kind != "kernel" &&
+                 repro.kind != "fault",
              "corpus case missing kind");
+    fatal_if(repro.kind == "fault" && repro.faultPlan.empty(),
+             "fault corpus case missing faultplan");
     return repro;
 }
 
@@ -212,6 +225,10 @@ replayReproCase(const ReproCase &repro)
 {
     if (repro.kind == "kernel")
         return diffKernelInput(repro.target);
+    if (repro.kind == "fault") {
+        return diffFaultPlan(repro.reference, repro.reads,
+                             FaultPlan::parse(repro.faultPlan));
+    }
     return diffPipeline(repro.reference, repro.reads);
 }
 

@@ -11,10 +11,13 @@
  * Format (line-oriented, '#' comments):
  *
  *   # iracc-diff repro case v1
- *   kind pipeline | kernel
+ *   kind pipeline | kernel | fault
  *   seed <generator seed, informational>
  *   variant <design point that diverged, informational>
  *   detail <diagnosis at capture time>
+ *
+ * fault cases add one line and then use the pipeline payload:
+ *   faultplan <FaultPlan text form, see fault/fault.hh>
  *
  * pipeline payload:
  *   begin reference         FASTA, one contig per record
@@ -49,7 +52,8 @@ namespace difftest {
 /** One serializable repro case. */
 struct ReproCase
 {
-    /** "pipeline" (genome + reads) or "kernel" (one target). */
+    /** "pipeline" (genome + reads), "kernel" (one target), or
+     *  "fault" (genome + reads + fault plan). */
     std::string kind;
 
     /** Design point that diverged when the case was captured. */
@@ -61,9 +65,12 @@ struct ReproCase
     /** Generator seed the case came from. */
     uint64_t seed = 0;
 
-    /** Pipeline payload. */
+    /** Pipeline payload (also used by fault cases). */
     ReferenceGenome reference;
     std::vector<Read> reads;
+
+    /** Fault payload: FaultPlan text form (fault/fault.hh). */
+    std::string faultPlan;
 
     /** Kernel payload. */
     IrTargetInput target;

@@ -108,25 +108,103 @@ checkDecisionInvariants(const MinWhdGrid &grid,
     return {};
 }
 
-/** One pipeline variant's complete observable outcome. */
-struct PipelineOutcome
-{
-    std::vector<std::string> alignments; ///< per read, input order
-    RealignStats stats;
-    std::vector<std::string> calls;      ///< variant calls, genome order
-};
-
 PipelineOutcome
 runVariant(const BackendVariant &variant, const ReferenceGenome &ref,
            std::vector<Read> reads)
 {
+    return runBackendPipeline(makeVariantBackend(variant),
+                              variant.jobThreads, ref,
+                              std::move(reads));
+}
+
+/**
+ * Full bitwise comparison of two pipeline outcomes: alignments,
+ * every RealignStats scalar including the complete WhdStats, and
+ * variant calls.  Used where both runs share one design point
+ * (hardened vs plain, faulted vs fault-free), so even the
+ * prune-granularity caveat of diffPipeline does not apply.
+ */
+DiffResult
+compareOutcomes(const std::string &label, const PipelineOutcome &got,
+                const PipelineOutcome &oracle)
+{
+    if (got.alignments.size() != oracle.alignments.size()) {
+        return DiffResult::fail(
+            label, fmt("alignment count %zu vs oracle %zu",
+                       got.alignments.size(),
+                       oracle.alignments.size()));
+    }
+    for (size_t j = 0; j < got.alignments.size(); ++j) {
+        if (got.alignments[j] != oracle.alignments[j]) {
+            return DiffResult::fail(
+                label, fmt("read %zu aligned as %s, oracle %s", j,
+                           got.alignments[j].c_str(),
+                           oracle.alignments[j].c_str()));
+        }
+    }
+    const RealignStats &a = got.stats;
+    const RealignStats &b = oracle.stats;
+    if (a.targets != b.targets ||
+        a.readsConsidered != b.readsConsidered ||
+        a.readsRealigned != b.readsRealigned ||
+        a.consensusesEvaluated != b.consensusesEvaluated) {
+        return DiffResult::fail(
+            label,
+            fmt("realign stats diverge: targets %llu/%llu "
+                "considered %llu/%llu realigned %llu/%llu "
+                "consensuses %llu/%llu",
+                static_cast<unsigned long long>(a.targets),
+                static_cast<unsigned long long>(b.targets),
+                static_cast<unsigned long long>(a.readsConsidered),
+                static_cast<unsigned long long>(b.readsConsidered),
+                static_cast<unsigned long long>(a.readsRealigned),
+                static_cast<unsigned long long>(b.readsRealigned),
+                static_cast<unsigned long long>(
+                    a.consensusesEvaluated),
+                static_cast<unsigned long long>(
+                    b.consensusesEvaluated)));
+    }
+    if (!statsEqual(a.whd, b.whd)) {
+        return DiffResult::fail(
+            label, fmt("WhdStats diverge: %s vs oracle %s",
+                       statsString(a.whd).c_str(),
+                       statsString(b.whd).c_str()));
+    }
+    if (got.calls != oracle.calls) {
+        size_t n = std::min(got.calls.size(), oracle.calls.size());
+        std::string where =
+            fmt("call count %zu vs %zu", got.calls.size(),
+                oracle.calls.size());
+        for (size_t i = 0; i < n; ++i) {
+            if (got.calls[i] != oracle.calls[i]) {
+                where = fmt("call %zu is %s, oracle %s", i,
+                            got.calls[i].c_str(),
+                            oracle.calls[i].c_str());
+                break;
+            }
+        }
+        return DiffResult::fail(label,
+                                "variant calls diverge: " + where);
+    }
+    return {};
+}
+
+} // anonymous namespace
+
+PipelineOutcome
+runBackendPipeline(std::unique_ptr<const RealignerBackend> backend,
+                   uint32_t job_threads, const ReferenceGenome &ref,
+                   std::vector<Read> reads)
+{
     RealignJobConfig cfg;
-    cfg.threads = variant.jobThreads;
-    RealignSession session(makeVariantBackend(variant), cfg);
+    cfg.threads = job_threads;
+    RealignSession session(std::move(backend), cfg);
     RealignJobResult result = session.run(ref, reads);
 
     PipelineOutcome out;
     out.stats = result.stats;
+    out.recovery = result.recovery;
+    out.status = result.status;
     out.alignments.reserve(reads.size());
     for (const Read &r : reads) {
         out.alignments.push_back(
@@ -150,8 +228,6 @@ runVariant(const BackendVariant &variant, const ReferenceGenome &ref,
     }
     return out;
 }
-
-} // anonymous namespace
 
 DiffResult
 diffKernelInput(const IrTargetInput &input)
@@ -398,6 +474,101 @@ diffPipelineSeed(uint64_t seed)
         r.detail = fmt("seed %llu: %s",
                        static_cast<unsigned long long>(seed),
                        r.detail.c_str());
+    }
+    return r;
+}
+
+DiffResult
+diffHardenedPipeline(const ReferenceGenome &ref,
+                     const std::vector<Read> &reads,
+                     const std::vector<BackendVariant> &variants)
+{
+    for (const BackendVariant &variant : variants) {
+        // Only accelerated design points have a device to harden.
+        if (!variant.accelerated)
+            continue;
+        PipelineOutcome plain = runVariant(variant, ref, reads);
+        BackendVariant twin = variant;
+        twin.hardened = true;
+        twin.label = variant.label + "/hardened";
+        PipelineOutcome hard = runVariant(twin, ref, reads);
+        DiffResult r = compareOutcomes(twin.label, hard, plain);
+        if (!r.ok)
+            return r;
+        if (hard.status != RunStatus::Ok) {
+            return DiffResult::fail(
+                twin.label,
+                fmt("fault-free hardened run reports status '%s'",
+                    runStatusName(hard.status)));
+        }
+        const RecoveryStats &rec = hard.recovery;
+        if (rec.faultsInjected != 0 || rec.anyRecovery() ||
+            rec.retrySuccesses != 0 || rec.staleResponses != 0) {
+            return DiffResult::fail(
+                twin.label,
+                fmt("recovery counters ticked on a fault-free run "
+                    "(injected=%llu retries=%llu fallbacks=%llu)",
+                    static_cast<unsigned long long>(
+                        rec.faultsInjected),
+                    static_cast<unsigned long long>(rec.retries),
+                    static_cast<unsigned long long>(
+                        rec.softwareFallbacks)));
+        }
+    }
+    return {};
+}
+
+DiffResult
+diffFaultPlan(const ReferenceGenome &ref,
+              const std::vector<Read> &reads, const FaultPlan &plan)
+{
+    // Oracle: the plain accelerated backend, fault-free.  The
+    // hardened path's fault-free transparency is asserted
+    // separately (diffHardenedPipeline), so comparing the faulted
+    // run against the plain backend checks both layers at once.
+    PipelineOutcome oracle = runBackendPipeline(
+        makeAcceleratedBackend("accelerated/oracle",
+                               "fault differential oracle",
+                               AccelConfig::paperOptimized(),
+                               SchedulePolicy::AsynchronousParallel),
+        1, ref, reads);
+
+    std::string label = "hardened[" + plan.describe() + "]";
+    PipelineOutcome got = runBackendPipeline(
+        makeHardenedBackend(label, "fault differential subject",
+                            AccelConfig::paperOptimized(), plan),
+        1, ref, reads);
+
+    DiffResult r = compareOutcomes(label, got, oracle);
+    if (!r.ok)
+        return r;
+    // The default policy retries and falls back; no injectable
+    // fault may surface as an unrecoverable target.
+    if (got.status == RunStatus::Failed ||
+        got.recovery.failedTargets != 0) {
+        return DiffResult::fail(
+            label, fmt("%llu targets unrecovered (status '%s')",
+                       static_cast<unsigned long long>(
+                           got.recovery.failedTargets),
+                       runStatusName(got.status)));
+    }
+    return {};
+}
+
+DiffResult
+diffFaultSeed(uint64_t seed)
+{
+    GenomeWorkload workload = makeDiffGenome(seed);
+    std::vector<Read> reads;
+    for (const ChromosomeWorkload &chrom : workload.chromosomes)
+        reads.insert(reads.end(), chrom.reads.begin(),
+                     chrom.reads.end());
+    FaultPlan plan = FaultPlan::random(seed);
+    DiffResult r = diffFaultPlan(workload.reference, reads, plan);
+    if (!r.ok) {
+        r.detail = fmt("seed %llu plan '%s': %s",
+                       static_cast<unsigned long long>(seed),
+                       plan.describe().c_str(), r.detail.c_str());
     }
     return r;
 }

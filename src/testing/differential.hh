@@ -25,6 +25,14 @@
  * statistics, and downstream variant calls must all equal the
  * oracle's (the unpruned single-job software variant).
  *
+ * Fault level, one genome workload plus one FaultPlan at a time:
+ * the hardened execution path (host/hardened_executor.hh) realigns
+ * under injected hardware faults and must still produce the plain
+ * accelerated backend's bit-exact output -- recovery may fire (that
+ * is the point) but results must not change.  With an empty plan
+ * the hardened path itself must be invisible: bit-identical output
+ * and not a single recovery counter ticking.
+ *
  * On mismatch the harness minimizes: greedy removal of contigs,
  * then read chunks (pipeline) or reads/consensuses (kernel) while
  * the divergence persists, producing the small repro the corpus
@@ -40,6 +48,7 @@
 #include <vector>
 
 #include "core/realigner_api.hh"
+#include "fault/fault.hh"
 #include "genomics/read.hh"
 #include "genomics/reference.hh"
 #include "realign/consensus.hh"
@@ -92,6 +101,57 @@ DiffResult diffPipeline(
 
 /** Pipeline differential over the generated genome of a seed. */
 DiffResult diffPipelineSeed(uint64_t seed);
+
+/** One pipeline run's complete observable outcome. */
+struct PipelineOutcome
+{
+    std::vector<std::string> alignments; ///< per read, input order
+    RealignStats stats;
+    std::vector<std::string> calls;      ///< variant calls, genome order
+
+    /** Hardened-path health (zero / Ok for plain backends). */
+    RecoveryStats recovery;
+    RunStatus status = RunStatus::Ok;
+};
+
+/**
+ * Run one backend over a genome workload (a private copy of
+ * @p reads) and capture everything a differential can compare.
+ */
+PipelineOutcome runBackendPipeline(
+    std::unique_ptr<const RealignerBackend> backend,
+    uint32_t job_threads, const ReferenceGenome &ref,
+    std::vector<Read> reads);
+
+/**
+ * Hardened-path transparency property: with an empty FaultPlan the
+ * hardened execution path must be bit-identical to the plain
+ * accelerated path on every accelerated design point of
+ * @p variants -- same alignments, same statistics (WhdStats bit for
+ * bit), same variant calls, RunStatus::Ok, and every recovery
+ * counter zero.
+ */
+DiffResult diffHardenedPipeline(
+    const ReferenceGenome &ref, const std::vector<Read> &reads,
+    const std::vector<BackendVariant> &variants =
+        differentialVariants());
+
+/**
+ * Fault differential: realign through the hardened path with
+ * @p plan attached to the simulator's fault hooks and compare bit
+ * for bit against the plain accelerated backend's fault-free run.
+ * The default HardenPolicy must absorb every injectable fault, so
+ * a run that reports RunStatus::Failed is itself a divergence.
+ */
+DiffResult diffFaultPlan(const ReferenceGenome &ref,
+                         const std::vector<Read> &reads,
+                         const FaultPlan &plan);
+
+/**
+ * Fault differential over the generated genome of a seed under
+ * FaultPlan::random(seed) (tools/iracc_diff --fault-seeds).
+ */
+DiffResult diffFaultSeed(uint64_t seed);
 
 /**
  * Greedy repro minimization for a pipeline mismatch: drop whole

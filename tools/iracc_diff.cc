@@ -13,11 +13,19 @@
  *   iracc_diff --seeds 200                      # CI budget
  *   iracc_diff --seeds 5000 --start-seed 1000   # longer local run
  *   iracc_diff --corpus tests/corpus            # where repros land
+ *   iracc_diff --seeds 0 --fault-seeds 100      # fault-plan fuzzing
  *
  * Every seed runs the kernel-level differential (a dozen targets
  * sweeping the realign/limits.hh boundaries); every
  * --pipeline-every'th seed additionally synthesizes a small genome
  * and runs the full eight-variant pipeline differential.
+ *
+ * --fault-seeds N additionally fuzzes the hardened execution path:
+ * each seed realigns a generated genome under FaultPlan::random's
+ * injected hardware faults and must still reproduce the plain
+ * accelerated backend's bit-exact output (testing/differential.hh,
+ * diffFaultSeed).  Divergences are minimized with the fault plan
+ * held fixed and land as kind-"fault" corpus cases.
  */
 
 #include <cstdint>
@@ -40,6 +48,7 @@ using namespace iracc::difftest;
 struct Options
 {
     uint64_t seeds = 20;
+    uint64_t faultSeeds = 0;
     uint64_t startSeed = 1;
     std::string corpusDir = "iracc-diff-repros";
     bool kernelOnly = false;
@@ -55,6 +64,9 @@ usage(const char *argv0)
         stderr,
         "usage: %s [options]\n"
         "  --seeds N           seeds to fuzz (default 20)\n"
+        "  --fault-seeds N     additional seeds fuzzing the\n"
+        "                      hardened path under random fault\n"
+        "                      plans (default 0)\n"
         "  --start-seed S      first seed (default 1)\n"
         "  --corpus DIR        where minimized repros are written\n"
         "                      (default iracc-diff-repros)\n"
@@ -79,6 +91,8 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "--seeds") {
             opt.seeds = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--fault-seeds") {
+            opt.faultSeeds = std::strtoull(value(), nullptr, 0);
         } else if (arg == "--start-seed") {
             opt.startSeed = std::strtoull(value(), nullptr, 0);
         } else if (arg == "--corpus") {
@@ -159,6 +173,41 @@ reportPipelineMismatch(const Options &opt, uint64_t seed,
     std::fprintf(stderr, "  repro written to %s\n", path.c_str());
 }
 
+/** Capture, minimize, and persist one fault-plan mismatch. */
+void
+reportFaultMismatch(const Options &opt, uint64_t seed,
+                    const DiffResult &result)
+{
+    std::fprintf(stderr, "MISMATCH (fault) seed %llu [%s]: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 result.variant.c_str(), result.detail.c_str());
+    GenomeWorkload workload = makeDiffGenome(seed);
+    FaultPlan plan = FaultPlan::random(seed);
+    ReproCase repro;
+    repro.kind = "fault";
+    repro.seed = seed;
+    repro.variant = result.variant;
+    repro.detail = result.detail;
+    repro.faultPlan = plan.describe();
+    repro.reference = workload.reference;
+    for (const ChromosomeWorkload &chrom : workload.chromosomes)
+        repro.reads.insert(repro.reads.end(), chrom.reads.begin(),
+                           chrom.reads.end());
+    if (opt.minimize) {
+        // The plan is held fixed while reads shrink: occurrence
+        // counting stays meaningful because every candidate replays
+        // the same schedule against its (smaller) event stream.
+        repro.reads = minimizeReads(
+            repro.reference, std::move(repro.reads),
+            [&plan](const ReferenceGenome &ref,
+                    const std::vector<Read> &reads) {
+                return diffFaultPlan(ref, reads, plan);
+            });
+    }
+    std::string path = saveReproCase(repro, opt.corpusDir);
+    std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+}
+
 } // anonymous namespace
 
 int
@@ -168,6 +217,7 @@ main(int argc, char **argv)
 
     uint64_t kernel_targets = 0;
     uint64_t pipeline_runs = 0;
+    uint64_t fault_runs = 0;
     uint64_t mismatches = 0;
 
     for (uint64_t n = 0; n < opt.seeds; ++n) {
@@ -199,13 +249,33 @@ main(int argc, char **argv)
         }
     }
 
+    for (uint64_t n = 0; n < opt.faultSeeds; ++n) {
+        uint64_t seed = opt.startSeed + n;
+        DiffResult r = diffFaultSeed(seed);
+        ++fault_runs;
+        if (!r.ok) {
+            ++mismatches;
+            reportFaultMismatch(opt, seed, r);
+        }
+        if ((n + 1) % 25 == 0) {
+            std::fprintf(
+                stderr,
+                "... %llu/%llu fault seeds, %llu mismatches\n",
+                static_cast<unsigned long long>(n + 1),
+                static_cast<unsigned long long>(opt.faultSeeds),
+                static_cast<unsigned long long>(mismatches));
+        }
+    }
+
     size_t variants = differentialVariants().size();
     std::printf(
         "iracc_diff: %llu seeds (%llu kernel targets, %llu pipeline "
-        "workloads x %zu variants): %llu mismatches\n",
+        "workloads x %zu variants, %llu fault plans): %llu "
+        "mismatches\n",
         static_cast<unsigned long long>(opt.seeds),
         static_cast<unsigned long long>(kernel_targets),
         static_cast<unsigned long long>(pipeline_runs), variants,
+        static_cast<unsigned long long>(fault_runs),
         static_cast<unsigned long long>(mismatches));
     return mismatches == 0 ? 0 : 1;
 }
