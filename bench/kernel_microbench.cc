@@ -1,20 +1,39 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the hot kernels: the
- * weighted-Hamming-distance software kernel (with and without
- * pruning), the accelerator datapath model at several widths, the
- * Smith-Waterman extension kernel, and target marshalling.  These
- * quantify the per-base-comparison cost that the Section II-C
- * compute-bound argument rests on.
+ * weighted-Hamming-distance software kernel (per dispatch variant,
+ * with and without pruning), the accelerator datapath model at
+ * several widths, the Smith-Waterman extension kernel, and target
+ * marshalling.  These quantify the per-base-comparison cost that
+ * the Section II-C compute-bound argument rests on.
+ *
+ * With `--json <path>` (or IRACC_BENCH_JSON) the binary also emits
+ * an iracc-bench-v1 document with one section per dispatch variant,
+ * measured by a self-timed loop independent of google-benchmark.
+ * Key prefixes encode the perf-gate policy (tools/iracc_bench):
+ *
+ *   n_*        deterministic counts/cycles -- must match exactly
+ *   rate_*     wall-clock throughput -- gated with relative slack
+ *   speedup_*  same-run ratios vs the scalar kernel -- gated with
+ *              relative slack plus an absolute floor
+ *   wall_*     recorded for the trajectory, never gated
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "accel/ir_compute.hh"
 #include "align/smith_waterman.hh"
+#include "obs/bench_report.hh"
 #include "realign/marshal.hh"
 #include "realign/whd.hh"
+#include "realign/whd_simd.hh"
 #include "util/rng.hh"
+#include "util/timer.hh"
 
 namespace iracc {
 namespace {
@@ -73,10 +92,10 @@ BM_CalcWhd(benchmark::State &state)
 BENCHMARK(BM_CalcWhd);
 
 void
-BM_MinWhd(benchmark::State &state)
+BM_MinWhd(benchmark::State &state, WhdKernel kernel, bool prune)
 {
+    ScopedWhdKernel scope(kernel);
     IrTargetInput input = benchInput();
-    const bool prune = state.range(0) != 0;
     WhdStats stats;
     for (auto _ : state) {
         MinWhdGrid grid = minWhd(input, prune, &stats);
@@ -86,11 +105,11 @@ BM_MinWhd(benchmark::State &state)
         static_cast<int64_t>(stats.comparisons));
     state.SetLabel(prune ? "pruned" : "full");
 }
-BENCHMARK(BM_MinWhd)->Arg(0)->Arg(1);
 
 void
-BM_IrComputeWidth(benchmark::State &state)
+BM_IrComputeWidth(benchmark::State &state, WhdKernel kernel)
 {
+    ScopedWhdKernel scope(kernel);
     MarshalledTarget target = marshalTarget(benchInput());
     const uint32_t width = static_cast<uint32_t>(state.range(0));
     uint64_t cycles = 0;
@@ -99,10 +118,8 @@ BM_IrComputeWidth(benchmark::State &state)
         cycles = res.totalCycles();
         benchmark::DoNotOptimize(res);
     }
-    state.counters["model_cycles"] =
-        static_cast<double>(cycles);
+    state.counters["model_cycles"] = static_cast<double>(cycles);
 }
-BENCHMARK(BM_IrComputeWidth)->Arg(1)->Arg(8)->Arg(32);
 
 void
 BM_MarshalTarget(benchmark::State &state)
@@ -114,6 +131,18 @@ BM_MarshalTarget(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MarshalTarget);
+
+void
+BM_MarshalTargetReuse(benchmark::State &state)
+{
+    IrTargetInput input = benchInput();
+    MarshalledTarget m;
+    for (auto _ : state) {
+        marshalTargetInto(input, m);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_MarshalTargetReuse);
 
 void
 BM_SmithWaterman(benchmark::State &state)
@@ -131,7 +160,169 @@ BM_SmithWaterman(benchmark::State &state)
 }
 BENCHMARK(BM_SmithWaterman);
 
+/** Register the per-dispatch-variant benchmarks. */
+void
+registerDispatchBenchmarks()
+{
+    for (WhdKernel kernel : supportedWhdKernels()) {
+        const std::string kname = whdKernelName(kernel);
+        for (bool prune : {false, true}) {
+            std::string name = "BM_MinWhd/" + kname + "/" +
+                               (prune ? "pruned" : "full");
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [kernel, prune](benchmark::State &st) {
+                    BM_MinWhd(st, kernel, prune);
+                });
+        }
+        std::string name = "BM_IrComputeWidth/" + kname;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [kernel](benchmark::State &st) {
+                BM_IrComputeWidth(st, kernel);
+            })
+            ->Arg(1)
+            ->Arg(8)
+            ->Arg(32);
+    }
+}
+
+// ---- Self-timed iracc-bench-v1 section -------------------------
+
+/**
+ * comparisons/second of minWhd on the default workload: run
+ * batches until the measurement window is long enough to trust,
+ * then take the best of a few repeats (the repeat least disturbed
+ * by the machine).
+ */
+double
+measureMinWhdRate(WhdKernel kernel, bool prune,
+                  const IrTargetInput &input)
+{
+    ScopedWhdKernel scope(kernel);
+    WhdStats once;
+    minWhd(input, prune, &once); // warm up + count one run's work
+    const double work = static_cast<double>(once.comparisons);
+
+    // Calibrate batch size to >= ~30 ms.
+    uint64_t batch = 1;
+    double secs = 0.0;
+    for (;;) {
+        Timer t;
+        for (uint64_t i = 0; i < batch; ++i) {
+            WhdStats s;
+            MinWhdGrid grid = minWhd(input, prune, &s);
+            benchmark::DoNotOptimize(grid);
+        }
+        secs = t.seconds();
+        if (secs >= 0.03 || batch > (1ull << 24))
+            break;
+        batch *= 2;
+    }
+    double best = secs;
+    for (int rep = 0; rep < 2; ++rep) {
+        Timer t;
+        for (uint64_t i = 0; i < batch; ++i) {
+            WhdStats s;
+            MinWhdGrid grid = minWhd(input, prune, &s);
+            benchmark::DoNotOptimize(grid);
+        }
+        best = std::min(best, t.seconds());
+    }
+    return work * static_cast<double>(batch) / best;
+}
+
+void
+emitBenchJson(const std::string &path)
+{
+    obs::BenchReport report("kernel_microbench",
+                            "Section II-C kernel cost");
+    const IrTargetInput input = benchInput();
+
+    // Deterministic work counters and model cycles: any drift is a
+    // semantics change, so the gate pins them exactly.
+    {
+        WhdStats full, pruned;
+        minWhd(input, false, &full);
+        minWhd(input, true, &pruned);
+        report.addValue("n_minwhd_full_comparisons",
+                        static_cast<double>(full.comparisons));
+        report.addValue("n_minwhd_pruned_comparisons",
+                        static_cast<double>(pruned.comparisons));
+        report.addValue("n_minwhd_offsets",
+                        static_cast<double>(full.offsetsEvaluated));
+        report.addValue(
+            "n_minwhd_pruned_offsets_pruned",
+            static_cast<double>(pruned.offsetsPruned));
+        MarshalledTarget target = marshalTarget(input);
+        for (uint32_t width : {1u, 8u, 32u}) {
+            IrComputeResult res = irCompute(target, width, true);
+            report.addValue("n_ircompute_w" +
+                                std::to_string(width) + "_cycles",
+                            static_cast<double>(res.totalCycles()));
+        }
+    }
+
+    // Per-variant throughput plus same-run speedups vs scalar
+    // (ratios cancel most machine noise, so the gate can hold them
+    // to a floor).
+    const double scalar_full =
+        measureMinWhdRate(WhdKernel::Scalar, false, input);
+    const double scalar_pruned =
+        measureMinWhdRate(WhdKernel::Scalar, true, input);
+    for (WhdKernel kernel : supportedWhdKernels()) {
+        const std::string kname = whdKernelName(kernel);
+        const double full =
+            kernel == WhdKernel::Scalar
+                ? scalar_full
+                : measureMinWhdRate(kernel, false, input);
+        const double pruned =
+            kernel == WhdKernel::Scalar
+                ? scalar_pruned
+                : measureMinWhdRate(kernel, true, input);
+        report.addValue("rate_minwhd_full_" + kname + "_cps", full);
+        report.addValue("rate_minwhd_pruned_" + kname + "_cps",
+                        pruned);
+        if (kernel != WhdKernel::Scalar) {
+            report.addValue("speedup_unpruned_" + kname,
+                            full / scalar_full);
+            report.addValue("speedup_pruned_" + kname,
+                            pruned / scalar_pruned);
+        }
+    }
+
+    report.writeToPath(path);
+}
+
 } // namespace
 } // namespace iracc
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Resolve --json before google-benchmark sees (and rejects)
+    // unknown flags, then strip it from argv.
+    std::string json_path =
+        iracc::obs::BenchReport::jsonPathFromArgs(argc, argv);
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            ++i; // skip the path operand too
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int args_count = static_cast<int>(args.size());
+
+    iracc::registerDispatchBenchmarks();
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (!json_path.empty())
+        iracc::emitBenchJson(json_path);
+    return 0;
+}

@@ -4,9 +4,28 @@
 
 #include "realign/limits.hh"
 #include "realign/score.hh"
+#include "realign/whd_simd.hh"
 #include "util/logging.hh"
 
 namespace iracc {
+
+namespace {
+
+/**
+ * Per-call pointer/length scratch.  irCompute is the hot loop of
+ * the scheduler's precompute pass and the hardened fallback path;
+ * thread_local reuse removes the five vector allocations per call.
+ */
+struct IrComputeScratch
+{
+    std::vector<const uint8_t *> consPtr;
+    std::vector<uint32_t> consLen;
+    std::vector<const uint8_t *> readPtr;
+    std::vector<const uint8_t *> qualPtr;
+    std::vector<uint32_t> readLen;
+};
+
+} // anonymous namespace
 
 IrComputeResult
 irCompute(const MarshalledTarget &target, uint32_t width, bool prune)
@@ -18,15 +37,17 @@ irCompute(const MarshalledTarget &target, uint32_t width, bool prune)
              "bad consensus count %u", num_cons);
     panic_if(num_reads > kMaxReads, "bad read count %u", num_reads);
 
+    thread_local IrComputeScratch scratch;
+
     // Resolve consensus rows (dense layout, ir_set_len lengths).
-    std::vector<const uint8_t *> cons_ptr(num_cons);
-    std::vector<uint32_t> cons_len(num_cons);
+    scratch.consPtr.resize(num_cons);
+    scratch.consLen.resize(num_cons);
     {
         size_t off = 0;
         for (uint32_t i = 0; i < num_cons; ++i) {
-            cons_ptr[i] = target.consensusData.data() + off;
-            cons_len[i] = target.consensusLengths[i];
-            off += cons_len[i];
+            scratch.consPtr[i] = target.consensusData.data() + off;
+            scratch.consLen[i] = target.consensusLengths[i];
+            off += scratch.consLen[i];
         }
         panic_if(off != target.consensusData.size(),
                  "consensus buffer image size mismatch");
@@ -34,70 +55,56 @@ irCompute(const MarshalledTarget &target, uint32_t width, bool prune)
 
     // Resolve read slots; the end-of-read sentinel (0x00) or the
     // slot boundary delimits each read.
-    std::vector<const uint8_t *> read_ptr(num_reads);
-    std::vector<const uint8_t *> qual_ptr(num_reads);
-    std::vector<uint32_t> read_len(num_reads);
+    scratch.readPtr.resize(num_reads);
+    scratch.qualPtr.resize(num_reads);
+    scratch.readLen.resize(num_reads);
     for (uint32_t j = 0; j < num_reads; ++j) {
         size_t off = static_cast<size_t>(j) * kMaxReadLen;
-        read_ptr[j] = target.readData.data() + off;
-        qual_ptr[j] = target.qualData.data() + off;
+        scratch.readPtr[j] = target.readData.data() + off;
+        scratch.qualPtr[j] = target.qualData.data() + off;
         uint32_t len = 0;
-        while (len < kMaxReadLen && read_ptr[j][len] != 0)
+        while (len < kMaxReadLen && scratch.readPtr[j][len] != 0)
             ++len;
         panic_if(len == 0, "empty read slot %u", j);
-        read_len[j] = len;
+        scratch.readLen[j] = len;
     }
+
+    const WhdKernel kernel = activeWhdKernel();
 
     IrComputeResult result;
     MinWhdGrid grid(num_cons, num_reads);
 
     // --- Stage 1: Hamming Distance Calculator ---------------------
+    // The per-pair offset sweep runs through the shared dispatch
+    // kernel with pruneChunk = width: the running-minimum register
+    // is checked once per width-base chunk, exactly the datapath's
+    // per-cycle check.  Cycle accounting is derived from the sweep:
+    // one setup cycle per offset started (pruned offsets start
+    // too), one cycle per block-RAM row compare actually executed
+    // (== the sweep's chunk count), and two cycles per feasible
+    // pair to hand the minimum to the selector.
     for (uint32_t i = 0; i < num_cons; ++i) {
-        const uint8_t *cons = cons_ptr[i];
-        const uint32_t m = cons_len[i];
+        const uint8_t *cons = scratch.consPtr[i];
+        const uint32_t m = scratch.consLen[i];
         for (uint32_t j = 0; j < num_reads; ++j) {
-            const uint8_t *read = read_ptr[j];
-            const uint8_t *qual = qual_ptr[j];
-            const uint32_t n = read_len[j];
+            const uint32_t n = scratch.readLen[j];
             if (n > m)
                 continue; // read cannot slide on this consensus
 
-            uint32_t best = kWhdInfinity;
-            uint32_t best_k = 0;
-            for (uint32_t k = 0; k + n <= m; ++k) {
-                ++result.whd.offsetsEvaluated;
-                result.whd.comparisonsUnpruned += n;
-                ++result.hdcCycles; // offset setup / pointer reset
+            const WhdSweepResult r =
+                whdSweep(cons, m, scratch.readPtr[j],
+                         scratch.qualPtr[j], n, prune,
+                         /*pruneChunk=*/width, kernel);
+            grid.set(i, j, r.best, r.bestK);
 
-                uint32_t whd = 0;
-                bool pruned = false;
-                for (uint32_t chunk = 0; chunk < n;
-                     chunk += width) {
-                    uint32_t lanes = std::min(width, n - chunk);
-                    ++result.hdcCycles; // one block-RAM row compare
-                    result.whd.comparisons += lanes;
-                    for (uint32_t lane = 0; lane < lanes; ++lane) {
-                        uint32_t p = chunk + lane;
-                        if (cons[k + p] != read[p])
-                            whd = whdAccumulate(whd, qual[p]);
-                    }
-                    // The running-minimum register is checked once
-                    // per cycle (per chunk): computation pruning.
-                    if (prune && whd >= best) {
-                        pruned = true;
-                        break;
-                    }
-                }
-                if (pruned) {
-                    ++result.whd.offsetsPruned;
-                    continue;
-                }
-                if (whd < best) {
-                    best = whd;
-                    best_k = k;
-                }
-            }
-            grid.set(i, j, best, best_k);
+            const uint64_t offsets = m - n + 1;
+            result.whd.offsetsEvaluated += offsets;
+            result.whd.comparisonsUnpruned +=
+                offsets * static_cast<uint64_t>(n);
+            result.whd.comparisons += r.comparisons;
+            result.whd.offsetsPruned += r.offsetsPruned;
+            result.hdcCycles += offsets; // offset setup cycles
+            result.hdcCycles += r.chunks; // row compares executed
             result.hdcCycles += 2; // hand min to the selector
         }
     }

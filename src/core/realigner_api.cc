@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "host/accelerated_system.hh"
+#include "realign/whd_simd.hh"
 #include "util/logging.hh"
 
 namespace iracc {
@@ -285,6 +286,23 @@ differentialVariants(const std::vector<uint32_t> &job_threads)
                     "/jobs=" + std::to_string(threads);
                 out.push_back(std::move(v));
             }
+        }
+    }
+    // Dispatch design points: every supported WHD kernel must be
+    // indistinguishable from the oracle.  Pinned explicitly (the
+    // base matrix runs whatever dispatch resolves ambiently, which
+    // CI steers via IRACC_KERNEL).
+    for (WhdKernel kernel : supportedWhdKernels()) {
+        for (bool prune : {false, true}) {
+            BackendVariant v;
+            v.accelerated = false;
+            v.prune = prune;
+            v.jobThreads = 1;
+            v.kernel = whdKernelName(kernel);
+            v.label = std::string("software/prune=") +
+                      (prune ? "on" : "off") +
+                      "/jobs=1/kernel=" + v.kernel;
+            out.push_back(std::move(v));
         }
     }
     return out;

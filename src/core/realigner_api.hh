@@ -168,11 +168,21 @@ struct BackendVariant
      * nothing).
      */
     bool hardened = false;
+
+    /**
+     * WHD dispatch kernel to pin for the run ("scalar" / "generic"
+     * / "avx2" -- see realign/whd_simd.hh).  Empty = leave the
+     * ambient dispatch choice alone, so IRACC_KERNEL forcing from
+     * CI still reaches the base matrix.
+     */
+    std::string kernel;
 };
 
 /**
  * Enumerate the differential matrix {software, accelerated} x
- * {prune off, on} x @p job_threads.  The first entry is the
+ * {prune off, on} x @p job_threads, plus -- for every dispatch
+ * kernel this host supports -- a software design point pair
+ * (prune off/on) pinned to that kernel.  The first entry is the
  * oracle: the unpruned single-threaded software baseline.
  */
 std::vector<BackendVariant> differentialVariants(

@@ -1,0 +1,312 @@
+#include "obs/bench_gate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/json.hh"
+
+namespace iracc {
+namespace obs {
+
+namespace {
+
+/** Formats a value compactly for finding details. */
+std::string
+num(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+const GateRule *
+matchRule(const std::vector<GateRule> &rules, const std::string &key)
+{
+    for (const GateRule &rule : rules) {
+        if (key.compare(0, rule.prefix.size(), rule.prefix) == 0)
+            return &rule;
+    }
+    return nullptr;
+}
+
+/** Exact comparison with just enough tolerance for a double's
+ *  text round trip through the report file. */
+bool
+exactlyEqual(double a, double b)
+{
+    double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= std::max(1e-9 * scale, 1e-12);
+}
+
+GateFinding
+gateOne(const std::string &key, const GateRule &rule,
+        double baseline, double current)
+{
+    GateFinding f;
+    f.key = key;
+    f.baseline = baseline;
+    f.current = current;
+    f.gated = rule.cls != GateClass::Informational;
+
+    switch (rule.cls) {
+    case GateClass::Exact:
+        f.ok = exactlyEqual(baseline, current);
+        f.detail = f.ok ? "exact match"
+                        : "deterministic value drifted: baseline " +
+                              num(baseline) + ", current " +
+                              num(current);
+        break;
+    case GateClass::HigherBetter: {
+        double bound = baseline * (1.0 - rule.relSlack);
+        if (current < bound) {
+            f.ok = false;
+            f.detail = "regressed: " + num(current) + " < " +
+                       num(bound) + " (baseline " + num(baseline) +
+                       " - " + num(rule.relSlack * 100.0) +
+                       "% slack)";
+        } else if (rule.floor > 0.0 && current < rule.floor) {
+            f.ok = false;
+            f.detail = "below absolute floor: " + num(current) +
+                       " < " + num(rule.floor);
+        } else {
+            f.ok = true;
+            f.detail = "ok (baseline " + num(baseline) + ")";
+        }
+        break;
+    }
+    case GateClass::LowerBetter: {
+        double bound = baseline * (1.0 + rule.relSlack);
+        f.ok = current <= bound;
+        f.detail = f.ok ? "ok (baseline " + num(baseline) + ")"
+                        : "regressed: " + num(current) + " > " +
+                              num(bound) + " (baseline " +
+                              num(baseline) + " + " +
+                              num(rule.relSlack * 100.0) +
+                              "% slack)";
+        break;
+    }
+    case GateClass::Informational:
+        f.ok = true;
+        f.detail = "informational (baseline " + num(baseline) + ")";
+        break;
+    }
+    return f;
+}
+
+} // anonymous namespace
+
+size_t
+GateResult::gatedCount() const
+{
+    size_t n = 0;
+    for (const GateFinding &f : findings)
+        n += f.gated ? 1 : 0;
+    return n;
+}
+
+size_t
+GateResult::failedCount() const
+{
+    size_t n = 0;
+    for (const GateFinding &f : findings)
+        n += (f.gated && !f.ok) ? 1 : 0;
+    return n;
+}
+
+const char *
+gateClassName(GateClass cls)
+{
+    switch (cls) {
+    case GateClass::Exact:
+        return "exact";
+    case GateClass::HigherBetter:
+        return "higher-better";
+    case GateClass::LowerBetter:
+        return "lower-better";
+    case GateClass::Informational:
+        return "informational";
+    }
+    return "?";
+}
+
+std::vector<GateRule>
+kernelBenchGateRules()
+{
+    // Order matters: first matching prefix wins.  The unpruned
+    // speedups carry the tentpole acceptance floor (vectorized
+    // kernels must stay >= 2x scalar); pruned speedups are gated
+    // relative only, since pruning aborts most of the vector work
+    // and the margin over scalar is structurally thinner.
+    return {
+        {"speedup_unpruned_", GateClass::HigherBetter, 0.30, 2.0,
+         true},
+        {"speedup_pruned_", GateClass::HigherBetter, 0.35, 0.0,
+         true},
+        {"rate_", GateClass::HigherBetter, 0.30, 0.0, false},
+        {"n_", GateClass::Exact, 0.0, 0.0, true},
+        {"wall_", GateClass::Informational, 0.0, 0.0, true},
+    };
+}
+
+std::vector<GateRule>
+fig9GateRules()
+{
+    // Fault/health counters and flags are deterministic; modeled
+    // and wall-clock seconds are measured on a shared machine, so
+    // they get generous slack and only gross regressions fail.
+    return {
+        {"fault", GateClass::Exact, 0.0, 0.0, true},
+        {"contigs", GateClass::Exact, 0.0, 0.0, true},
+        {"hardenedOk", GateClass::Exact, 0.0, 0.0, true},
+        {"speedup", GateClass::HigherBetter, 0.35, 0.0, true},
+        {"hardenedSeconds", GateClass::LowerBetter, 0.50, 0.0,
+         false},
+        {"gatk3Seconds", GateClass::Informational, 0.0, 0.0, true},
+        {"adamSeconds", GateClass::Informational, 0.0, 0.0, true},
+        {"iraccSeconds", GateClass::LowerBetter, 0.50, 0.0, false},
+    };
+}
+
+void
+scaleGateSlack(std::vector<GateRule> &rules, double factor)
+{
+    for (GateRule &rule : rules)
+        rule.relSlack *= factor;
+}
+
+void
+demoteNonPortable(std::vector<GateRule> &rules)
+{
+    for (GateRule &rule : rules)
+        if (!rule.portable)
+            rule.cls = GateClass::Informational;
+}
+
+bool
+parseBenchValues(const std::string &json_text,
+                 const std::string &expect_bench,
+                 std::map<std::string, double> *values,
+                 std::string *error)
+{
+    std::string parse_error;
+    JsonValue doc = JsonValue::parse(json_text, &parse_error);
+    if (!parse_error.empty()) {
+        *error = "malformed JSON: " + parse_error;
+        return false;
+    }
+    if (!doc.isObject() || !doc.has("schema") ||
+        !doc.at("schema").isString() ||
+        doc.at("schema").asString() != "iracc-bench-v1") {
+        *error = "not an iracc-bench-v1 document";
+        return false;
+    }
+    if (!expect_bench.empty() &&
+        (!doc.has("bench") ||
+         doc.at("bench").asString() != expect_bench)) {
+        *error = "bench name mismatch: expected '" + expect_bench +
+                 "', got '" +
+                 (doc.has("bench") ? doc.at("bench").asString()
+                                   : std::string("<none>")) +
+                 "'";
+        return false;
+    }
+    if (!doc.has("values") || !doc.at("values").isObject()) {
+        *error = "document has no values object";
+        return false;
+    }
+    values->clear();
+    for (const auto &[key, val] : doc.at("values").asObject()) {
+        if (!val.isNumber()) {
+            *error = "value '" + key + "' is not a number";
+            return false;
+        }
+        (*values)[key] = val.asNumber();
+    }
+    return true;
+}
+
+double
+medianOf(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    size_t mid = xs.size() / 2;
+    if (xs.size() % 2 == 1)
+        return xs[mid];
+    return (xs[mid - 1] + xs[mid]) / 2.0;
+}
+
+GateResult
+checkBenchGate(
+    const std::map<std::string, double> &baseline,
+    const std::vector<std::map<std::string, double>> &runs,
+    const std::vector<GateRule> &rules)
+{
+    GateResult result;
+    std::vector<GateFinding> passed, notes;
+
+    for (const auto &[key, base] : baseline) {
+        // Every repetition must report the key: a metric that
+        // silently vanishes is itself a regression.
+        std::vector<double> samples;
+        bool missing = false;
+        for (const auto &run : runs) {
+            auto it = run.find(key);
+            if (it == run.end()) {
+                missing = true;
+                break;
+            }
+            samples.push_back(it->second);
+        }
+        if (missing || runs.empty()) {
+            GateFinding f;
+            f.key = key;
+            f.ok = false;
+            f.gated = true;
+            f.baseline = base;
+            f.detail = "missing from current run (baseline " +
+                       num(base) + ")";
+            result.findings.push_back(std::move(f));
+            continue;
+        }
+
+        double cur = medianOf(samples);
+        const GateRule *rule = matchRule(rules, key);
+        GateFinding f =
+            rule ? gateOne(key, *rule, base, cur)
+                 : GateFinding{key, true, false, base, cur,
+                               "no rule matched (ungated)"};
+        if (f.gated && !f.ok)
+            result.findings.push_back(std::move(f));
+        else if (f.gated)
+            passed.push_back(std::move(f));
+        else
+            notes.push_back(std::move(f));
+    }
+
+    // New keys: fine, but surface them so baselines get refreshed.
+    std::set<std::string> seen;
+    for (const auto &run : runs)
+        for (const auto &[key, val] : run)
+            if (!baseline.count(key) && seen.insert(key).second) {
+                GateFinding f;
+                f.key = key;
+                f.current = val;
+                f.detail = "new key, not in baseline (refresh to "
+                           "adopt)";
+                notes.push_back(std::move(f));
+            }
+
+    result.ok = result.findings.empty();
+    result.findings.insert(result.findings.end(), passed.begin(),
+                           passed.end());
+    result.findings.insert(result.findings.end(), notes.begin(),
+                           notes.end());
+    return result;
+}
+
+} // namespace obs
+} // namespace iracc

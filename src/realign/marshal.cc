@@ -86,16 +86,19 @@ outputChecksum(const AccelTargetOutput &out)
     return crc32(bytes.data(), bytes.size());
 }
 
-MarshalledTarget
-marshalTarget(const IrTargetInput &input)
+void
+marshalTargetInto(const IrTargetInput &input, MarshalledTarget &m)
 {
     input.assertWithinLimits();
 
-    MarshalledTarget m;
     m.numConsensuses = static_cast<uint32_t>(input.numConsensuses());
     m.numReads = static_cast<uint32_t>(input.numReads());
     m.targetStart = static_cast<uint32_t>(input.windowStart);
 
+    // clear()/assign() keep the existing capacity: a reused
+    // MarshalledTarget marshals without touching the heap.
+    m.consensusLengths.clear();
+    m.consensusData.clear();
     for (const BaseSeq &cons : input.consensuses) {
         m.consensusLengths.push_back(
             static_cast<uint16_t>(cons.size()));
@@ -117,6 +120,13 @@ marshalTarget(const IrTargetInput &input)
         }
         // Remaining slot bytes stay 0x00: the end-of-read sentinel.
     }
+}
+
+MarshalledTarget
+marshalTarget(const IrTargetInput &input)
+{
+    MarshalledTarget m;
+    marshalTargetInto(input, m);
     return m;
 }
 

@@ -86,6 +86,15 @@ struct AccelTargetOutput
 MarshalledTarget marshalTarget(const IrTargetInput &input);
 
 /**
+ * Allocation-reusing variant: pack @p input into @p m, keeping
+ * whatever buffer capacity @p m already owns.  Repeated marshalling
+ * (per-target prepare loops, fuzz harness iterations) stops paying
+ * four heap allocations per target once the arena warms up.
+ */
+void marshalTargetInto(const IrTargetInput &input,
+                       MarshalledTarget &m);
+
+/**
  * CRC-32 over a target's three input images, in DMA order
  * (consensuses, reads, qualities).  The hardened execution path
  * compares it against the same checksum of a device-memory

@@ -102,7 +102,7 @@ prepareStage(const ReferenceGenome &ref,
         out.inputs[i] = buildTargetInput(ref, reads, plan.targets[t],
                                          plan.readsPerTarget[t]);
         if (marshal)
-            out.marshalled[i] = marshalTarget(out.inputs[i]);
+            marshalTargetInto(out.inputs[i], out.marshalled[i]);
     };
 
     if (threads <= 1 || live.size() < 2) {
@@ -147,11 +147,17 @@ executeStageSoftware(const PreparedContig &prepared,
             if (stream.chance(frac))
                 ++reps;
         }
-        for (uint32_t extra = 1; extra < reps; ++extra) {
-            WhdStats scratch;
-            MinWhdGrid again = minWhd(input, params.prune, &scratch);
-            panic_if(!(again == grid),
-                     "WHD kernel is non-deterministic");
+        if (reps > 1) {
+            // Reuse one grid across the re-runs (minWhdInto resets
+            // it in place) -- the amplification loop is pure
+            // modelled work and must not churn the allocator.
+            thread_local MinWhdGrid again(0, 0);
+            for (uint32_t extra = 1; extra < reps; ++extra) {
+                WhdStats scratch;
+                minWhdInto(input, params.prune, &scratch, again);
+                panic_if(!(again == grid),
+                         "WHD kernel is non-deterministic");
+            }
         }
         decisions[t] = scoreAndSelect(grid);
     };

@@ -13,6 +13,11 @@
  * offset as soon as its running sum reaches the current minimum;
  * this is results-identical (verified by property tests) and
  * eliminates >50 % of base comparisons on realistic inputs.
+ *
+ * The per-pair offset sweep itself runs through the runtime-dispatch
+ * layer in realign/whd_simd.hh (scalar reference, portable generic
+ * lanes, AVX2) -- every implementation produces bit-identical grids
+ * and WhdStats.
  */
 
 #ifndef IRACC_REALIGN_WHD_HH
@@ -101,6 +106,14 @@ class MinWhdGrid
   public:
     MinWhdGrid(size_t num_cons, size_t num_reads);
 
+    /**
+     * Re-shape and re-initialize (all entries back to kWhdInfinity)
+     * without giving up the backing allocation -- lets hot loops
+     * (work-amplification reruns, per-target scratch) reuse one
+     * grid.
+     */
+    void reset(size_t num_cons, size_t num_reads);
+
     uint32_t whd(size_t i, size_t j) const { return vals[at(i, j)]; }
     uint32_t idx(size_t i, size_t j) const { return idxs[at(i, j)]; }
 
@@ -146,6 +159,14 @@ uint32_t calcWhd(const BaseSeq &cons, const BaseSeq &read,
  */
 MinWhdGrid minWhd(const IrTargetInput &input, bool prune,
                   WhdStats *stats = nullptr);
+
+/**
+ * Allocation-free variant of minWhd(): fills @p grid (reset to the
+ * target's shape) instead of returning a fresh one.  Runs through
+ * the active dispatch kernel (realign/whd_simd.hh) like minWhd.
+ */
+void minWhdInto(const IrTargetInput &input, bool prune,
+                WhdStats *stats, MinWhdGrid &grid);
 
 } // namespace iracc
 

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * AVX2 implementations of the WHD offset sweep.  Compiled with
+ * per-function target attributes so the translation unit builds
+ * under the project's baseline flags; the dispatch layer routes here
+ * only after CPUID reports AVX2.  The loop shapes (and the
+ * correctness argument for bit-equal counters) mirror the generic
+ * sweeps in whd_simd.cc -- tests/whd_test.cc referees the equality.
+ */
+
+#include "realign/whd_simd.hh"
+
+#if IRACC_WHD_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "realign/whd.hh"
+
+#define IRACC_AVX2 __attribute__((target("avx2")))
+
+namespace iracc {
+
+namespace {
+
+/** Exact WHD of a single offset (scalar tail of the lane sweep). */
+uint32_t
+offsetWhdTail(const uint8_t *cons_k, const uint8_t *read,
+              const uint8_t *qual, size_t n)
+{
+    uint64_t sum = 0;
+    for (size_t p = 0; p < n; ++p)
+        sum += (cons_k[p] != read[p]) ? qual[p] : 0;
+    return sum > kWhdMax ? kWhdMax : static_cast<uint32_t>(sum);
+}
+
+/**
+ * Accumulate 16 offset lanes over the full read.  Per base p the 16
+ * consensus bytes the lanes need are the contiguous run
+ * cons_k0[p..p+15]; read/qual bytes are broadcast.  Quality adds
+ * stay in 16-bit lanes for <= 256 bases (256 * 255 < 2^16), spill to
+ * 32-bit every chunk, and to the 64-bit output every 2^23 bases
+ * (2^15 chunks * 65280 < 2^32).
+ */
+IRACC_AVX2 void
+unprunedLanes16(const uint8_t *cons_k0, const uint8_t *read,
+                const uint8_t *qual, size_t n, uint64_t acc[16])
+{
+    const __m256i zero = _mm256_setzero_si256();
+    for (size_t l = 0; l < 16; ++l)
+        acc[l] = 0;
+    size_t p = 0;
+    while (p < n) {
+        const size_t superEnd =
+            std::min(n, p + (static_cast<size_t>(1) << 23));
+        __m256i acc32lo = zero;
+        __m256i acc32hi = zero;
+        while (p < superEnd) {
+            const size_t chunkEnd = std::min(superEnd, p + 256);
+            __m256i acc16 = zero;
+            for (; p < chunkEnd; ++p) {
+                const __m128i cb = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(cons_k0 + p));
+                const __m256i c16 = _mm256_cvtepu8_epi16(cb);
+                const __m256i r16 =
+                    _mm256_set1_epi16(static_cast<short>(read[p]));
+                const __m256i q16 =
+                    _mm256_set1_epi16(static_cast<short>(qual[p]));
+                const __m256i eq = _mm256_cmpeq_epi16(c16, r16);
+                acc16 = _mm256_add_epi16(
+                    acc16, _mm256_andnot_si256(eq, q16));
+            }
+            acc32lo = _mm256_add_epi32(
+                acc32lo,
+                _mm256_cvtepu16_epi32(_mm256_castsi256_si128(acc16)));
+            acc32hi = _mm256_add_epi32(
+                acc32hi, _mm256_cvtepu16_epi32(
+                             _mm256_extracti128_si256(acc16, 1)));
+        }
+        alignas(32) uint32_t part[16];
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(part),
+                            acc32lo);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(part + 8),
+                            acc32hi);
+        for (size_t l = 0; l < 16; ++l)
+            acc[l] += part[l];
+    }
+}
+
+/** Mismatch-quality sum of one full 32-byte block. */
+IRACC_AVX2 inline uint32_t
+sum32(const uint8_t *c, const uint8_t *r, const uint8_t *q)
+{
+    const __m256i cv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(c));
+    const __m256i rv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(r));
+    const __m256i qv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(q));
+    const __m256i eq = _mm256_cmpeq_epi8(cv, rv);
+    const __m256i contrib = _mm256_andnot_si256(eq, qv);
+    // Horizontal byte sum: SAD against zero yields four 64-bit
+    // partials.
+    const __m256i sad =
+        _mm256_sad_epu8(contrib, _mm256_setzero_si256());
+    const __m128i lo = _mm256_castsi256_si128(sad);
+    const __m128i hi = _mm256_extracti128_si256(sad, 1);
+    const __m128i s = _mm_add_epi64(lo, hi);
+    return static_cast<uint32_t>(_mm_cvtsi128_si64(s) +
+                                 _mm_extract_epi64(s, 1));
+}
+
+/** Mismatch-quality sum over an arbitrary-length range. */
+IRACC_AVX2 inline uint32_t
+rangeSum(const uint8_t *c, const uint8_t *r, const uint8_t *q,
+         size_t len)
+{
+    uint32_t sum = 0;
+    size_t i = 0;
+    for (; i + 32 <= len; i += 32)
+        sum += sum32(c + i, r + i, q + i);
+    for (; i < len; ++i)
+        sum += (c[i] != r[i]) ? q[i] : 0;
+    return sum;
+}
+
+/**
+ * Pruned sweep, per-comparison (software) semantics.  Same shape as
+ * whd_simd.cc's sweepPrunedPerComparison: branchless block sums,
+ * scalar rescan of the block whose end-of-block sum crosses the
+ * running minimum to recover the exact abort comparison.
+ */
+IRACC_AVX2 WhdSweepResult
+sweepPrunedPerComparison(const uint8_t *cons, size_t m,
+                         const uint8_t *read, const uint8_t *qual,
+                         size_t n)
+{
+    WhdSweepResult r;
+    for (size_t k = 0; k + n <= m; ++k) {
+        uint64_t whd = 0;
+        bool pruned = false;
+        for (size_t chunk = 0; chunk < n && !pruned;
+             chunk += kWhdPruneBlock) {
+            const size_t lanes =
+                std::min<size_t>(kWhdPruneBlock, n - chunk);
+            const uint32_t bs = rangeSum(cons + k + chunk,
+                                         read + chunk,
+                                         qual + chunk, lanes);
+            if (r.best != kWhdInfinity && whd + bs >= r.best) {
+                size_t p = chunk;
+                for (;; ++p) {
+                    if (cons[k + p] != read[p])
+                        whd += qual[p];
+                    if (whd >= r.best)
+                        break;
+                }
+                r.comparisons += p + 1;
+                r.chunks += p + 1;
+                ++r.offsetsPruned;
+                pruned = true;
+                break;
+            }
+            whd += bs;
+        }
+        if (pruned)
+            continue;
+        r.comparisons += n;
+        r.chunks += n;
+        const uint32_t v =
+            whd > kWhdMax ? kWhdMax : static_cast<uint32_t>(whd);
+        if (v < r.best) {
+            r.best = v;
+            r.bestK = static_cast<uint32_t>(k);
+        }
+    }
+    return r;
+}
+
+/**
+ * Pruned sweep, per-chunk (hardware datapath) semantics: the
+ * minimum check and the counters tick at pruneChunk granularity.
+ */
+IRACC_AVX2 WhdSweepResult
+sweepPrunedPerChunk(const uint8_t *cons, size_t m,
+                    const uint8_t *read, const uint8_t *qual,
+                    size_t n, uint32_t pruneChunk)
+{
+    WhdSweepResult r;
+    for (size_t k = 0; k + n <= m; ++k) {
+        uint64_t whd = 0;
+        bool pruned = false;
+        for (size_t chunk = 0; chunk < n; chunk += pruneChunk) {
+            const size_t lanes =
+                std::min<size_t>(pruneChunk, n - chunk);
+            ++r.chunks;
+            r.comparisons += lanes;
+            whd += rangeSum(cons + k + chunk, read + chunk,
+                            qual + chunk, lanes);
+            if (r.best != kWhdInfinity && whd >= r.best) {
+                pruned = true;
+                break;
+            }
+        }
+        if (pruned) {
+            ++r.offsetsPruned;
+            continue;
+        }
+        const uint32_t v =
+            whd > kWhdMax ? kWhdMax : static_cast<uint32_t>(whd);
+        if (v < r.best) {
+            r.best = v;
+            r.bestK = static_cast<uint32_t>(k);
+        }
+    }
+    return r;
+}
+
+} // anonymous namespace
+
+IRACC_AVX2 WhdSweepResult
+whdSweepUnprunedAvx2(const uint8_t *cons, size_t m,
+                     const uint8_t *read, const uint8_t *qual,
+                     size_t n)
+{
+    WhdSweepResult r;
+    const size_t offsets = m - n + 1;
+    uint64_t acc[16];
+    size_t k0 = 0;
+    for (; k0 + 16 <= offsets; k0 += 16) {
+        unprunedLanes16(cons + k0, read, qual, n, acc);
+        for (size_t l = 0; l < 16; ++l) {
+            const uint32_t v = acc[l] > kWhdMax
+                                   ? kWhdMax
+                                   : static_cast<uint32_t>(acc[l]);
+            // Strict <: first minimal offset wins (ascending k).
+            if (v < r.best) {
+                r.best = v;
+                r.bestK = static_cast<uint32_t>(k0 + l);
+            }
+        }
+    }
+    // Scalar tail: a full 16-lane block would read past the
+    // consensus.
+    for (; k0 < offsets; ++k0) {
+        const uint32_t v = offsetWhdTail(cons + k0, read, qual, n);
+        if (v < r.best) {
+            r.best = v;
+            r.bestK = static_cast<uint32_t>(k0);
+        }
+    }
+    return r;
+}
+
+WhdSweepResult
+whdSweepPrunedAvx2(const uint8_t *cons, size_t m,
+                   const uint8_t *read, const uint8_t *qual,
+                   size_t n, uint32_t pruneChunk)
+{
+    if (pruneChunk == 1)
+        return sweepPrunedPerComparison(cons, m, read, qual, n);
+    return sweepPrunedPerChunk(cons, m, read, qual, n, pruneChunk);
+}
+
+} // namespace iracc
+
+#endif // IRACC_WHD_HAVE_AVX2

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Vectorized implementations of the WHD offset sweep behind a
+ * runtime-dispatch layer.
+ *
+ * The weighted-Hamming-distance inner loop (paper Algorithm 1) is
+ * the dominant cost of both the software oracle and the
+ * accelerator's datapath model, so it exists in three
+ * interchangeable implementations:
+ *
+ *   scalar   the reference loop: one base comparison at a time,
+ *            running-minimum check per comparison (software) or per
+ *            chunk (hardware model).
+ *   generic  portable fixed-width lanes written so any optimizing
+ *            compiler can auto-vectorize: the unpruned sweep runs
+ *            kWhdGenericLanes offsets at once (for base n the
+ *            consensus bytes needed across offset lanes are
+ *            contiguous), the pruned sweep evaluates one offset in
+ *            branchless blocks.
+ *   avx2     the same shapes hand-written with AVX2 intrinsics
+ *            (compiled via function target attributes, selected at
+ *            runtime only when CPUID reports AVX2).
+ *
+ * Every implementation is bit-equal to scalar: identical min-WHD
+ * grids and offsets, identical WhdStats work counters, identical
+ * datapath chunk counts.  The unpruned sweep derives its counters
+ * in closed form; the pruned sweep reconstructs the exact scalar
+ * abort point from block partial sums (quality accumulation is
+ * monotone, so the first comparison whose running sum reaches the
+ * current minimum is recoverable from the block that crossed it).
+ * The differential harness (src/testing) and tests/whd_test.cc
+ * referee the equality.
+ *
+ * Dispatch: the process-wide active kernel is resolved once from
+ * the IRACC_KERNEL environment variable (scalar|generic|avx2) or,
+ * unset, the best CPU-supported implementation.  Tests and benches
+ * override it with setWhdKernel()/ScopedWhdKernel.
+ */
+
+#ifndef IRACC_REALIGN_WHD_SIMD_HH
+#define IRACC_REALIGN_WHD_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/**
+ * The AVX2 kernel needs x86-64 plus a GNU-compatible compiler (the
+ * implementation uses function target attributes so the rest of the
+ * binary keeps its baseline ISA).  Elsewhere whd_avx2.cc compiles to
+ * fatal() stubs and dispatch never selects it.
+ */
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define IRACC_WHD_HAVE_AVX2 1
+#else
+#define IRACC_WHD_HAVE_AVX2 0
+#endif
+
+namespace iracc {
+
+/** One WHD kernel implementation (runtime-dispatch design point). */
+enum class WhdKernel : uint8_t
+{
+    Scalar = 0,
+    Generic = 1,
+    Avx2 = 2,
+};
+
+/** Offset lanes processed per block by the generic unpruned sweep. */
+constexpr size_t kWhdGenericLanes = 16;
+
+/**
+ * Base block size of the AVX2 pruned sweep (one 32-byte vector per
+ * block sum).
+ */
+constexpr size_t kWhdPruneBlock = 32;
+
+/**
+ * Base block size of the generic pruned sweep.  Smaller than the
+ * AVX2 block: with computation pruning most offsets abort within
+ * the first few comparisons, so a block's wasted work past the
+ * abort point matters more than vector utilization.
+ */
+constexpr size_t kWhdGenericPruneBlock = 8;
+
+/** Registry name of a kernel ("scalar" / "generic" / "avx2"). */
+const char *whdKernelName(WhdKernel kernel);
+
+/**
+ * Parse a kernel name (the IRACC_KERNEL vocabulary).
+ * @return false when @p name is not a known kernel.
+ */
+bool parseWhdKernel(const std::string &name, WhdKernel *out);
+
+/** @return true when @p kernel was compiled into this binary. */
+bool whdKernelCompiled(WhdKernel kernel);
+
+/** @return true when @p kernel is compiled in AND this CPU runs it. */
+bool whdKernelSupported(WhdKernel kernel);
+
+/** Every supported kernel, scalar first (test/bench sweep order). */
+std::vector<WhdKernel> supportedWhdKernels();
+
+/** The fastest supported kernel (what dispatch picks by default). */
+WhdKernel bestSupportedWhdKernel();
+
+/**
+ * The active kernel: resolved once per process from IRACC_KERNEL
+ * (fatal() on unknown or unsupported names) or
+ * bestSupportedWhdKernel() when unset.
+ */
+WhdKernel activeWhdKernel();
+
+/**
+ * Override the active kernel (process-wide; fatal() when
+ * unsupported).  Call from a single thread before kernel work
+ * starts -- tests and benches sweeping design points.
+ */
+void setWhdKernel(WhdKernel kernel);
+
+/** RAII kernel override that restores the previous choice. */
+class ScopedWhdKernel
+{
+  public:
+    explicit ScopedWhdKernel(WhdKernel kernel)
+        : previous(activeWhdKernel())
+    {
+        setWhdKernel(kernel);
+    }
+    ~ScopedWhdKernel() { setWhdKernel(previous); }
+    ScopedWhdKernel(const ScopedWhdKernel &) = delete;
+    ScopedWhdKernel &operator=(const ScopedWhdKernel &) = delete;
+
+  private:
+    WhdKernel previous;
+};
+
+/**
+ * Result of sweeping every offset of one (consensus, read) pair.
+ *
+ * `comparisons` and `offsetsPruned` follow the scalar counter
+ * semantics exactly (see realign/whd.hh): a comparison counts when
+ * the scalar loop would have executed it, including the one whose
+ * running sum triggers a pruning abort.  `chunks` counts the
+ * pruneChunk-base blocks the hardware datapath would execute (one
+ * block-RAM row compare each); it equals `comparisons` when
+ * pruneChunk == 1.
+ */
+struct WhdSweepResult
+{
+    uint32_t best = 0xFFFFFFFFu; // kWhdInfinity
+    uint32_t bestK = 0;
+    uint64_t comparisons = 0;
+    uint64_t offsetsPruned = 0;
+    uint64_t chunks = 0;
+};
+
+/**
+ * Sweep all offsets k in [0, m - n] of one (consensus, read) pair
+ * with the requested kernel implementation.
+ *
+ * @param cons       consensus bytes (ASCII bases), length @p m
+ * @param m          consensus length; requires n <= m
+ * @param read       read bytes, length @p n
+ * @param qual       quality bytes, parallel to @p read
+ * @param n          read length
+ * @param prune      enable computation pruning
+ * @param pruneChunk granularity of the running-minimum check:
+ *                   1 = per comparison (the software kernel),
+ *                   w = per w-base chunk (the hardware datapath at
+ *                   data-parallel width w)
+ * @param kernel     implementation to run
+ *
+ * Results (best/bestK and all counters) are bit-equal across every
+ * kernel for any (prune, pruneChunk).
+ */
+WhdSweepResult whdSweep(const uint8_t *cons, size_t m,
+                        const uint8_t *read, const uint8_t *qual,
+                        size_t n, bool prune, uint32_t pruneChunk,
+                        WhdKernel kernel);
+
+/**
+ * AVX2 entry points (defined in whd_avx2.cc, compiled with the avx2
+ * function target; call only when whdKernelSupported(Avx2)).
+ * Internal to the dispatch layer -- use whdSweep().
+ */
+WhdSweepResult whdSweepUnprunedAvx2(const uint8_t *cons, size_t m,
+                                    const uint8_t *read,
+                                    const uint8_t *qual, size_t n);
+WhdSweepResult whdSweepPrunedAvx2(const uint8_t *cons, size_t m,
+                                  const uint8_t *read,
+                                  const uint8_t *qual, size_t n,
+                                  uint32_t pruneChunk);
+
+} // namespace iracc
+
+#endif // IRACC_REALIGN_WHD_SIMD_HH

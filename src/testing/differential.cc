@@ -11,7 +11,9 @@
 #include "realign/marshal.hh"
 #include "realign/score.hh"
 #include "realign/whd.hh"
+#include "realign/whd_simd.hh"
 #include "testing/workload_gen.hh"
+#include "util/logging.hh"
 #include "variant/caller.hh"
 
 namespace iracc {
@@ -112,6 +114,16 @@ PipelineOutcome
 runVariant(const BackendVariant &variant, const ReferenceGenome &ref,
            std::vector<Read> reads)
 {
+    if (!variant.kernel.empty()) {
+        WhdKernel kernel;
+        panic_if(!parseWhdKernel(variant.kernel, &kernel),
+                 "variant '%s' names unknown WHD kernel '%s'",
+                 variant.label.c_str(), variant.kernel.c_str());
+        ScopedWhdKernel scope(kernel);
+        return runBackendPipeline(makeVariantBackend(variant),
+                                  variant.jobThreads, ref,
+                                  std::move(reads));
+    }
     return runBackendPipeline(makeVariantBackend(variant),
                               variant.jobThreads, ref,
                               std::move(reads));
@@ -255,6 +267,36 @@ diffKernelInput(const IrTargetInput &input)
             fmt("counter invariant violated: %s",
                 statsString(stats_prune).c_str()));
 
+    // Dispatch sweep: every supported WHD kernel implementation
+    // must reproduce the ambient kernel's grids AND work counters
+    // bit for bit, pruned and unpruned.
+    for (WhdKernel kernel : supportedWhdKernels()) {
+        ScopedWhdKernel scope(kernel);
+        for (bool prune : {false, true}) {
+            std::string label =
+                fmt("software/kernel=%s/prune=%s",
+                    whdKernelName(kernel), prune ? "on" : "off");
+            WhdStats stats;
+            MinWhdGrid got = minWhd(input, prune, &stats);
+            const MinWhdGrid &want_grid =
+                prune ? grid_pruned : grid;
+            const WhdStats &want_stats =
+                prune ? stats_prune : stats_noprune;
+            if (!(got == want_grid)) {
+                return DiffResult::fail(
+                    label, "min-WHD grid diverges from the ambient "
+                           "dispatch kernel");
+            }
+            if (!statsEqual(stats, want_stats)) {
+                return DiffResult::fail(
+                    label,
+                    fmt("WhdStats diverge: %s vs ambient %s",
+                        statsString(stats).c_str(),
+                        statsString(want_stats).c_str()));
+            }
+        }
+    }
+
     // Feasible placements must never surface as the infeasible
     // sentinel (WHD accumulation saturates at kWhdMax instead).
     for (size_t i = 0; i < input.numConsensuses(); ++i) {
@@ -328,6 +370,28 @@ diffKernelInput(const IrTargetInput &input)
                         label,
                         fmt("read %zu new position %u, software %u",
                             j, hw.output.newPositions[j], sw_pos));
+                }
+            }
+            // Dispatch sweep on the datapath model: every kernel
+            // must agree on outputs, work counters, and the cycle
+            // model (hdcCycles folds in the executed chunk count).
+            for (WhdKernel kernel : supportedWhdKernels()) {
+                ScopedWhdKernel scope(kernel);
+                IrComputeResult kk =
+                    irCompute(marshalled, width, prune);
+                if (kk.bestConsensus != hw.bestConsensus ||
+                    kk.output.realignFlags !=
+                        hw.output.realignFlags ||
+                    kk.output.newPositions !=
+                        hw.output.newPositions ||
+                    !statsEqual(kk.whd, hw.whd) ||
+                    kk.hdcCycles != hw.hdcCycles ||
+                    kk.selectorCycles != hw.selectorCycles) {
+                    return DiffResult::fail(
+                        fmt("%s/kernel=%s", label.c_str(),
+                            whdKernelName(kernel)),
+                        "datapath results diverge across dispatch "
+                        "kernels");
                 }
             }
             // At scalar width the datapath's prune granularity is

@@ -14,6 +14,7 @@
 
 #include <sstream>
 
+#include "realign/whd_simd.hh"
 #include "testing/corpus.hh"
 #include "testing/differential.hh"
 #include "testing/workload_gen.hh"
@@ -193,11 +194,18 @@ TEST(Differential, CorpusReplay)
         difftest::listCorpus(IRACC_CORPUS_DIR);
     ASSERT_FALSE(files.empty())
         << "no corpus cases under " << IRACC_CORPUS_DIR;
-    for (const std::string &path : files) {
-        ReproCase repro = difftest::loadReproCase(path);
-        DiffResult r = difftest::replayReproCase(repro);
-        EXPECT_TRUE(r.ok) << path << ": [" << r.variant << "] "
-                          << r.detail;
+    // Every corpus case replays under every supported dispatch
+    // kernel: a workload that once exposed a divergence is exactly
+    // the workload a vectorized sweep must not re-break.
+    for (WhdKernel kernel : supportedWhdKernels()) {
+        ScopedWhdKernel scope(kernel);
+        for (const std::string &path : files) {
+            ReproCase repro = difftest::loadReproCase(path);
+            DiffResult r = difftest::replayReproCase(repro);
+            EXPECT_TRUE(r.ok)
+                << path << " [kernel=" << whdKernelName(kernel)
+                << "]: [" << r.variant << "] " << r.detail;
+        }
     }
 }
 

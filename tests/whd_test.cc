@@ -10,6 +10,7 @@
 #include "accel/ir_compute.hh"
 #include "realign/marshal.hh"
 #include "realign/whd.hh"
+#include "realign/whd_simd.hh"
 #include "util/rng.hh"
 
 namespace iracc {
@@ -279,6 +280,182 @@ TEST(MinWhd, CountersMatchScalarDatapathBitForBit)
             EXPECT_EQ(sw.offsetsEvaluated, hw.whd.offsetsEvaluated);
             EXPECT_EQ(sw.offsetsPruned, hw.whd.offsetsPruned);
             EXPECT_LE(sw.comparisons, sw.comparisonsUnpruned);
+        }
+    }
+}
+
+/** Scalar-vs-everything equality of one raw sweep configuration. */
+void
+expectSweepBitEqual(const uint8_t *cons, size_t m,
+                    const uint8_t *read, const uint8_t *qual,
+                    size_t n, bool prune, uint32_t chunk,
+                    const std::string &where)
+{
+    const WhdSweepResult want = whdSweep(cons, m, read, qual, n,
+                                         prune, chunk,
+                                         WhdKernel::Scalar);
+    for (WhdKernel kernel : supportedWhdKernels()) {
+        const WhdSweepResult got =
+            whdSweep(cons, m, read, qual, n, prune, chunk, kernel);
+        const std::string ctx =
+            where + " kernel=" + whdKernelName(kernel) +
+            " prune=" + (prune ? "on" : "off") +
+            " chunk=" + std::to_string(chunk);
+        EXPECT_EQ(got.best, want.best) << ctx;
+        EXPECT_EQ(got.bestK, want.bestK) << ctx;
+        EXPECT_EQ(got.comparisons, want.comparisons) << ctx;
+        EXPECT_EQ(got.offsetsPruned, want.offsetsPruned) << ctx;
+        EXPECT_EQ(got.chunks, want.chunks) << ctx;
+    }
+}
+
+TEST(DispatchSweep, BitEqualOnLaneBoundaryShapes)
+{
+    // Offset counts straddle the 16-lane blocks of the unpruned
+    // sweeps (full blocks, scalar tails, tail-only); read lengths
+    // straddle the pruned block sizes (8 generic, 32 AVX2) and the
+    // datapath chunk widths.
+    const size_t offset_counts[] = {1, 2, 15, 16, 17, 32, 33, 40};
+    const size_t read_lens[] = {1, 7, 8, 9, 16, 31, 32, 33, 100};
+    Rng rng(0xD15B);
+    for (size_t offsets : offset_counts) {
+        for (size_t n : read_lens) {
+            const size_t m = n + offsets - 1;
+            BaseSeq cons;
+            for (size_t b = 0; b < m; ++b)
+                cons.push_back(kConcreteBases[rng.below(4)]);
+            // A read that nearly matches somewhere keeps pruning
+            // hot; zero qualities exercise equality crossings.
+            BaseSeq read = cons.substr(rng.below(offsets), n);
+            if (n > 1 && rng.chance(0.5))
+                read[rng.below(n)] = kConcreteBases[rng.below(4)];
+            QualSeq qual;
+            for (size_t b = 0; b < n; ++b)
+                qual.push_back(static_cast<uint8_t>(
+                    rng.chance(0.15) ? 0 : rng.range(0, 60)));
+
+            const uint8_t *cp =
+                reinterpret_cast<const uint8_t *>(cons.data());
+            const uint8_t *rp =
+                reinterpret_cast<const uint8_t *>(read.data());
+            const std::string where = "offsets=" +
+                                      std::to_string(offsets) +
+                                      " n=" + std::to_string(n);
+            for (bool prune : {false, true})
+                for (uint32_t chunk : {1u, 8u, 32u})
+                    expectSweepBitEqual(cp, m, rp, qual.data(), n,
+                                        prune, chunk, where);
+        }
+    }
+}
+
+TEST(DispatchSweep, SaturationNearWhdMaxBitEqual)
+{
+    // Long enough that max-quality mismatches cross kWhdMax on the
+    // final comparison: the saturating fold, the 16-bit/32-bit
+    // accumulator spills of the vectorized paths, and the pruned
+    // paths' plain-sum crossing detection all get stressed at once.
+    // 255 * 16'843'009 = 2^32 - 1 > kWhdMax, one step earlier is
+    // still below.
+    const size_t n = 16'843'009;
+    const size_t offsets = 17; // one full lane block + scalar tail
+    const BaseSeq cons(n + offsets - 1, 'A');
+    const BaseSeq read(n, 'C');
+    const QualSeq qual(n, 255);
+    const uint8_t *cp =
+        reinterpret_cast<const uint8_t *>(cons.data());
+    const uint8_t *rp =
+        reinterpret_cast<const uint8_t *>(read.data());
+
+    const WhdSweepResult ref = whdSweep(cp, cons.size(), rp,
+                                        qual.data(), n, false, 1,
+                                        WhdKernel::Scalar);
+    EXPECT_EQ(ref.best, kWhdMax);
+    EXPECT_EQ(ref.bestK, 0u);
+    for (bool prune : {false, true})
+        expectSweepBitEqual(cp, cons.size(), rp, qual.data(), n,
+                            prune, 1, "saturation");
+}
+
+TEST(DispatchSweep, MinWhdGridAndStatsMatchScalarKernel)
+{
+    Rng rng(0xFACE);
+    for (int trial = 0; trial < 10; ++trial) {
+        const size_t num_cons = 1 + rng.below(3);
+        const size_t num_reads = 1 + rng.below(6);
+        const size_t cons_len = 30 + rng.below(90);
+        std::vector<BaseSeq> cons;
+        for (size_t i = 0; i < num_cons; ++i) {
+            BaseSeq s;
+            for (size_t b = 0; b < cons_len; ++b)
+                s.push_back(kConcreteBases[rng.below(4)]);
+            cons.push_back(s);
+        }
+        std::vector<BaseSeq> reads;
+        std::vector<QualSeq> quals;
+        for (size_t j = 0; j < num_reads; ++j) {
+            const size_t len = 4 + rng.below(30);
+            const size_t off = rng.below(cons_len - len + 1);
+            BaseSeq s = cons[rng.below(num_cons)].substr(off, len);
+            if (rng.chance(0.4))
+                s[rng.below(len)] = kConcreteBases[rng.below(4)];
+            QualSeq q;
+            for (size_t b = 0; b < len; ++b)
+                q.push_back(static_cast<uint8_t>(rng.range(0, 60)));
+            reads.push_back(s);
+            quals.push_back(q);
+        }
+        IrTargetInput input = makeInput(cons, reads, quals);
+        MarshalledTarget marshalled = marshalTarget(input);
+
+        for (bool prune : {false, true}) {
+            ScopedWhdKernel pin(WhdKernel::Scalar);
+            WhdStats want_stats;
+            const MinWhdGrid want =
+                minWhd(input, prune, &want_stats);
+            std::vector<IrComputeResult> want_hw;
+            for (uint32_t width : {1u, 8u, 32u})
+                want_hw.push_back(
+                    irCompute(marshalled, width, prune));
+
+            for (WhdKernel kernel : supportedWhdKernels()) {
+                ScopedWhdKernel scope(kernel);
+                WhdStats got_stats;
+                const MinWhdGrid got =
+                    minWhd(input, prune, &got_stats);
+                EXPECT_TRUE(got == want)
+                    << "trial " << trial << " kernel "
+                    << whdKernelName(kernel) << " prune " << prune;
+                EXPECT_EQ(got_stats.comparisons,
+                          want_stats.comparisons);
+                EXPECT_EQ(got_stats.comparisonsUnpruned,
+                          want_stats.comparisonsUnpruned);
+                EXPECT_EQ(got_stats.offsetsEvaluated,
+                          want_stats.offsetsEvaluated);
+                EXPECT_EQ(got_stats.offsetsPruned,
+                          want_stats.offsetsPruned);
+
+                size_t w = 0;
+                for (uint32_t width : {1u, 8u, 32u}) {
+                    const IrComputeResult hw =
+                        irCompute(marshalled, width, prune);
+                    const IrComputeResult &ref = want_hw[w++];
+                    EXPECT_EQ(hw.whd.comparisons,
+                              ref.whd.comparisons)
+                        << "width " << width << " kernel "
+                        << whdKernelName(kernel);
+                    EXPECT_EQ(hw.whd.offsetsPruned,
+                              ref.whd.offsetsPruned);
+                    EXPECT_EQ(hw.hdcCycles, ref.hdcCycles);
+                    EXPECT_EQ(hw.selectorCycles,
+                              ref.selectorCycles);
+                    EXPECT_EQ(hw.bestConsensus, ref.bestConsensus);
+                    EXPECT_EQ(hw.output.realignFlags,
+                              ref.output.realignFlags);
+                    EXPECT_EQ(hw.output.newPositions,
+                              ref.output.newPositions);
+                }
+            }
         }
     }
 }
