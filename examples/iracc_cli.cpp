@@ -216,15 +216,26 @@ cmdRealign(const Args &args)
         args.getInt("job-threads", 1));
     job_cfg.obs = &ob;
 
+    // Fleet shape: --cards N leases an N-card fleet per contig
+    // (accelerated backends only), --stealing 0 pins every shard
+    // to its home card.  Results are bit-identical either way.
+    uint32_t cards = static_cast<uint32_t>(args.getInt("cards", 1));
+    bool stealing = args.getInt("stealing", 1) != 0;
+
     RealignSession session(
         harden ? makeHardenedBackend(backend_name, counters, trace,
-                                     fault_plan)
-               : makeBackend(backend_name, counters, trace),
+                                     fault_plan, {}, cards, stealing)
+               : makeBackend(backend_name, counters, trace, cards,
+                             stealing),
         job_cfg);
-    std::printf("backend: %s (%s), job threads: %u\n",
+    std::printf("backend: %s (%s), job threads: %u",
                 session.backend().name().c_str(),
                 session.backend().description().c_str(),
                 job_cfg.threads);
+    if (cards > 1)
+        std::printf(", cards: %u (stealing %s)", cards,
+                    stealing ? "on" : "off");
+    std::printf("\n");
     if (!fault_spec.empty())
         std::printf("fault plan: %s\n",
                     fault_plan.describe().c_str());
@@ -272,6 +283,29 @@ cmdRealign(const Args &args)
                 job.wallSeconds);
     }
     std::printf("wrote %s\n", out.c_str());
+
+    // Fleet dispatch summary: one row per card, merged over all
+    // contig leases.  Busy cycles are each card's final simulated
+    // cycle; steals count shards placed off their home card,
+    // migrations count targets the hardened path moved off a
+    // wedged card.
+    if (job.fleet.enabled() && job.fleet.cards.size() > 1) {
+        Table ft({"Card", "BusyCycles", "Shards", "Targets",
+                  "Steals", "Migrations"});
+        for (const FleetCardExecStats &row : job.fleet.cards) {
+            ft.addRow({std::to_string(row.card),
+                       std::to_string(row.busyCycles),
+                       std::to_string(row.shards),
+                       std::to_string(row.targets),
+                       std::to_string(row.steals),
+                       std::to_string(row.migrations)});
+        }
+        std::printf("\nfleet (%zu cards, %llu leases merged):\n",
+                    job.fleet.cards.size(),
+                    static_cast<unsigned long long>(
+                        job.contigs.size()));
+        ft.print();
+    }
 
     if (!metrics_path.empty()) {
         std::ofstream mf(metrics_path);
@@ -442,6 +476,7 @@ usage()
         "            [--paired 1] [--seed N]\n"
         "  realign   --dir DIR [--backend NAME] [--ref F]\n"
         "            [--reads F] [--out F] [--job-threads N]\n"
+        "            [--cards N] [--stealing 0|1]\n"
         "            [--counters 1] [--trace trace.json]\n"
         "            [--metrics metrics.json|metrics.prom]\n"
         "            [--harden 1] [--fault-plan SPEC]\n"

@@ -1,0 +1,117 @@
+#include "accel/card_fleet.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace iracc {
+
+FleetCardExecStats &
+FleetExecStats::cardRow(uint32_t id)
+{
+    auto it = std::find_if(cards.begin(), cards.end(),
+                           [&](const FleetCardExecStats &c) {
+                               return c.card == id;
+                           });
+    if (it != cards.end())
+        return *it;
+    FleetCardExecStats row;
+    row.card = id;
+    auto pos = std::lower_bound(
+        cards.begin(), cards.end(), row,
+        [](const FleetCardExecStats &a,
+           const FleetCardExecStats &b) { return a.card < b.card; });
+    return *cards.insert(pos, row);
+}
+
+void
+FleetExecStats::merge(const FleetExecStats &other)
+{
+    for (const FleetCardExecStats &oc : other.cards) {
+        FleetCardExecStats &row = cardRow(oc.card);
+        row.busyCycles += oc.busyCycles;
+        row.targets += oc.targets;
+        row.shards += oc.shards;
+        row.steals += oc.steals;
+        row.migrations += oc.migrations;
+    }
+}
+
+FleetLease::FleetLease(const CardFleet *fleet)
+    : owner(fleet), numCards(fleet->numCards())
+{
+    systems.reserve(numCards);
+    for (uint32_t k = 0; k < numCards; ++k) {
+        systems.push_back(
+            std::make_unique<FpgaSystem>(fleet->config().card));
+    }
+}
+
+FleetLease::~FleetLease()
+{
+    // A moved-from lease has no owner; only the final holder posts
+    // its accounting back.
+    if (owner != nullptr)
+        owner->release(stats);
+    owner = nullptr;
+}
+
+const FleetConfig &
+FleetLease::config() const
+{
+    return owner->config();
+}
+
+const FaultPlan &
+FleetLease::cardPlan(uint32_t k) const
+{
+    return owner->cardPlan(k);
+}
+
+CardFleet::CardFleet(FleetConfig config) : cfg(std::move(config))
+{
+    fatal_if(cfg.cards == 0, "a card fleet needs >= 1 card");
+    fatal_if(cfg.shardTargets == 0,
+             "fleet shards need >= 1 target each");
+}
+
+const FaultPlan &
+CardFleet::cardPlan(uint32_t k) const
+{
+    if (k < cfg.cardPlans.size())
+        return cfg.cardPlans[k];
+    return emptyPlan;
+}
+
+FleetLease
+CardFleet::lease() const
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++leases;
+    }
+    return FleetLease(this);
+}
+
+FleetExecStats
+CardFleet::totals() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cumulative;
+}
+
+uint64_t
+CardFleet::leasesIssued() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return leases;
+}
+
+void
+CardFleet::release(const FleetExecStats &stats) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    cumulative.merge(stats);
+}
+
+} // namespace iracc

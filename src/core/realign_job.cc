@@ -128,8 +128,13 @@ RealignSession::run(const ReferenceGenome &ref,
             std::max(job.criticalPathSeconds, c.run.seconds);
         job.fpgaSeconds += c.run.fpgaSeconds;
         job.simulated = job.simulated || c.run.simulated;
-        job.perf.merge(c.run.perf,
-                       static_cast<uint32_t>(c.contig));
+        // Fleet runs already span one pid per card; stride the
+        // contig id so merged traces keep one process per
+        // (contig, card).  Single-card runs keep pid = contig.
+        job.perf.merge(c.run.perf, static_cast<uint32_t>(c.contig),
+                       c.run.perf.pidSpan > 1 ? c.run.perf.pidSpan
+                                              : 0);
+        job.fleet.merge(c.run.fleet);
         job.recovery.merge(c.run.recovery);
         job.status = worseStatus(job.status, c.run.status);
         if (c.run.status == RunStatus::Degraded)

@@ -7,11 +7,12 @@
  * takes the complete read set, partitions it by contig once, and
  * drives every contig through the staged pipeline
  * (Plan -> Prepare -> Execute -> Apply) concurrently on a worker
- * pool -- per-contig FpgaSystem instances for accelerated
- * backends, deterministic per-contig RNG streams, statistics and
- * performance counters merged in contig order at the barrier.
- * Results are bit-identical for any thread count (asserted by
- * tests/realign_job_test.cc).
+ * pool -- accelerated backends draw per-contig card leases from
+ * their shared CardFleet (accel/card_fleet.hh), deterministic
+ * per-contig RNG streams, statistics and performance counters
+ * merged in contig order at the barrier.  Results are
+ * bit-identical for any thread count, card count, and stealing
+ * setting (asserted by tests/realign_job_test.cc).
  *
  * RealignerBackend::realignContig is a thin shim over a
  * one-contig job, so existing per-contig callers keep working.
@@ -37,8 +38,9 @@ struct RealignJobConfig
 {
     /**
      * Contig-level worker threads.  Each worker owns one contig at
-     * a time with its own Execute stage (its own simulated FPGA
-     * for accelerated backends); 1 = serial contig loop.  The
+     * a time with its own Execute stage (its own card lease off
+     * the shared fleet for accelerated backends); 1 = serial
+     * contig loop.  The
      * effective worker count is capped at the contig count and at
      * the host's hardware concurrency (extra workers only thrash
      * caches); results are bit-identical for any value.
@@ -107,9 +109,17 @@ struct RealignJobResult
     /**
      * Performance counters merged over all contigs at the job
      * barrier, each contig's trace under its contig id as the
-     * Chrome trace pid (see docs/OBSERVABILITY.md).
+     * Chrome trace pid.  On a multi-card fleet the pid is
+     * contig * cards + card, one Chrome process per (contig,
+     * card) (see docs/OBSERVABILITY.md).
      */
     PerfReport perf;
+
+    /**
+     * Fleet dispatch accounting merged over all contigs (rows
+     * matched by card id; empty for software backends).
+     */
+    FleetExecStats fleet;
 
     /**
      * Recovery counters merged over all contigs, and the worst

@@ -56,9 +56,9 @@ class AcceleratedBackend : public RealignerBackend
 {
   public:
     AcceleratedBackend(std::string name, std::string desc,
-                       AccelConfig cfg, SchedulePolicy policy)
+                       FleetConfig fleet, SchedulePolicy policy)
         : backendName(std::move(name)), desc(std::move(desc)),
-          system(cfg, policy)
+          system(std::move(fleet), policy)
     {
     }
 
@@ -68,8 +68,10 @@ class AcceleratedBackend : public RealignerBackend
     std::unique_ptr<ExecuteStage>
     makeExecuteStage(uint32_t) const override
     {
-        // executeTargets() instantiates a fresh FpgaSystem per
-        // call, so each contig gets its own simulated card.
+        // executeTargets() draws a fresh lease from the backend's
+        // shared CardFleet per call, so each contig gets its own
+        // per-card virtual timelines while the fleet accumulates
+        // the cross-contig accounting.
         return std::make_unique<AcceleratedExecuteStage>(system);
     }
 
@@ -84,10 +86,9 @@ class HardenedBackend : public RealignerBackend
 {
   public:
     HardenedBackend(std::string name, std::string desc,
-                    AccelConfig cfg, FaultPlan plan,
-                    HardenPolicy policy)
+                    FleetConfig fleet_cfg, HardenPolicy policy)
         : backendName(std::move(name)), desc(std::move(desc)),
-          cfg(cfg), plan(std::move(plan)), policy(policy)
+          fleet(std::move(fleet_cfg)), policy(policy)
     {
     }
 
@@ -97,19 +98,18 @@ class HardenedBackend : public RealignerBackend
     std::unique_ptr<ExecuteStage>
     makeExecuteStage(uint32_t) const override
     {
-        // Each stage (= contig) gets its own FpgaSystem and its
-        // own FaultInjector instance, so the plan's occurrence
-        // counters restart per contig and contig-parallel runs
-        // stay deterministic.
-        return std::make_unique<HardenedExecuteStage>(cfg, plan,
+        // Each stage (= contig) leases fresh per-card simulators
+        // and FaultInjector instances from the shared fleet, so
+        // the plans' occurrence counters restart per contig and
+        // contig-parallel runs stay deterministic.
+        return std::make_unique<HardenedExecuteStage>(fleet,
                                                       policy);
     }
 
   private:
     std::string backendName;
     std::string desc;
-    AccelConfig cfg;
-    FaultPlan plan;
+    CardFleet fleet;
     HardenPolicy policy;
 };
 
@@ -178,8 +178,19 @@ std::unique_ptr<RealignerBackend>
 makeAcceleratedBackend(std::string name, std::string description,
                        AccelConfig config, SchedulePolicy policy)
 {
+    return makeAcceleratedBackend(std::move(name),
+                                  std::move(description),
+                                  FleetConfig::singleCard(config),
+                                  policy);
+}
+
+std::unique_ptr<RealignerBackend>
+makeAcceleratedBackend(std::string name, std::string description,
+                       FleetConfig fleet, SchedulePolicy policy)
+{
     return std::make_unique<AcceleratedBackend>(
-        std::move(name), std::move(description), config, policy);
+        std::move(name), std::move(description), std::move(fleet),
+        policy);
 }
 
 std::unique_ptr<RealignerBackend>
@@ -187,33 +198,58 @@ makeHardenedBackend(std::string name, std::string description,
                     AccelConfig config, FaultPlan plan,
                     HardenPolicy policy)
 {
+    FleetConfig fleet = FleetConfig::singleCard(config);
+    fleet.cardPlans = {std::move(plan)};
+    return makeHardenedBackend(std::move(name),
+                               std::move(description),
+                               std::move(fleet), policy);
+}
+
+std::unique_ptr<RealignerBackend>
+makeHardenedBackend(std::string name, std::string description,
+                    FleetConfig fleet, HardenPolicy policy)
+{
     return std::make_unique<HardenedBackend>(
-        std::move(name), std::move(description), config,
-        std::move(plan), policy);
+        std::move(name), std::move(description), std::move(fleet),
+        policy);
 }
 
 std::unique_ptr<RealignerBackend>
 makeHardenedBackend(const std::string &name, bool perf_counters,
                     bool perf_trace, FaultPlan plan,
-                    HardenPolicy policy)
+                    HardenPolicy policy, uint32_t cards,
+                    bool stealing)
 {
     AccelRegistryEntry entry;
     fatal_if(!accelRegistryEntry(name, &entry),
              "backend '%s' is not accelerated; --harden and "
              "--fault-plan need a simulated device",
              name.c_str());
+    fatal_if(cards == 0, "a fleet needs >= 1 card");
     entry.cfg.perfCounters = perf_counters;
     entry.cfg.perfTrace = perf_trace;
+    FleetConfig fleet = FleetConfig::singleCard(entry.cfg);
+    fleet.cards = cards;
+    fleet.stealing = stealing;
+    fleet.cardPlans = {std::move(plan)};
     return makeHardenedBackend(
-        name, std::string(entry.desc) + " (hardened)", entry.cfg,
-        std::move(plan), policy);
+        name, std::string(entry.desc) + " (hardened)",
+        std::move(fleet), policy);
 }
 
 std::unique_ptr<RealignerBackend>
 makeBackend(const std::string &name, bool perf_counters,
-            bool perf_trace)
+            bool perf_trace, uint32_t cards, bool stealing)
 {
     SoftwareRealignerConfig sw;
+    fatal_if(cards == 0, "a fleet needs >= 1 card");
+    const bool software_name =
+        name == "gatk3" || name == "gatk3-1t" || name == "adam" ||
+        name == "native";
+    fatal_if(software_name && cards > 1,
+             "backend '%s' is software; --cards needs a simulated "
+             "device fleet",
+             name.c_str());
 
     // Accelerated configurations pick up the observability flags;
     // applied below via this helper.
@@ -253,8 +289,12 @@ makeBackend(const std::string &name, bool perf_counters,
     }
     AccelRegistryEntry entry;
     if (accelRegistryEntry(name, &entry)) {
+        FleetConfig fleet =
+            FleetConfig::singleCard(accel(entry.cfg));
+        fleet.cards = cards;
+        fleet.stealing = stealing;
         return makeAcceleratedBackend(name, entry.desc,
-                                      accel(entry.cfg),
+                                      std::move(fleet),
                                       entry.policy);
     }
     fatal("unknown realigner backend '%s'", name.c_str());
@@ -305,6 +345,22 @@ differentialVariants(const std::vector<uint32_t> &job_threads)
             out.push_back(std::move(v));
         }
     }
+    // Fleet design points: card placement (and work stealing) must
+    // be output-invisible -- only the modeled timing may change.
+    for (uint32_t cards : {2u, 4u}) {
+        for (bool stealing : {true, false}) {
+            BackendVariant v;
+            v.accelerated = true;
+            v.prune = true;
+            v.jobThreads = 1;
+            v.cards = cards;
+            v.stealing = stealing;
+            v.label = "accelerated/prune=on/jobs=1/cards=" +
+                      std::to_string(cards) +
+                      "/steal=" + (stealing ? "on" : "off");
+            out.push_back(std::move(v));
+        }
+    }
     return out;
 }
 
@@ -322,14 +378,18 @@ makeVariantBackend(const BackendVariant &variant)
     }
     AccelConfig cfg = AccelConfig::paperOptimized();
     cfg.pruning = variant.prune;
+    FleetConfig fleet = FleetConfig::singleCard(cfg);
+    fleet.cards = variant.cards == 0 ? 1 : variant.cards;
+    fleet.stealing = variant.stealing;
     if (variant.hardened) {
         return makeHardenedBackend(
             variant.label,
-            "differential hardened accelerated design point", cfg);
+            "differential hardened accelerated design point",
+            std::move(fleet));
     }
     return makeAcceleratedBackend(
-        variant.label, "differential accelerated design point", cfg,
-        SchedulePolicy::AsynchronousParallel);
+        variant.label, "differential accelerated design point",
+        std::move(fleet), SchedulePolicy::AsynchronousParallel);
 }
 
 } // namespace iracc

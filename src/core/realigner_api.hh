@@ -91,14 +91,19 @@ class RealignerBackend
  *
  * @param perf_counters collect simulator performance counters
  * @param perf_trace    also record timeline trace events
+ * @param cards         accelerator cards to provision (fatal() for
+ *                      software backends when > 1 -- there is no
+ *                      fleet to scale)
+ * @param stealing      cross-card work stealing (fleet only)
  *
- * Both flags are honoured by the accelerated backends only; the
- * software baselines have no simulator to instrument and ignore
- * them.
+ * The perf flags are honoured by the accelerated backends only;
+ * the software baselines have no simulator to instrument and
+ * ignore them.
  */
 std::unique_ptr<RealignerBackend> makeBackend(
     const std::string &name, bool perf_counters = false,
-    bool perf_trace = false);
+    bool perf_trace = false, uint32_t cards = 1,
+    bool stealing = true);
 
 /**
  * Create a software backend with an explicit configuration (for
@@ -118,6 +123,17 @@ std::unique_ptr<RealignerBackend> makeAcceleratedBackend(
     SchedulePolicy policy);
 
 /**
+ * Create an accelerated backend over an explicit card fleet: the
+ * backend owns one shared CardFleet and every contig's Execute
+ * stage draws a lease from it.  Results are bit-identical to the
+ * single-card shape for any (cards, stealing); only the modeled
+ * timing and the `fleet.*` accounting change.
+ */
+std::unique_ptr<RealignerBackend> makeAcceleratedBackend(
+    std::string name, std::string description, FleetConfig fleet,
+    SchedulePolicy policy);
+
+/**
  * Create a hardened accelerated backend with an explicit
  * configuration: the same simulated card, driven through the
  * self-healing execution path (host/hardened_executor.hh) with
@@ -129,13 +145,27 @@ std::unique_ptr<RealignerBackend> makeHardenedBackend(
     FaultPlan plan = {}, HardenPolicy policy = {});
 
 /**
+ * Create a hardened accelerated backend over an explicit card
+ * fleet.  Per-card fault schedules ride in
+ * FleetConfig::cardPlans; a wedged card's targets migrate to the
+ * next usable card (see host/hardened_executor.hh).
+ */
+std::unique_ptr<RealignerBackend> makeHardenedBackend(
+    std::string name, std::string description, FleetConfig fleet,
+    HardenPolicy policy = {});
+
+/**
  * Hardened variant of a registry backend: resolves @p name to its
  * accelerated configuration and wraps it in the hardened path.
  * fatal() on software names -- there is no device to harden.
+ * @p cards / @p stealing provision a multi-card fleet; @p plan
+ * attaches to card 0 (use the FleetConfig overload for per-card
+ * schedules).
  */
 std::unique_ptr<RealignerBackend> makeHardenedBackend(
     const std::string &name, bool perf_counters, bool perf_trace,
-    FaultPlan plan = {}, HardenPolicy policy = {});
+    FaultPlan plan = {}, HardenPolicy policy = {},
+    uint32_t cards = 1, bool stealing = true);
 
 /** All registry names in display order. */
 std::vector<std::string> backendNames();
@@ -176,14 +206,22 @@ struct BackendVariant
      * CI still reaches the base matrix.
      */
     std::string kernel;
+
+    /** Accelerated only: cards in the provisioned fleet. */
+    uint32_t cards = 1;
+
+    /** Accelerated only: cross-card work stealing. */
+    bool stealing = true;
 };
 
 /**
  * Enumerate the differential matrix {software, accelerated} x
  * {prune off, on} x @p job_threads, plus -- for every dispatch
  * kernel this host supports -- a software design point pair
- * (prune off/on) pinned to that kernel.  The first entry is the
- * oracle: the unpruned single-threaded software baseline.
+ * (prune off/on) pinned to that kernel, plus the fleet design
+ * points cards in {2, 4} x stealing {on, off} (any card placement
+ * must be output-invisible).  The first entry is the oracle: the
+ * unpruned single-threaded software baseline.
  */
 std::vector<BackendVariant> differentialVariants(
     const std::vector<uint32_t> &job_threads = {1, 4});

@@ -46,6 +46,7 @@ AcceleratedExecuteStage::execute(const PreparedContig &prepared,
             static_cast<double>(run.makespan);
     }
     out.perf = std::move(run.perf);
+    out.fleet = std::move(run.fleet);
     return out;
 }
 
@@ -54,8 +55,9 @@ HardenedExecuteStage::execute(const PreparedContig &prepared,
                               uint64_t rng_seed)
 {
     (void)rng_seed; // the accelerated datapath is RNG-free
+    FleetLease lease = fleet.lease();
     HardenedExecuteResult run =
-        hardenedExecuteTargets(cfg, prepared, plan, policy);
+        hardenedExecuteFleetTargets(lease, prepared, policy);
 
     ExecuteOutcome out;
     out.decisions = std::move(run.decisions);
@@ -72,6 +74,7 @@ HardenedExecuteStage::execute(const PreparedContig &prepared,
     out.perf = std::move(run.perf);
     out.recovery = run.recovery;
     out.status = run.status;
+    out.fleet = std::move(run.fleet);
     return out;
 }
 
@@ -166,12 +169,26 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
         count("fault.retry_successes", rec.retrySuccesses);
         count("fault.software_fallbacks", rec.softwareFallbacks);
         count("fault.quarantined_units", rec.quarantinedUnits);
+        count("fault.quarantined_cards", rec.quarantinedCards);
+        count("fault.migrated_targets", rec.migratedTargets);
         count("fault.stale_responses", rec.staleResponses);
         count("fault.failed_targets", rec.failedTargets);
         count("realign.contigs_degraded",
               outcome.status == RunStatus::Degraded ? 1 : 0);
         count("realign.contigs_failed",
               outcome.status == RunStatus::Failed ? 1 : 0);
+
+        // Fleet dispatch accounting (accelerated backends only).
+        if (outcome.fleet.enabled()) {
+            reg.counter("fleet.card_busy_cycles")
+                .add(outcome.fleet.busyCycles());
+            count("fleet.steals", outcome.fleet.steals());
+            count("fleet.migrations", outcome.fleet.migrations());
+            for (const FleetCardExecStats &c : outcome.fleet.cards) {
+                reg.histogram("fleet.queue_depth")
+                    .sample(static_cast<double>(c.shards));
+            }
+        }
     }
     out.seconds = out.stageTimes.hostSeconds() + outcome.seconds;
     out.simulated = outcome.simulated;
@@ -181,6 +198,7 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
     out.perf = std::move(outcome.perf);
     out.recovery = outcome.recovery;
     out.status = outcome.status;
+    out.fleet = std::move(outcome.fleet);
     return out;
 }
 

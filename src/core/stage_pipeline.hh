@@ -90,6 +90,13 @@ struct BackendRunResult
      */
     RecoveryStats recovery;
     RunStatus status = RunStatus::Ok;
+
+    /**
+     * Accelerated backends: per-card fleet dispatch accounting
+     * (empty for software backends; see docs/OBSERVABILITY.md,
+     * `fleet.*`).
+     */
+    FleetExecStats fleet;
 };
 
 /** Uniform outcome of a backend's Execute stage. */
@@ -119,6 +126,9 @@ struct ExecuteOutcome
     /** Hardened backends: recovery counters and run health. */
     RecoveryStats recovery;
     RunStatus status = RunStatus::Ok;
+
+    /** Accelerated backends: per-card fleet accounting. */
+    FleetExecStats fleet;
 };
 
 /**
@@ -164,9 +174,10 @@ class SoftwareExecuteStage : public ExecuteStage
 
 /**
  * Execute stage of the accelerated backends: delegates to
- * AcceleratedIrSystem::executeTargets, which instantiates a fresh
- * per-contig FpgaSystem.  Holds a reference; the owning backend
- * must outlive the stage.
+ * AcceleratedIrSystem::executeTargets, which borrows a card lease
+ * (fresh per-card virtual timelines) from the backend's shared
+ * CardFleet.  Holds a reference; the owning backend must outlive
+ * the stage.
  */
 class AcceleratedExecuteStage : public ExecuteStage
 {
@@ -186,18 +197,22 @@ class AcceleratedExecuteStage : public ExecuteStage
 };
 
 /**
- * Execute stage of the hardened accelerated backends: delegates to
- * hardenedExecuteTargets (host/hardened_executor.hh), which wraps
- * a fresh per-contig FpgaSystem with checksum verification, a
- * watchdog, bounded retry, software fallback, and unit quarantine,
- * and surfaces RecoveryStats / RunStatus through ExecuteOutcome.
+ * Execute stage of the hardened accelerated backends: borrows a
+ * card lease from the backend's shared CardFleet and delegates to
+ * hardenedExecuteFleetTargets (host/hardened_executor.hh), which
+ * wraps the leased cards with checksum verification, a watchdog,
+ * bounded retry, software fallback, unit quarantine, and
+ * cross-card migration, and surfaces RecoveryStats / RunStatus
+ * through ExecuteOutcome.  Each lease materializes fresh per-card
+ * simulators and fault injectors, so the fleet's FaultPlans
+ * restart their occurrence counters per contig.  Holds a
+ * reference; the owning backend must outlive the stage.
  */
 class HardenedExecuteStage : public ExecuteStage
 {
   public:
-    HardenedExecuteStage(AccelConfig cfg, FaultPlan plan,
-                         HardenPolicy policy)
-        : cfg(cfg), plan(std::move(plan)), policy(policy)
+    HardenedExecuteStage(const CardFleet &fleet, HardenPolicy policy)
+        : fleet(fleet), policy(policy)
     {
     }
 
@@ -207,8 +222,7 @@ class HardenedExecuteStage : public ExecuteStage
                            uint64_t rng_seed) override;
 
   private:
-    AccelConfig cfg;
-    FaultPlan plan;
+    const CardFleet &fleet;
     HardenPolicy policy;
 };
 

@@ -219,6 +219,13 @@ struct RecoveryStats
     /** Units retired (wedged, or over the strike threshold). */
     uint64_t quarantinedUnits = 0;
 
+    /** Fleet: cards whose remaining work migrated because every
+     *  unit on the card was quarantined. */
+    uint64_t quarantinedCards = 0;
+
+    /** Fleet: targets moved off a wedged card onto another. */
+    uint64_t migratedTargets = 0;
+
     /** Events that arrived for an already-abandoned attempt. */
     uint64_t staleResponses = 0;
 
@@ -231,7 +238,8 @@ struct RecoveryStats
     {
         return checksumInputCatches || checksumOutputCatches ||
                watchdogCatches || retries || softwareFallbacks ||
-               quarantinedUnits || failedTargets;
+               quarantinedUnits || quarantinedCards ||
+               migratedTargets || failedTargets;
     }
 
     void
@@ -247,6 +255,8 @@ struct RecoveryStats
         retrySuccesses += o.retrySuccesses;
         softwareFallbacks += o.softwareFallbacks;
         quarantinedUnits += o.quarantinedUnits;
+        quarantinedCards += o.quarantinedCards;
+        migratedTargets += o.migratedTargets;
         staleResponses += o.staleResponses;
         failedTargets += o.failedTargets;
     }

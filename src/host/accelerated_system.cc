@@ -9,7 +9,16 @@ namespace iracc {
 AcceleratedIrSystem::AcceleratedIrSystem(AccelConfig config,
                                          SchedulePolicy policy,
                                          TargetCreationParams targets)
-    : cfg(config), schedPolicy(policy), targetParams(targets)
+    : AcceleratedIrSystem(FleetConfig::singleCard(config), policy,
+                          targets)
+{
+}
+
+AcceleratedIrSystem::AcceleratedIrSystem(FleetConfig fleet,
+                                         SchedulePolicy policy,
+                                         TargetCreationParams targets)
+    : fleetRes(std::make_shared<CardFleet>(std::move(fleet))),
+      schedPolicy(policy), targetParams(targets)
 {
 }
 
@@ -22,11 +31,12 @@ AcceleratedIrSystem::executeTargets(const PreparedContig &prepared) const
 
     AccelExecuteResult out;
 
-    // Per-call FpgaSystem: every contig of a parallel job runs on
-    // its own simulated card instance.
-    FpgaSystem sys(cfg);
-    ScheduleResult sched = scheduleTargets(sys, prepared.marshalled,
-                                           schedPolicy);
+    // Borrow the fleet: each call gets fresh per-card virtual
+    // timelines, while the shared CardFleet accumulates the
+    // cross-contig accounting.
+    FleetLease lease = fleetRes->lease();
+    FleetScheduleResult sched =
+        scheduleFleetTargets(lease, prepared.marshalled, schedPolicy);
 
     // Translate raw accelerator outputs into decisions (host work,
     // measured separately from the simulated FPGA time).
@@ -41,9 +51,10 @@ AcceleratedIrSystem::executeTargets(const PreparedContig &prepared) const
 
     out.fpga = sched.fpga;
     out.makespan = sched.makespan;
-    out.fpgaSeconds = sys.cyclesToSeconds(sched.makespan);
+    out.fpgaSeconds = lease.card(0).cyclesToSeconds(sched.makespan);
     out.timeline = std::move(sched.timeline);
     out.perf = std::move(sched.perf);
+    out.fleet = std::move(sched.fleet);
     return out;
 }
 
@@ -77,6 +88,7 @@ AcceleratedIrSystem::realignContig(const ReferenceGenome &ref,
     out.fpgaSeconds = exec.fpgaSeconds;
     out.timeline = std::move(exec.timeline);
     out.perf = std::move(exec.perf);
+    out.fleet = std::move(exec.fleet);
     return out;
 }
 

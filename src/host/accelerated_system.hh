@@ -13,8 +13,10 @@
 #define IRACC_HOST_ACCELERATED_SYSTEM_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "accel/card_fleet.hh"
 #include "accel/fpga_system.hh"
 #include "host/scheduler.hh"
 #include "realign/realigner.hh"
@@ -48,6 +50,9 @@ struct AccelExecuteResult
 
     /** Performance counters (enabled iff the AccelConfig asked). */
     PerfReport perf;
+
+    /** Per-card dispatch accounting (shards, steals, busy). */
+    FleetExecStats fleet;
 };
 
 /** Result of one accelerated realignment run. */
@@ -77,6 +82,9 @@ struct AcceleratedRunResult
      */
     PerfReport perf;
 
+    /** Per-card dispatch accounting (shards, steals, busy). */
+    FleetExecStats fleet;
+
     /**
      * End-to-end runtime the paper reports: host preprocessing +
      * transfer + compute + response.
@@ -93,11 +101,22 @@ class AcceleratedIrSystem
 {
   public:
     /**
+     * Single-card convenience: wraps @p config in a one-card fleet.
+     *
      * @param config  accelerator configuration (units, width, ...)
      * @param policy  target scheduling policy
      * @param targets target-creation knobs (shared with software)
      */
     AcceleratedIrSystem(AccelConfig config, SchedulePolicy policy,
+                        TargetCreationParams targets = {});
+
+    /**
+     * Full fleet shape: the system shares one CardFleet across all
+     * of its Execute-stage calls, so concurrent contigs of a
+     * parallel job draw leases from (and account back into) the
+     * same provisioned capacity.
+     */
+    AcceleratedIrSystem(FleetConfig fleet, SchedulePolicy policy,
                         TargetCreationParams targets = {});
 
     /**
@@ -110,21 +129,25 @@ class AcceleratedIrSystem
                                        std::vector<Read> &reads) const;
 
     /**
-     * The accelerated Execute stage alone: run every marshalled
-     * target of a prepared contig through a fresh per-call
-     * FpgaSystem instance (so concurrent contigs in a RealignJob
-     * each get their own simulated card) and convert the raw
-     * outputs into decisions.  @p prepared must have been built
-     * with marshalling enabled.
+     * The accelerated Execute stage alone: borrow a card lease
+     * from the shared fleet (fresh per-card virtual timelines, so
+     * concurrent contigs in a RealignJob never share simulator
+     * state), schedule every marshalled target across the cards,
+     * and convert the raw outputs into decisions.  @p prepared
+     * must have been built with marshalling enabled.
      */
     AccelExecuteResult
     executeTargets(const PreparedContig &prepared) const;
 
-    const AccelConfig &config() const { return cfg; }
+    const AccelConfig &config() const { return fleetRes->config().card; }
+    const FleetConfig &fleetConfig() const { return fleetRes->config(); }
     SchedulePolicy policy() const { return schedPolicy; }
 
+    /** The shared fleet resource (cumulative accounting). */
+    const CardFleet &fleet() const { return *fleetRes; }
+
   private:
-    AccelConfig cfg;
+    std::shared_ptr<CardFleet> fleetRes;
     SchedulePolicy schedPolicy;
     TargetCreationParams targetParams;
 };

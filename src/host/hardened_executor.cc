@@ -1,5 +1,7 @@
 #include "host/hardened_executor.hh"
 
+#include <algorithm>
+#include <numeric>
 #include <string>
 
 #include "accel/ir_compute.hh"
@@ -35,24 +37,41 @@ struct UnitState
     uint32_t strikes = 0;     ///< output-corruption count
 };
 
-/** Shared state of one hardened run. */
+/**
+ * Shared state of one hardened run on ONE card, over the subset
+ * `order` of the contig's targets (dispatch slots map to global
+ * target indices, like the plain scheduler).  On a multi-card
+ * fleet each card gets its own HardenedRun; a card that wedges
+ * hands its pending slots back via `migrated`.
+ */
 struct HardenedRun
 {
     FpgaSystem *sys;
     const PreparedContig *prepared;
+    const std::vector<size_t> *order; ///< slot -> global index
     const HardenPolicy *pol;
     HardenedExecuteResult *out;
-    std::vector<TargetDescriptor> descriptors;
-    std::vector<TargetState> targets;
+    std::vector<WhdStats> *whdGlobal; ///< by global index
+    std::vector<TargetDescriptor> descriptors; ///< by slot
+    std::vector<TargetState> targets;          ///< by slot
     std::vector<UnitState> units;
-    std::vector<WhdStats> whdPerTarget;
     size_t unresolved = 0;
     size_t inFlight = 0;
 
-    const MarshalledTarget &
-    marshalled(size_t t) const
+    /** Fleet only: targets handed off because this card wedged. */
+    bool allowMigration = false;
+    std::vector<size_t> migrated; ///< global indices
+
+    size_t
+    global(size_t slot) const
     {
-        return prepared->marshalled[t];
+        return (*order)[slot];
+    }
+
+    const MarshalledTarget &
+    marshalled(size_t slot) const
+    {
+        return prepared->marshalled[global(slot)];
     }
 
     /** Trace one recovery event on the scheduler track. */
@@ -65,12 +84,12 @@ struct HardenedRun
         }
     }
 
-    /** CRC the device copy of target @p t's three input buffers. */
+    /** CRC the device copy of a slot's three input buffers. */
     uint32_t
-    deviceInputChecksum(size_t t) const
+    deviceInputChecksum(size_t slot) const
     {
-        const MarshalledTarget &mt = marshalled(t);
-        const TargetDescriptor &desc = descriptors[t];
+        const MarshalledTarget &mt = marshalled(slot);
+        const TargetDescriptor &desc = descriptors[slot];
         DeviceMemory &mem = sys->memory();
         std::vector<uint8_t> buf = mem.readVec(
             desc.bufferAddr[static_cast<size_t>(
@@ -89,11 +108,11 @@ struct HardenedRun
         return crc32(buf.data(), buf.size(), crc);
     }
 
-    /** CRC the device copy of target @p t's two output buffers. */
+    /** CRC the device copy of a slot's two output buffers. */
     uint32_t
-    deviceOutputChecksum(size_t t) const
+    deviceOutputChecksum(size_t slot) const
     {
-        const TargetDescriptor &desc = descriptors[t];
+        const TargetDescriptor &desc = descriptors[slot];
         DeviceMemory &mem = sys->memory();
         std::vector<uint8_t> buf = mem.readVec(
             desc.bufferAddr[static_cast<size_t>(IrBuffer::OutFlags)],
@@ -106,63 +125,65 @@ struct HardenedRun
         return crc32(buf.data(), buf.size(), crc);
     }
 
-    /** Record target @p t's verified hardware result. */
+    /** Record a slot's verified hardware result. */
     void
-    resolveHardware(size_t t, const IrComputeResult &res,
+    resolveHardware(size_t slot, const IrComputeResult &res,
                     const AccelTargetOutput &arch_out)
     {
+        const size_t t = global(slot);
         out->decisions[t] = outputToDecision(prepared->inputs[t],
                                              res.bestConsensus,
                                              arch_out);
-        whdPerTarget[t] = res.whd;
-        if (targets[t].attempts > 1)
+        (*whdGlobal)[t] = res.whd;
+        if (targets[slot].attempts > 1)
             ++out->recovery.retrySuccesses;
-        finish(t);
+        finish(slot);
     }
 
-    /** Resolve target @p t on the host-side datapath model. */
+    /** Resolve a slot on the host-side datapath model. */
     void
-    resolveFallback(size_t t)
+    resolveFallback(size_t slot)
     {
+        const size_t t = global(slot);
         const AccelConfig &cfg = sys->config();
-        IrComputeResult res = irCompute(marshalled(t),
+        IrComputeResult res = irCompute(marshalled(slot),
                                         cfg.dataParallelWidth,
                                         cfg.pruning);
         out->decisions[t] = outputToDecision(prepared->inputs[t],
                                              res.bestConsensus,
                                              res.output);
-        whdPerTarget[t] = res.whd;
+        (*whdGlobal)[t] = res.whd;
         ++out->recovery.softwareFallbacks;
         trace("fallback target " + std::to_string(t), t);
-        finish(t);
+        finish(slot);
     }
 
-    /** Give up on target @p t: no-op decision, reads unchanged. */
+    /** Give up on a slot: no-op decision, reads unchanged. */
     void
-    resolveFailed(size_t t)
+    resolveFailed(size_t slot)
     {
-        const MarshalledTarget &mt = marshalled(t);
+        const MarshalledTarget &mt = marshalled(slot);
         ConsensusDecision d;
         d.scores.assign(mt.numConsensuses, 0);
         d.realign.assign(mt.numReads, 0);
         d.newOffset.assign(mt.numReads, 0);
-        out->decisions[t] = std::move(d);
+        out->decisions[global(slot)] = std::move(d);
         ++out->recovery.failedTargets;
-        finish(t);
+        finish(slot);
     }
 
     void
-    finish(size_t t)
+    finish(size_t slot)
     {
-        releaseUnit(t);
-        targets[t].phase = TargetPhase::Resolved;
+        releaseUnit(slot);
+        targets[slot].phase = TargetPhase::Resolved;
         --unresolved;
     }
 
     void
-    releaseUnit(size_t t)
+    releaseUnit(size_t slot)
     {
-        TargetState &st = targets[t];
+        TargetState &st = targets[slot];
         if (st.unit >= 0) {
             units[st.unit].reserved = false;
             st.lastUnit = st.unit;
@@ -170,28 +191,48 @@ struct HardenedRun
         }
     }
 
-    /** Abandon target @p t's current attempt (failed attempt). */
+    /** Abandon a slot's current attempt (failed attempt). */
     void
-    abandonAttempt(size_t t)
+    abandonAttempt(size_t slot)
     {
-        TargetState &st = targets[t];
+        TargetState &st = targets[slot];
         ++st.epoch;
-        releaseUnit(t);
+        releaseUnit(slot);
         if (st.phase != TargetPhase::Pending)
             --inFlight;
         st.phase = TargetPhase::Pending;
         if (st.attempts >= pol->maxAttempts)
-            exhausted(t);
+            exhausted(slot);
     }
 
     /** Hardware attempts exhausted: fall back or fail. */
     void
-    exhausted(size_t t)
+    exhausted(size_t slot)
     {
         if (pol->softwareFallback)
-            resolveFallback(t);
+            resolveFallback(slot);
         else
-            resolveFailed(t);
+            resolveFailed(slot);
+    }
+
+    /**
+     * This card can make no hardware progress for a slot.  On a
+     * fleet, hand the target to another card instead of burning
+     * a fallback; standalone, exhaust it.
+     */
+    void
+    strand(size_t slot)
+    {
+        if (!allowMigration) {
+            exhausted(slot);
+            return;
+        }
+        const size_t t = global(slot);
+        migrated.push_back(t);
+        ++out->recovery.migratedTargets;
+        trace("migrate target " + std::to_string(t), t);
+        targets[slot].phase = TargetPhase::Resolved;
+        --unresolved;
     }
 
     /** Retire unit @p u for the rest of the run. */
@@ -206,17 +247,17 @@ struct HardenedRun
     }
 
     /**
-     * Pick a usable unit for target @p t, preferring one other
-     * than the unit of its last failed attempt.  -1 = none free.
+     * Pick a usable unit for a slot, preferring one other than
+     * the unit of its last failed attempt.  -1 = none free.
      */
     int32_t
-    pickUnit(size_t t) const
+    pickUnit(size_t slot) const
     {
         int32_t fallback = -1;
         for (uint32_t u = 0; u < units.size(); ++u) {
             if (units[u].reserved || units[u].quarantined)
                 continue;
-            if (static_cast<int32_t>(u) != targets[t].lastUnit)
+            if (static_cast<int32_t>(u) != targets[slot].lastUnit)
                 return static_cast<int32_t>(u);
             fallback = static_cast<int32_t>(u);
         }
@@ -233,24 +274,25 @@ struct HardenedRun
         return false;
     }
 
-    void launch(size_t t);
-    void dispatch(size_t t, uint32_t unit);
+    void launch(size_t slot);
+    void dispatch(size_t slot, uint32_t unit);
     size_t dispatchRound();
     void watchdogSweep();
 };
 
-/** Inputs landed for target @p t: verify, then ir_start. */
+/** Inputs landed for a slot: verify, then ir_start. */
 void
-HardenedRun::launch(size_t t)
+HardenedRun::launch(size_t slot)
 {
-    TargetState &st = targets[t];
+    TargetState &st = targets[slot];
+    const size_t t = global(slot);
     if (pol->verifyInputs &&
-        deviceInputChecksum(t) != inputChecksum(marshalled(t))) {
+        deviceInputChecksum(slot) != inputChecksum(marshalled(slot))) {
         ++out->recovery.checksumInputCatches;
         trace("checksum-in target " + std::to_string(t), t);
         // The DMA path corrupted the images; the unit never ran,
         // so no unit is blamed.  Retry re-DMAs from the host copy.
-        abandonAttempt(t);
+        abandonAttempt(slot);
         return;
     }
     st.phase = TargetPhase::Launched;
@@ -260,16 +302,16 @@ HardenedRun::launch(size_t t)
     // in device memory, so an undetected input corruption would
     // propagate (which is what the checksum above exists to stop).
     sys->runTarget(
-        unit, descriptors[t], t,
-        [this, t, unit, epoch](IrComputeResult &&res) {
-            TargetState &ts = targets[t];
+        unit, descriptors[slot], t,
+        [this, slot, t, unit, epoch](IrComputeResult &&res) {
+            TargetState &ts = targets[slot];
             if (ts.epoch != epoch ||
                 ts.phase != TargetPhase::Launched) {
                 ++out->recovery.staleResponses;
                 return;
             }
             if (pol->verifyOutputs &&
-                deviceOutputChecksum(t) !=
+                deviceOutputChecksum(slot) !=
                     outputChecksum(res.output)) {
                 ++out->recovery.checksumOutputCatches;
                 trace("checksum-out target " + std::to_string(t),
@@ -280,53 +322,54 @@ HardenedRun::launch(size_t t)
                     pol->quarantineThreshold) {
                     quarantine(unit);
                 }
-                abandonAttempt(t);
+                abandonAttempt(slot);
                 return;
             }
             // The device copy is the architectural result.
             AccelTargetOutput arch = sys->readOutputs(
-                descriptors[t]);
+                descriptors[slot]);
             --inFlight;
-            resolveHardware(t, res, arch);
+            resolveHardware(slot, res, arch);
         });
 }
 
-/** Issue target @p t's attempt on unit @p unit. */
+/** Issue a slot's attempt on unit @p unit. */
 void
-HardenedRun::dispatch(size_t t, uint32_t unit)
+HardenedRun::dispatch(size_t slot, uint32_t unit)
 {
-    TargetState &st = targets[t];
+    TargetState &st = targets[slot];
     st.unit = static_cast<int32_t>(unit);
     units[unit].reserved = true;
     if (st.attempts > 0) {
         ++out->recovery.retries;
-        trace("retry target " + std::to_string(t), t);
+        trace("retry target " + std::to_string(global(slot)),
+              global(slot));
     }
     ++st.attempts;
     st.phase = TargetPhase::Dispatched;
     ++inFlight;
     const uint64_t epoch = st.epoch;
-    transferTargetInputs(*sys, marshalled(t), descriptors[t],
-                         [this, t, epoch] {
-                             if (targets[t].epoch == epoch)
-                                 launch(t);
+    transferTargetInputs(*sys, marshalled(slot), descriptors[slot],
+                         [this, slot, epoch] {
+                             if (targets[slot].epoch == epoch)
+                                 launch(slot);
                              else
                                  ++out->recovery.staleResponses;
                          });
 }
 
-/** Dispatch every pending target a usable unit exists for. */
+/** Dispatch every pending slot a usable unit exists for. */
 size_t
 HardenedRun::dispatchRound()
 {
     size_t dispatched = 0;
-    for (size_t t = 0; t < targets.size(); ++t) {
-        if (targets[t].phase != TargetPhase::Pending)
+    for (size_t slot = 0; slot < targets.size(); ++slot) {
+        if (targets[slot].phase != TargetPhase::Pending)
             continue;
-        int32_t unit = pickUnit(t);
+        int32_t unit = pickUnit(slot);
         if (unit < 0)
             break;
-        dispatch(t, static_cast<uint32_t>(unit));
+        dispatch(slot, static_cast<uint32_t>(unit));
         ++dispatched;
     }
     return dispatched;
@@ -339,62 +382,56 @@ HardenedRun::dispatchRound()
 void
 HardenedRun::watchdogSweep()
 {
-    for (size_t t = 0; t < targets.size(); ++t) {
-        TargetState &st = targets[t];
+    for (size_t slot = 0; slot < targets.size(); ++slot) {
+        TargetState &st = targets[slot];
         if (st.phase == TargetPhase::Dispatched) {
             // The DMA burst vanished before the unit ever saw the
             // target; the unit is still idle and blameless.
             ++out->recovery.watchdogCatches;
-            trace("watchdog target " + std::to_string(t), t);
-            abandonAttempt(t);
+            trace("watchdog target " + std::to_string(global(slot)),
+                  global(slot));
+            abandonAttempt(slot);
         } else if (st.phase == TargetPhase::Launched) {
             // ir_start was accepted and no response came back: the
             // unit is wedged (hang or lost response) and can never
             // be reused -- quarantine it on the spot.
             ++out->recovery.watchdogCatches;
-            trace("watchdog target " + std::to_string(t), t);
+            trace("watchdog target " + std::to_string(global(slot)),
+                  global(slot));
             quarantine(static_cast<uint32_t>(st.unit));
-            abandonAttempt(t);
+            abandonAttempt(slot);
         }
     }
 }
 
-} // anonymous namespace
-
-HardenedExecuteResult
-hardenedExecuteTargets(const AccelConfig &cfg,
-                       const PreparedContig &prepared,
-                       const FaultPlan &plan,
-                       const HardenPolicy &policy)
+/**
+ * Drive the subset @p order of the contig's targets through one
+ * card to resolution (or migration).  Returns the global indices
+ * this card could not serve because it wedged.
+ */
+std::vector<size_t>
+runCardHardened(FpgaSystem &sys, const PreparedContig &prepared,
+                const std::vector<size_t> &order,
+                const HardenPolicy &policy,
+                HardenedExecuteResult &out,
+                std::vector<WhdStats> &whd_global,
+                bool allow_migration)
 {
-    panic_if(prepared.marshalled.size() != prepared.inputs.size(),
-             "hardened Execute stage needs marshalled targets "
-             "(prepareStage(..., marshal=true))");
-    fatal_if(policy.maxAttempts == 0,
-             "harden policy needs >= 1 attempt");
-
-    HardenedExecuteResult out;
-    out.decisions.resize(prepared.inputs.size());
-
-    // Per-call FpgaSystem and injector: every contig of a parallel
-    // job runs on its own simulated card with its own fault
-    // schedule state.
-    FpgaSystem sys(cfg);
-    FaultInjector injector(plan);
-    sys.attachFaults(&injector);
-
     HardenedRun run;
     run.sys = &sys;
     run.prepared = &prepared;
+    run.order = &order;
     run.pol = &policy;
     run.out = &out;
-    run.targets.resize(prepared.inputs.size());
+    run.whdGlobal = &whd_global;
+    run.allowMigration = allow_migration;
+    run.targets.resize(order.size());
     run.units.resize(sys.numUnits());
-    run.whdPerTarget.resize(prepared.inputs.size());
-    run.unresolved = prepared.inputs.size();
-    run.descriptors.reserve(prepared.marshalled.size());
-    for (const MarshalledTarget &mt : prepared.marshalled)
-        run.descriptors.push_back(sys.allocateTarget(mt));
+    run.unresolved = order.size();
+    run.descriptors.reserve(order.size());
+    for (size_t t : order)
+        run.descriptors.push_back(
+            sys.allocateTarget(prepared.marshalled[t]));
 
     // Round loop: dispatch what we can, drive the simulation, and
     // sweep for lost targets whenever the queue goes quiet.  The
@@ -406,10 +443,12 @@ hardenedExecuteTargets(const AccelConfig &cfg,
             if (dispatched > 0)
                 continue; // all dispatches resolved synchronously
             // No hardware progress is possible: either every unit
-            // is quarantined or nothing is pending.
-            for (size_t t = 0; t < run.targets.size(); ++t) {
-                if (run.targets[t].phase == TargetPhase::Pending)
-                    run.exhausted(t);
+            // is quarantined or nothing is pending.  On a fleet a
+            // wedged card strands its targets for migration.
+            for (size_t slot = 0; slot < run.targets.size();
+                 ++slot) {
+                if (run.targets[slot].phase == TargetPhase::Pending)
+                    run.strand(slot);
             }
             continue;
         }
@@ -421,17 +460,94 @@ hardenedExecuteTargets(const AccelConfig &cfg,
             continue; // forward progress; extend the budget
         run.watchdogSweep();
     }
+    return std::move(run.migrated);
+}
+
+} // anonymous namespace
+
+HardenedExecuteResult
+hardenedExecuteFleetTargets(FleetLease &lease,
+                            const PreparedContig &prepared,
+                            const HardenPolicy &policy)
+{
+    panic_if(prepared.marshalled.size() != prepared.inputs.size(),
+             "hardened Execute stage needs marshalled targets "
+             "(prepareStage(..., marshal=true))");
+    fatal_if(policy.maxAttempts == 0,
+             "harden policy needs >= 1 attempt");
+
+    const FleetConfig &fc = lease.config();
+    const uint32_t cards = lease.cards();
+    const size_t N = prepared.inputs.size();
+
+    HardenedExecuteResult out;
+    out.decisions.resize(N);
+    std::vector<WhdStats> whdGlobal(N);
+    for (uint32_t k = 0; k < cards; ++k)
+        out.fleet.cardRow(k);
+
+    // Fresh injector per card per lease: occurrence counters
+    // restart per contig exactly like the single-card path.
+    std::vector<FaultInjector> injectors;
+    injectors.reserve(cards);
+    for (uint32_t k = 0; k < cards; ++k) {
+        injectors.emplace_back(lease.cardPlan(k));
+        lease.card(k).attachFaults(&injectors[k]);
+    }
+
+    // Static shard homes (shard s -> card s % cards); a one-card
+    // fleet degenerates to the whole list in order, reproducing
+    // the legacy hardened schedule cycle for cycle.
+    const size_t S = fc.shardTargets;
+    const size_t numShards = (N + S - 1) / S;
+    std::vector<std::vector<size_t>> home(cards);
+    for (size_t s = 0; s < numShards; ++s) {
+        std::vector<size_t> &dst = home[s % cards];
+        const size_t begin = s * S;
+        const size_t end = std::min(N, begin + S);
+        for (size_t t = begin; t < end; ++t)
+            dst.push_back(t);
+    }
+
+    // Run the cards in id order.  A wedged card's stranded targets
+    // carry over to the next card's queue (ahead of its own homes,
+    // preserving global dispatch order within the carry).
+    std::vector<size_t> carry;
+    for (uint32_t k = 0; k < cards; ++k) {
+        std::vector<size_t> order = std::move(carry);
+        carry.clear();
+        const size_t migrated_in = order.size();
+        order.insert(order.end(), home[k].begin(), home[k].end());
+        FleetCardExecStats &row = out.fleet.cardRow(k);
+        row.shards = (home[k].size() + S - 1) / S;
+        if (!order.empty()) {
+            carry = runCardHardened(lease.card(k), prepared, order,
+                                    policy, out, whdGlobal,
+                                    /*allow_migration=*/k + 1 <
+                                        cards);
+            if (!carry.empty())
+                ++out.recovery.quarantinedCards;
+        }
+        row.migrations = migrated_in;
+        row.targets = order.size() - carry.size();
+        row.busyCycles = lease.card(k).now();
+    }
+    panic_if(!carry.empty(),
+             "hardened fleet left %zu targets unresolved",
+             carry.size());
 
     // Kernel work counters from each target's final attempt only,
     // merged in target order -- identical to the fault-free totals
     // even when retries re-ran targets.
-    for (const WhdStats &w : run.whdPerTarget)
+    for (const WhdStats &w : whdGlobal)
         out.whd.merge(w);
 
-    out.recovery.faultsInjected = injector.totalInjected();
-    for (size_t k = 0; k < kNumFaultKinds; ++k) {
-        out.recovery.faultsByKind[k] =
-            injector.injected(static_cast<FaultKind>(k));
+    for (uint32_t k = 0; k < cards; ++k) {
+        out.recovery.faultsInjected += injectors[k].totalInjected();
+        for (size_t f = 0; f < kNumFaultKinds; ++f) {
+            out.recovery.faultsByKind[f] +=
+                injectors[k].injected(static_cast<FaultKind>(f));
+        }
     }
     if (out.recovery.failedTargets > 0)
         out.status = RunStatus::Failed;
@@ -442,12 +558,62 @@ hardenedExecuteTargets(const AccelConfig &cfg,
     // the host-side share of that work is not separable from the
     // simulation here, so hostSeconds stays 0 and `seconds` is the
     // simulated time alone, like the plain path's dominant term.)
-    out.makespan = sys.now();
-    out.fpgaSeconds = sys.cyclesToSeconds(out.makespan);
-    out.fpga = sys.stats();
+    for (uint32_t k = 0; k < cards; ++k) {
+        FpgaSystem &sys = lease.card(k);
+        out.makespan = std::max(out.makespan, sys.now());
+        FpgaRunStats st = sys.stats();
+        if (k == 0) {
+            out.fpga = st;
+        } else {
+            double busy =
+                out.fpga.meanUnitUtilization *
+                static_cast<double>(out.fpga.totalCycles);
+            busy += st.meanUnitUtilization *
+                    static_cast<double>(st.totalCycles);
+            Cycle denom = out.fpga.totalCycles + st.totalCycles;
+            out.fpga.totalCycles =
+                std::max(out.fpga.totalCycles, st.totalCycles);
+            out.fpga.wallSeconds =
+                std::max(out.fpga.wallSeconds, st.wallSeconds);
+            out.fpga.targetsProcessed += st.targetsProcessed;
+            out.fpga.commandsIssued += st.commandsIssued;
+            out.fpga.dmaBytes += st.dmaBytes;
+            out.fpga.dmaBusyCycles += st.dmaBusyCycles;
+            out.fpga.ddrBusyCycles += st.ddrBusyCycles;
+            out.fpga.meanUnitUtilization =
+                denom > 0 ? busy / static_cast<double>(denom) : 0.0;
+            out.fpga.whd.merge(st.whd);
+        }
+        out.perf.merge(sys.perfReport(), k);
+        sys.attachFaults(nullptr);
+    }
+    out.perf.pidSpan = cards;
+    out.fpga.totalCycles = out.makespan;
+    out.fpgaSeconds = lease.card(0).cyclesToSeconds(out.makespan);
     out.fpga.whd = out.whd;
-    out.perf = sys.perfReport();
+    lease.stats.merge(out.fleet);
     return out;
+}
+
+HardenedExecuteResult
+hardenedExecuteFleetTargets(const FleetConfig &fleet,
+                            const PreparedContig &prepared,
+                            const HardenPolicy &policy)
+{
+    CardFleet transient(fleet);
+    FleetLease lease = transient.lease();
+    return hardenedExecuteFleetTargets(lease, prepared, policy);
+}
+
+HardenedExecuteResult
+hardenedExecuteTargets(const AccelConfig &cfg,
+                       const PreparedContig &prepared,
+                       const FaultPlan &plan,
+                       const HardenPolicy &policy)
+{
+    FleetConfig fc = FleetConfig::singleCard(cfg);
+    fc.cardPlans = {plan};
+    return hardenedExecuteFleetTargets(fc, prepared, policy);
 }
 
 } // namespace iracc

@@ -5,8 +5,8 @@
  * The plain scheduler (host/scheduler.hh) assumes a perfect
  * device: every DMA burst lands, every unit responds, every byte
  * survives.  This path assumes none of that.  It wraps the same
- * per-contig FpgaSystem with the integrity and recovery machinery
- * a deployed cloud-FPGA driver needs:
+ * per-lease card fleet (accel/card_fleet.hh) with the integrity
+ * and recovery machinery a deployed cloud-FPGA driver needs:
  *
  *   - CRC-32 checksums over the marshalled input images, verified
  *     against a device-memory readback after the DMA lands and
@@ -22,7 +22,13 @@
  *     outputs is retired after `quarantineThreshold` strikes;
  *   - per-target software fallback (the functional datapath model
  *     run on the host's pristine copy of the marshalled bytes)
- *     when hardware attempts are exhausted or no units remain.
+ *     when hardware attempts are exhausted or no units remain;
+ *   - card-granular containment on a multi-card fleet: when every
+ *     unit of a card is quarantined, the card's remaining targets
+ *     migrate to the next usable card (counted as
+ *     `fault.migrated_targets` / `fault.quarantined_cards`), and
+ *     only when the whole fleet is wedged does the run fall back
+ *     to software (or fail, per policy).
  *
  * Every recovery event is counted in RecoveryStats; the contig
  * pipeline exports them as `fault.*` metrics and the run degrades
@@ -37,6 +43,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "accel/card_fleet.hh"
 #include "accel/fpga_system.hh"
 #include "fault/fault.hh"
 #include "realign/stages.hh"
@@ -76,16 +83,38 @@ struct HardenedExecuteResult
 
     /** Performance counters (enabled iff the AccelConfig asked). */
     PerfReport perf;
+
+    /** Per-card dispatch accounting (shards, migrations, busy). */
+    FleetExecStats fleet;
 };
 
 /**
- * Run every marshalled target of a prepared contig through a fresh
- * FpgaSystem with @p plan attached, recovering from every injected
- * fault per @p policy.  @p prepared must have been built with
- * marshalling enabled.  The corresponding Execute stage lives in
- * core/stage_pipeline.hh (HardenedExecuteStage), mirroring how
+ * Run every marshalled target of a prepared contig through the
+ * cards of @p lease, each with its FleetConfig::cardPlans fault
+ * schedule attached (fresh FaultInjector per card per call),
+ * recovering from every injected fault per @p policy.  Targets are
+ * assigned to their round-robin home cards in shards of
+ * FleetConfig::shardTargets; a wedged card's remaining targets
+ * migrate to the next usable card in id order.  @p prepared must
+ * have been built with marshalling enabled.  The corresponding
+ * Execute stage lives in core/stage_pipeline.hh
+ * (HardenedExecuteStage), mirroring how
  * AcceleratedIrSystem::executeTargets pairs with
  * AcceleratedExecuteStage.
+ */
+HardenedExecuteResult hardenedExecuteFleetTargets(
+    FleetLease &lease, const PreparedContig &prepared,
+    const HardenPolicy &policy = {});
+
+/** Convenience: lease a transient fleet of @p fleet's shape. */
+HardenedExecuteResult hardenedExecuteFleetTargets(
+    const FleetConfig &fleet, const PreparedContig &prepared,
+    const HardenPolicy &policy = {});
+
+/**
+ * Single-card convenience (the legacy shape): one card of @p cfg
+ * with @p plan attached.  Bit-identical to the pre-fleet hardened
+ * path.
  */
 HardenedExecuteResult hardenedExecuteTargets(
     const AccelConfig &cfg, const PreparedContig &prepared,

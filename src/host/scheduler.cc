@@ -1,6 +1,7 @@
 #include "host/scheduler.hh"
 
 #include <algorithm>
+#include <numeric>
 #include <thread>
 
 #include "accel/ir_compute.hh"
@@ -44,63 +45,76 @@ transferTargetInputs(FpgaSystem &sys, const MarshalledTarget &target,
 
 namespace {
 
-/** Shared dispatch state for one scheduling run. */
+/**
+ * Shared dispatch state for one scheduling run over a subset of a
+ * global target list.  `order` maps dispatch slots to global target
+ * indices; the legacy whole-list schedule is the identity order.
+ */
 struct RunState
 {
     FpgaSystem *sys;
-    const std::vector<MarshalledTarget> *targets;
-    const std::vector<IrComputeResult> *precomputed;
-    std::vector<TargetDescriptor> descriptors;
-    ScheduleResult *out;
-    size_t nextTarget = 0;
+    const std::vector<MarshalledTarget> *targets;    ///< global
+    const std::vector<IrComputeResult> *precomputed; ///< global
+    const std::vector<size_t> *order;  ///< slot -> global index
+    std::vector<TargetDescriptor> descriptors; ///< by slot
+    std::vector<IrComputeResult> *outResults;  ///< global, scattered
+    size_t nextSlot = 0;
     size_t completed = 0;
 
-    /** Cycle each target became ready to dispatch (perf). */
+    /** Cycle each slot became ready to dispatch (perf). */
     std::vector<Cycle> readyAt;
 
     // Synchronous mode bookkeeping.
     size_t batchOutstanding = 0;
 
-    /** DMA one target's three input arrays to its buffers. */
-    void
-    transferInputs(size_t t, std::function<void()> on_done)
+    const MarshalledTarget &
+    marshalled(size_t slot) const
     {
-        transferTargetInputs(*sys, (*targets)[t], descriptors[t],
-                             std::move(on_done));
+        return (*targets)[(*order)[slot]];
     }
 
-    /** Collect one completed target: outputs come back out of
+    /** DMA one slot's three input arrays to its buffers. */
+    void
+    transferInputs(size_t slot, std::function<void()> on_done)
+    {
+        transferTargetInputs(*sys, marshalled(slot),
+                             descriptors[slot], std::move(on_done));
+    }
+
+    /** Collect one completed slot: outputs come back out of
      *  device memory, cycle/work counters from the response. */
     void
-    collect(size_t t, IrComputeResult &&res)
+    collect(size_t slot, IrComputeResult &&res)
     {
-        res.output = sys->readOutputs(descriptors[t]);
-        out->results[t] = std::move(res);
+        const size_t t = (*order)[slot];
+        res.output = sys->readOutputs(descriptors[slot]);
+        (*outResults)[t] = std::move(res);
         ++completed;
         if (PerfMonitor *p = sys->perf()) {
-            p->sampleTargetLatency(sys->now() - readyAt[t]);
+            p->sampleTargetLatency(sys->now() - readyAt[slot]);
             p->traceSpan("target " + std::to_string(t), "sched",
-                         kTraceTidScheduler, readyAt[t],
+                         kTraceTidScheduler, readyAt[slot],
                          sys->now(), t);
         }
     }
 };
 
 /**
- * Asynchronous-parallel: feed @p unit the next pending target; its
+ * Asynchronous-parallel: feed @p unit the next pending slot; its
  * completion response immediately recurses.
  */
 void
 asyncFeed(RunState &st, uint32_t unit)
 {
-    if (st.nextTarget >= st.targets->size())
+    if (st.nextSlot >= st.order->size())
         return;
-    size_t t = st.nextTarget++;
-    st.readyAt[t] = st.sys->now();
-    st.transferInputs(t, [&st, unit, t] {
-        st.sys->runTarget(unit, st.descriptors[t], t,
-                          [&st, unit, t](IrComputeResult &&res) {
-                              st.collect(t, std::move(res));
+    size_t slot = st.nextSlot++;
+    st.readyAt[slot] = st.sys->now();
+    st.transferInputs(slot, [&st, unit, slot] {
+        const size_t t = (*st.order)[slot];
+        st.sys->runTarget(unit, st.descriptors[slot], t,
+                          [&st, unit, slot](IrComputeResult &&res) {
+                              st.collect(slot, std::move(res));
                               asyncFeed(st, unit);
                           },
                           &(*st.precomputed)[t]);
@@ -112,12 +126,12 @@ asyncFeed(RunState &st, uint32_t unit)
 void
 syncBatch(RunState &st)
 {
-    if (st.nextTarget >= st.targets->size())
+    if (st.nextSlot >= st.order->size())
         return;
-    size_t batch_begin = st.nextTarget;
+    size_t batch_begin = st.nextSlot;
     size_t batch_size = std::min<size_t>(
-        st.sys->numUnits(), st.targets->size() - batch_begin);
-    st.nextTarget += batch_size;
+        st.sys->numUnits(), st.order->size() - batch_begin);
+    st.nextSlot += batch_size;
     st.batchOutstanding = batch_size;
     for (size_t i = 0; i < batch_size; ++i)
         st.readyAt[batch_begin + i] = st.sys->now();
@@ -131,11 +145,13 @@ syncBatch(RunState &st)
         batch_begin + batch_size - 1,
         [&st, batch_begin, batch_size] {
             for (size_t i = 0; i < batch_size; ++i) {
-                size_t t = batch_begin + i;
+                size_t slot = batch_begin + i;
+                const size_t t = (*st.order)[slot];
                 st.sys->runTarget(
-                    static_cast<uint32_t>(i), st.descriptors[t], t,
-                    [&st, t](IrComputeResult &&res) {
-                        st.collect(t, std::move(res));
+                    static_cast<uint32_t>(i), st.descriptors[slot],
+                    t,
+                    [&st, slot](IrComputeResult &&res) {
+                        st.collect(slot, std::move(res));
                         // Synchronous flush: only when the whole
                         // batch drains does the next batch start.
                         if (--st.batchOutstanding == 0)
@@ -144,6 +160,100 @@ syncBatch(RunState &st)
                     &(*st.precomputed)[t]);
             }
         });
+}
+
+/**
+ * Evaluate every target's datapath result up front on worker
+ * threads.  Each result is a pure function of the marshalled bytes
+ * and the unit configuration, so the event-driven scheduling model
+ * only replays the (deterministic) cycle costs -- and any card
+ * placement of a target yields the same bits.
+ */
+std::vector<IrComputeResult>
+precomputeResults(const AccelConfig &cfg,
+                  const std::vector<MarshalledTarget> &targets)
+{
+    std::vector<IrComputeResult> precomputed(targets.size());
+    ThreadPool pool(std::min<size_t>(
+        8,
+        std::max<size_t>(1, std::thread::hardware_concurrency())));
+    pool.parallelFor(targets.size(), [&](size_t t) {
+        precomputed[t] = irCompute(targets[t],
+                                   cfg.dataParallelWidth,
+                                   cfg.pruning);
+    });
+    return precomputed;
+}
+
+/**
+ * Drive the subset @p order of @p targets through @p sys to
+ * completion, scattering datapath results into @p results (global
+ * indexing).  Architectural outputs still travel through device
+ * memory.  The system's clock keeps advancing across calls, so a
+ * card can run several shards back to back.
+ */
+void
+runTargetSubset(FpgaSystem &sys,
+                const std::vector<MarshalledTarget> &targets,
+                const std::vector<size_t> &order,
+                const std::vector<IrComputeResult> &precomputed,
+                SchedulePolicy policy,
+                std::vector<IrComputeResult> &results)
+{
+    RunState st;
+    st.sys = &sys;
+    st.targets = &targets;
+    st.precomputed = &precomputed;
+    st.order = &order;
+    st.outResults = &results;
+    st.descriptors.reserve(order.size());
+    st.readyAt.resize(order.size(), 0);
+    for (size_t t : order)
+        st.descriptors.push_back(sys.allocateTarget(targets[t]));
+
+    switch (policy) {
+      case SchedulePolicy::AsynchronousParallel:
+        for (uint32_t u = 0;
+             u < sys.numUnits() && st.nextSlot < order.size(); ++u) {
+            asyncFeed(st, u);
+        }
+        break;
+      case SchedulePolicy::SynchronousParallel:
+        syncBatch(st);
+        break;
+    }
+
+    sys.run();
+    panic_if(st.completed != order.size(),
+             "scheduler finished with %zu/%zu targets complete",
+             st.completed, order.size());
+}
+
+/** Fold card @p k's statistics into the fleet aggregate. */
+void
+foldFleetStats(FpgaRunStats &agg, const FpgaRunStats &card, bool first)
+{
+    if (first) {
+        agg = card;
+        return;
+    }
+    // Cards run in parallel: cycles take the max (fleet makespan),
+    // work counters add, utilization averages weighted by cycles.
+    double busy = agg.meanUnitUtilization *
+                  static_cast<double>(agg.totalCycles);
+    busy += card.meanUnitUtilization *
+            static_cast<double>(card.totalCycles);
+    Cycle denom = agg.totalCycles + card.totalCycles;
+    agg.totalCycles = std::max(agg.totalCycles, card.totalCycles);
+    agg.wallSeconds = std::max(agg.wallSeconds, card.wallSeconds);
+    agg.targetsProcessed += card.targetsProcessed;
+    agg.commandsIssued += card.commandsIssued;
+    agg.dmaBytes += card.dmaBytes;
+    agg.dmaBusyCycles += card.dmaBusyCycles;
+    agg.ddrBusyCycles += card.ddrBusyCycles;
+    agg.meanUnitUtilization =
+        denom > 0 ? busy / static_cast<double>(denom) : 0.0;
+    agg.whd.merge(card.whd);
 }
 
 } // anonymous namespace
@@ -156,54 +266,142 @@ scheduleTargets(FpgaSystem &sys,
     ScheduleResult out;
     out.results.resize(targets.size());
 
-    // The datapath result of each target is a pure function of its
-    // marshalled bytes and the unit configuration; evaluate them on
-    // worker threads up front so the event-driven scheduling model
-    // only replays the (deterministic) cycle costs.  Architectural
-    // outputs still travel through device memory.
-    std::vector<IrComputeResult> precomputed(targets.size());
-    {
-        const AccelConfig &cfg = sys.config();
-        ThreadPool pool(std::min<size_t>(
-            8, std::max<size_t>(
-                   1, std::thread::hardware_concurrency())));
-        pool.parallelFor(targets.size(), [&](size_t t) {
-            precomputed[t] = irCompute(targets[t],
-                                       cfg.dataParallelWidth,
-                                       cfg.pruning);
-        });
-    }
+    std::vector<IrComputeResult> precomputed =
+        precomputeResults(sys.config(), targets);
+    std::vector<size_t> order(targets.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    runTargetSubset(sys, targets, order, precomputed, policy,
+                    out.results);
 
-    RunState st;
-    st.sys = &sys;
-    st.targets = &targets;
-    st.precomputed = &precomputed;
-    st.out = &out;
-    st.descriptors.reserve(targets.size());
-    st.readyAt.resize(targets.size(), 0);
-    for (const MarshalledTarget &mt : targets)
-        st.descriptors.push_back(sys.allocateTarget(mt));
-
-    switch (policy) {
-      case SchedulePolicy::AsynchronousParallel:
-        for (uint32_t u = 0;
-             u < sys.numUnits() && st.nextTarget < targets.size();
-             ++u) {
-            asyncFeed(st, u);
-        }
-        break;
-      case SchedulePolicy::SynchronousParallel:
-        syncBatch(st);
-        break;
-    }
-
-    out.makespan = sys.run();
-    panic_if(st.completed != targets.size(),
-             "scheduler finished with %zu/%zu targets complete",
-             st.completed, targets.size());
+    out.makespan = sys.now();
     out.timeline = sys.timeline();
     out.fpga = sys.stats();
     out.perf = sys.perfReport();
+    return out;
+}
+
+FleetScheduleResult
+scheduleFleetTargets(FleetLease &lease,
+                     const std::vector<MarshalledTarget> &targets,
+                     SchedulePolicy policy)
+{
+    const FleetConfig &fc = lease.config();
+    const uint32_t cards = lease.cards();
+    FleetScheduleResult out;
+    out.results.resize(targets.size());
+    for (uint32_t k = 0; k < cards; ++k)
+        out.fleet.cardRow(k); // idle cards still report a row
+
+    std::vector<IrComputeResult> precomputed =
+        precomputeResults(fc.card, targets);
+
+    const size_t S = fc.shardTargets;
+    const size_t numShards = (targets.size() + S - 1) / S;
+    auto shardRange = [&](size_t s, std::vector<size_t> &order) {
+        const size_t begin = s * S;
+        const size_t end = std::min(targets.size(), begin + S);
+        for (size_t t = begin; t < end; ++t)
+            order.push_back(t);
+    };
+
+    if (cards == 1) {
+        // One card has nothing to steal from: the shard queue
+        // collapses into one continuous dispatch, reproducing the
+        // legacy single-system schedule cycle for cycle.
+        std::vector<size_t> order(targets.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        runTargetSubset(lease.card(0), targets, order, precomputed,
+                        policy, out.results);
+        FleetCardExecStats &row = out.fleet.cardRow(0);
+        row.targets = targets.size();
+        row.shards = numShards;
+    } else if (!fc.stealing) {
+        // Static round-robin homes.  Each card runs its shards as
+        // one continuous dispatch, so DMA bursts and unit refills
+        // batch across its shard boundaries.
+        for (uint32_t k = 0; k < cards; ++k) {
+            std::vector<size_t> order;
+            uint64_t shards = 0;
+            for (size_t s = k; s < numShards;
+                 s += cards, ++shards) {
+                shardRange(s, order);
+            }
+            if (!order.empty()) {
+                runTargetSubset(lease.card(k), targets, order,
+                                precomputed, policy, out.results);
+            }
+            FleetCardExecStats &row = out.fleet.cardRow(k);
+            row.targets = order.size();
+            row.shards = shards;
+        }
+    } else {
+        // Deterministic greedy stealing (LPT).  Placement first:
+        // shards are taken heaviest-first (estimated by the
+        // precomputed datapath cycles of their targets; ties break
+        // to the lower shard index) and each goes to the card with
+        // the least estimated load so far (ties break to the
+        // lowest card id); running a shard off its round-robin
+        // home counts as a steal.  Heaviest-first both balances
+        // the cards and front-loads the stragglers, so the small
+        // shards backfill the units behind them.  Each card then
+        // runs its placement as one continuous dispatch, so
+        // stealing rebalances work without serializing a card's
+        // unit pipeline at shard boundaries.
+        std::vector<uint64_t> shardCost(numShards, 0);
+        for (size_t s = 0; s < numShards; ++s) {
+            std::vector<size_t> members;
+            shardRange(s, members);
+            for (size_t t : members)
+                shardCost[s] += precomputed[t].totalCycles();
+        }
+        std::vector<size_t> bySize(numShards);
+        std::iota(bySize.begin(), bySize.end(), size_t{0});
+        std::stable_sort(bySize.begin(), bySize.end(),
+                         [&shardCost](size_t a, size_t b) {
+                             return shardCost[a] > shardCost[b];
+                         });
+
+        std::vector<uint64_t> load(cards, 0);
+        std::vector<std::vector<size_t>> orders(cards);
+        std::vector<uint64_t> shardCount(cards, 0);
+        for (size_t s : bySize) {
+            uint32_t best = 0;
+            for (uint32_t k = 1; k < cards; ++k) {
+                if (load[k] < load[best])
+                    best = k;
+            }
+            shardRange(s, orders[best]);
+            load[best] += shardCost[s];
+            ++shardCount[best];
+            if (best != static_cast<uint32_t>(s % cards))
+                ++out.fleet.cardRow(best).steals;
+        }
+        for (uint32_t k = 0; k < cards; ++k) {
+            if (!orders[k].empty()) {
+                runTargetSubset(lease.card(k), targets, orders[k],
+                                precomputed, policy, out.results);
+            }
+            FleetCardExecStats &row = out.fleet.cardRow(k);
+            row.targets = orders[k].size();
+            row.shards = shardCount[k];
+        }
+    }
+
+    out.cardPerf.reserve(cards);
+    for (uint32_t k = 0; k < cards; ++k) {
+        FpgaSystem &sys = lease.card(k);
+        out.fleet.cardRow(k).busyCycles = sys.now();
+        out.makespan = std::max(out.makespan, sys.now());
+        foldFleetStats(out.fpga, sys.stats(), k == 0);
+        std::vector<UnitTimelineEntry> tl = sys.timeline();
+        out.timeline.insert(out.timeline.end(), tl.begin(),
+                            tl.end());
+        out.cardPerf.push_back(sys.perfReport());
+        out.perf.merge(out.cardPerf.back(), k);
+    }
+    out.fpga.totalCycles = out.makespan;
+    out.perf.pidSpan = cards;
+    lease.stats.merge(out.fleet);
     return out;
 }
 

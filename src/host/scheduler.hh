@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "accel/card_fleet.hh"
 #include "accel/fpga_system.hh"
 #include "realign/marshal.hh"
 
@@ -66,6 +67,62 @@ struct ScheduleResult
  */
 ScheduleResult scheduleTargets(
     FpgaSystem &sys, const std::vector<MarshalledTarget> &targets,
+    SchedulePolicy policy);
+
+/** Outcome of scheduling a target list onto a card fleet. */
+struct FleetScheduleResult
+{
+    /** Per-target datapath results, indexed like the input list
+     *  (bit-identical for any card count or placement). */
+    std::vector<IrComputeResult> results;
+
+    /**
+     * Fleet makespan: the maximum final cycle over the cards.
+     * Cards run in parallel on private virtual timelines, so the
+     * fleet finishes when its slowest card does.
+     */
+    Cycle makespan = 0;
+
+    /**
+     * Aggregated system statistics: byte/target/command counters
+     * summed over cards, totalCycles = makespan, unit utilization
+     * weighted by each card's cycles.  With one card this is that
+     * card's snapshot verbatim.
+     */
+    FpgaRunStats fpga;
+
+    /**
+     * Counters merged over cards; card k's trace events carry
+     * pid k (perf.pidSpan = card count), so merged job traces
+     * render one Chrome process per card.
+     */
+    PerfReport perf;
+
+    /** Per-card counter snapshots, ascending card id. */
+    std::vector<PerfReport> cardPerf;
+
+    /** Per-unit execution records, concatenated per card. */
+    std::vector<UnitTimelineEntry> timeline;
+
+    /** Per-card dispatch accounting (shards, steals, busy). */
+    FleetExecStats fleet;
+};
+
+/**
+ * Schedule every marshalled target onto @p lease's cards in shards
+ * of FleetConfig::shardTargets.  Placement: round-robin homes when
+ * stealing is off; with stealing on, each shard goes to the card
+ * with the least estimated load (the precomputed datapath cycles
+ * of everything placed there so far; deterministic -- ties break
+ * to the lowest card id) and displaced shards are counted as
+ * steals.  Either way each card then runs its placement as one
+ * continuous dispatch, so DMA bursts and unit refills batch across
+ * shard boundaries.  A one-card fleet collapses to the exact
+ * legacy scheduleTargets schedule, cycle for cycle.  The lease's
+ * `stats` are updated with this run's accounting.
+ */
+FleetScheduleResult scheduleFleetTargets(
+    FleetLease &lease, const std::vector<MarshalledTarget> &targets,
     SchedulePolicy policy);
 
 /**

@@ -96,6 +96,14 @@ std::vector<GateRule> kernelBenchGateRules();
 /** Rules for fig9_speedup reports. */
 std::vector<GateRule> fig9GateRules();
 
+/** Rules for fig7_scheduling reports (all-deterministic cycle
+ *  model; the 2-card fleet speedup carries the acceptance floor). */
+std::vector<GateRule> fig7GateRules();
+
+/** Rules for fig8_data_parallel reports (deterministic datapath
+ *  cycle counts at a pinned IRACC_SCALE). */
+std::vector<GateRule> fig8GateRules();
+
 /** Multiply every rule's relSlack by @p factor (gate tightening
  *  or loosening from the command line). */
 void scaleGateSlack(std::vector<GateRule> &rules, double factor);

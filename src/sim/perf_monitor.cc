@@ -48,7 +48,8 @@ PerfReport::channelBytes(const std::string &prefix) const
 }
 
 void
-PerfReport::merge(const PerfReport &other, uint32_t trace_pid)
+PerfReport::merge(const PerfReport &other, uint32_t trace_pid,
+                  uint32_t pid_stride)
 {
     enabled = enabled || other.enabled;
     totalCycles += other.totalCycles;
@@ -113,7 +114,8 @@ PerfReport::merge(const PerfReport &other, uint32_t trace_pid)
             trackNames.push_back(tn);
     }
     for (TraceEvent ev : other.trace) {
-        ev.pid = trace_pid;
+        ev.pid = pid_stride == 0 ? trace_pid
+                                 : trace_pid * pid_stride + ev.pid;
         trace.push_back(std::move(ev));
     }
 }

@@ -148,6 +148,15 @@ struct PerfReport
     /** Timeline spans (empty unless tracing was enabled). */
     std::vector<TraceEvent> trace;
 
+    /**
+     * Number of Chrome-trace pid slots this report's events occupy:
+     * 1 for a single-simulation report, the card count after a
+     * fleet merge (events then carry pid = card id).  Callers that
+     * re-merge such a report pass it as merge()'s pid_stride so the
+     * per-card processes stay distinct.
+     */
+    uint32_t pidSpan = 1;
+
     /** Mean across units of busy/total. */
     double meanUnitUtilization() const;
 
@@ -164,8 +173,15 @@ struct PerfReport
      * back to back), and @p other's trace events are appended with
      * their pid set to @p trace_pid so merged traces render as one
      * process per source simulation.
+     *
+     * When @p other already spans several pids (a fleet report,
+     * other.pidSpan > 1), pass that span as @p pid_stride: appended
+     * events then land at trace_pid * pid_stride + their own pid,
+     * keeping one process per (source, card).  pid_stride 0 keeps
+     * the legacy overwrite (every event at trace_pid).
      */
-    void merge(const PerfReport &other, uint32_t trace_pid = 0);
+    void merge(const PerfReport &other, uint32_t trace_pid = 0,
+               uint32_t pid_stride = 0);
 };
 
 /**

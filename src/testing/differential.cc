@@ -584,7 +584,8 @@ diffHardenedPipeline(const ReferenceGenome &ref,
 
 DiffResult
 diffFaultPlan(const ReferenceGenome &ref,
-              const std::vector<Read> &reads, const FaultPlan &plan)
+              const std::vector<Read> &reads, const FaultPlan &plan,
+              uint32_t cards, bool stealing)
 {
     // Oracle: the plain accelerated backend, fault-free.  The
     // hardened path's fault-free transparency is asserted
@@ -598,9 +599,18 @@ diffFaultPlan(const ReferenceGenome &ref,
         1, ref, reads);
 
     std::string label = "hardened[" + plan.describe() + "]";
+    if (cards > 1) {
+        label += "/cards=" + std::to_string(cards) +
+                 "/steal=" + (stealing ? "on" : "off");
+    }
+    FleetConfig fleet =
+        FleetConfig::singleCard(AccelConfig::paperOptimized());
+    fleet.cards = cards;
+    fleet.stealing = stealing;
+    fleet.cardPlans = {plan};
     PipelineOutcome got = runBackendPipeline(
         makeHardenedBackend(label, "fault differential subject",
-                            AccelConfig::paperOptimized(), plan),
+                            std::move(fleet)),
         1, ref, reads);
 
     DiffResult r = compareOutcomes(label, got, oracle);
@@ -620,7 +630,7 @@ diffFaultPlan(const ReferenceGenome &ref,
 }
 
 DiffResult
-diffFaultSeed(uint64_t seed)
+diffFaultSeed(uint64_t seed, uint32_t cards, bool stealing)
 {
     GenomeWorkload workload = makeDiffGenome(seed);
     std::vector<Read> reads;
@@ -628,7 +638,8 @@ diffFaultSeed(uint64_t seed)
         reads.insert(reads.end(), chrom.reads.begin(),
                      chrom.reads.end());
     FaultPlan plan = FaultPlan::random(seed);
-    DiffResult r = diffFaultPlan(workload.reference, reads, plan);
+    DiffResult r = diffFaultPlan(workload.reference, reads, plan,
+                                 cards, stealing);
     if (!r.ok) {
         r.detail = fmt("seed %llu plan '%s': %s",
                        static_cast<unsigned long long>(seed),

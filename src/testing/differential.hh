@@ -142,16 +142,21 @@ DiffResult diffHardenedPipeline(
  * for bit against the plain accelerated backend's fault-free run.
  * The default HardenPolicy must absorb every injectable fault, so
  * a run that reports RunStatus::Failed is itself a divergence.
+ * With @p cards > 1 the hardened subject runs on a multi-card
+ * fleet (@p plan attached to card 0), exercising card-granular
+ * containment and migration under the same bit-exactness bar.
  */
 DiffResult diffFaultPlan(const ReferenceGenome &ref,
                          const std::vector<Read> &reads,
-                         const FaultPlan &plan);
+                         const FaultPlan &plan, uint32_t cards = 1,
+                         bool stealing = true);
 
 /**
  * Fault differential over the generated genome of a seed under
  * FaultPlan::random(seed) (tools/iracc_diff --fault-seeds).
  */
-DiffResult diffFaultSeed(uint64_t seed);
+DiffResult diffFaultSeed(uint64_t seed, uint32_t cards = 1,
+                         bool stealing = true);
 
 /**
  * Greedy repro minimization for a pipeline mismatch: drop whole

@@ -104,6 +104,78 @@ TEST(BenchGate, SpeedupFloorIsAbsolute)
     EXPECT_NE(f->detail.find("floor"), std::string::npos);
 }
 
+TEST(BenchGate, Fig7FleetRulesCatchSlowdownAndFloor)
+{
+    // The fig7 suite gates the modeled fleet scaling.  An injected
+    // slowdown (2-card makespan grows, speedup shrinks) must fail
+    // twice over: the speedup drops below the 1.8x acceptance
+    // floor AND the deterministic makespan drifts.
+    ValueMap baseline = {{"fleetSpeedup2", 1.85},
+                         {"fleetMakespan2Cycles", 5751260.0},
+                         {"fleetSteals2", 6.0},
+                         {"asyncGain", 1.6}};
+    ValueMap slow = {{"fleetSpeedup2", 1.2},
+                     {"fleetMakespan2Cycles", 8900000.0},
+                     {"fleetSteals2", 6.0},
+                     {"asyncGain", 1.6}};
+    GateResult r =
+        checkBenchGate(baseline, {slow}, obs::fig7GateRules());
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.failedCount(), 2u);
+    const GateFinding *speed = findKey(r, "fleetSpeedup2");
+    ASSERT_NE(speed, nullptr);
+    EXPECT_NE(speed->detail.find("regressed"), std::string::npos);
+    const GateFinding *span = findKey(r, "fleetMakespan2Cycles");
+    ASSERT_NE(span, nullptr);
+    EXPECT_NE(span->detail.find("drifted"), std::string::npos);
+
+    // A weak baseline cannot launder the floor: 1.7x is within
+    // slack of 1.75x but still below the 1.8x acceptance bar.
+    ValueMap weak_base = {{"fleetSpeedup2", 1.75}};
+    ValueMap weak = {{"fleetSpeedup2", 1.7}};
+    GateResult floor_r = checkBenchGate(weak_base, {weak},
+                                        obs::fig7GateRules());
+    EXPECT_FALSE(floor_r.ok);
+    const GateFinding *f = findKey(floor_r, "fleetSpeedup2");
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->detail.find("floor"), std::string::npos);
+
+    // The identical report passes.
+    EXPECT_TRUE(
+        checkBenchGate(baseline, {baseline}, obs::fig7GateRules())
+            .ok);
+}
+
+TEST(BenchGate, Fig8RulesCatchCycleDriftAndSpeedupFloor)
+{
+    ValueMap baseline = {{"scalarHdcCycles", 52000000.0},
+                         {"wide32HdcCycles", 4300000.0},
+                         {"width32Speedup", 12.1}};
+    // Cycle counts are deterministic: off-by-anything drifts.
+    ValueMap drift = baseline;
+    drift["wide32HdcCycles"] += 1.0;
+    GateResult r =
+        checkBenchGate(baseline, {drift}, obs::fig8GateRules());
+    EXPECT_FALSE(r.ok);
+    const GateFinding *f = findKey(r, "wide32HdcCycles");
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->detail.find("drifted"), std::string::npos);
+
+    // A collapsed data-parallel win violates the absolute floor.
+    ValueMap collapsed = {{"width32Speedup", 2.0}};
+    GateResult fr = checkBenchGate({{"width32Speedup", 2.1}},
+                                   {collapsed},
+                                   obs::fig8GateRules());
+    EXPECT_FALSE(fr.ok);
+    const GateFinding *ff = findKey(fr, "width32Speedup");
+    ASSERT_NE(ff, nullptr);
+    EXPECT_NE(ff->detail.find("floor"), std::string::npos);
+
+    EXPECT_TRUE(
+        checkBenchGate(baseline, {baseline}, obs::fig8GateRules())
+            .ok);
+}
+
 TEST(BenchGate, LowerBetterGatesSecondsUpward)
 {
     std::vector<GateRule> rules = {

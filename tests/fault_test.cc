@@ -316,6 +316,43 @@ TEST(FaultMatrix, AllUnitsWedgedFallsBackToSoftware)
     expectRecoveredExactly(run);
 }
 
+TEST(FaultMatrix, WedgedCardMigratesShardsAndDegrades)
+{
+    // A two-card fleet where every unit of card 0 wedges on its
+    // first launch.  Card-granular containment: the card is
+    // quarantined and its remaining targets migrate to card 1's
+    // queue instead of falling back to software -- the shards ran
+    // on real (modeled) hardware, just elsewhere, so the run is
+    // Degraded, not Failed, and the output stays bit-exact.
+    FleetConfig fc;
+    fc.card = AccelConfig::paperOptimized();
+    fc.card.numUnits = 2;
+    fc.cards = 2;
+    fc.cardPlans = {FaultPlan::parse("unit-hang@1;unit-hang@2"),
+                    FaultPlan()};
+    MatrixRun run = runBackend(makeHardenedBackend(
+        "hardened-fleet", "wedged-card subject", fc));
+    const RecoveryStats &rec = run.job.recovery;
+    EXPECT_EQ(rec.faultsInjected, 2u);
+    EXPECT_EQ(rec.watchdogCatches, 2u);
+    EXPECT_EQ(rec.quarantinedUnits, 2u);
+    EXPECT_EQ(rec.quarantinedCards, 1u);
+    EXPECT_GT(rec.migratedTargets, 0u);
+    EXPECT_EQ(rec.softwareFallbacks, 0u);
+    expectRecoveredExactly(run);
+
+    // The dispatch accounting tells the same story: card 1 absorbs
+    // exactly the migrated targets on top of its own home shards,
+    // and everything completes on one of the two cards.
+    ASSERT_EQ(run.job.fleet.cards.size(), 2u);
+    EXPECT_EQ(run.job.fleet.migrations(), rec.migratedTargets);
+    EXPECT_EQ(run.job.fleet.cards[1].migrations,
+              rec.migratedTargets);
+    EXPECT_EQ(run.job.fleet.cards[0].targets +
+                  run.job.fleet.cards[1].targets,
+              run.job.stats.targets);
+}
+
 TEST(FaultMatrix, RetryExhaustionFallsBackToSoftware)
 {
     // Every device-memory write is corrupted, so every hardware

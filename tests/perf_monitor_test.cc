@@ -110,6 +110,55 @@ TEST(PerfMonitor, CycleConservationPerUnit)
     }
 }
 
+TEST(PerfMonitor, CycleConservationPerCardAcrossFleet)
+{
+    auto targets = makeTargets(17, 30);
+    FleetConfig fc;
+    fc.card = AccelConfig::paperOptimized();
+    fc.card.numUnits = 4;
+    fc.card.perfCounters = true;
+    fc.cards = 3;
+    fc.shardTargets = 4;
+    CardFleet fleet(fc);
+    FleetLease lease = fleet.lease();
+    FleetScheduleResult res = scheduleFleetTargets(
+        lease, targets, SchedulePolicy::AsynchronousParallel);
+
+    // Every card carries its own PerfMonitor; the conservation
+    // invariants must hold per card against that card's private
+    // timeline, not the fleet makespan.
+    ASSERT_EQ(res.cardPerf.size(), fc.cards);
+    uint64_t total_targets = 0;
+    uint64_t summed_cycles = 0;
+    for (uint32_t k = 0; k < fc.cards; ++k) {
+        const PerfReport &rep = res.cardPerf[k];
+        ASSERT_TRUE(rep.enabled) << "card " << k;
+        ASSERT_EQ(rep.units.size(), 4u) << "card " << k;
+        EXPECT_EQ(rep.totalCycles,
+                  res.fleet.cards[k].busyCycles)
+            << "card " << k;
+        summed_cycles += rep.totalCycles;
+        for (const auto &u : rep.units) {
+            EXPECT_EQ(u.loadCycles + u.computeCycles +
+                          u.writeCycles,
+                      u.busyCycles)
+                << "card " << k << " unit " << u.unit;
+            EXPECT_EQ(u.busyCycles + u.idleCycles, rep.totalCycles)
+                << "card " << k << " unit " << u.unit;
+            total_targets += u.targets;
+        }
+    }
+    EXPECT_EQ(total_targets, targets.size());
+
+    // The merged report spans one pid per card and adds the
+    // per-card cycle totals; the fleet makespan is the slowest
+    // card, never the sum.
+    EXPECT_EQ(res.perf.pidSpan, fc.cards);
+    EXPECT_EQ(res.perf.totalCycles, summed_cycles);
+    EXPECT_GT(summed_cycles, res.makespan);
+    EXPECT_EQ(res.fpga.totalCycles, res.makespan);
+}
+
 TEST(PerfMonitor, WhdCountersConsistentAcrossScheduler)
 {
     auto targets = makeTargets(31, 20);

@@ -128,6 +128,60 @@ TEST(RealignJob, GenomeWideBitEqualityAcrossBackendsAndThreads)
     }
 }
 
+TEST(RealignJob, FleetBitEqualityAcrossCardsThreadsStealing)
+{
+    setQuiet(true);
+    GenomeWorkload wl = buildWorkload(multiContigWorkload());
+    std::vector<Read> base = allReads(wl);
+
+    // Reference: the single-card serial accelerated run.  Every
+    // fleet shape must reproduce it bit for bit -- card placement
+    // only moves work between private virtual timelines, never
+    // into the datapath.
+    std::vector<Read> want = base;
+    RealignJobResult ref_job =
+        RealignSession(makeBackend("iracc")).run(wl.reference, want);
+    ASSERT_GT(ref_job.stats.targets, 0u);
+    std::vector<std::string> want_fp = fingerprint(want);
+
+    for (uint32_t cards : {1u, 2u, 4u}) {
+        for (uint32_t threads : {1u, 4u}) {
+            for (bool stealing : {true, false}) {
+                RealignJobConfig cfg;
+                cfg.threads = threads;
+                std::vector<Read> reads = base;
+                RealignJobResult job =
+                    RealignSession(makeBackend("iracc", false,
+                                               false, cards,
+                                               stealing),
+                                   cfg)
+                        .run(wl.reference, reads);
+
+                std::string what =
+                    "cards=" + std::to_string(cards) +
+                    " threads=" + std::to_string(threads) +
+                    (stealing ? " steal=on" : " steal=off");
+                EXPECT_EQ(fingerprint(reads), want_fp) << what;
+                expectStatsEqual(job.stats, ref_job.stats, what);
+                expectWhdEqual(job.stats.whd, ref_job.stats.whd,
+                               what);
+
+                // Dispatch accounting: one row per card, every
+                // target placed exactly once, and no steals when
+                // stealing is off.
+                ASSERT_TRUE(job.fleet.enabled()) << what;
+                EXPECT_EQ(job.fleet.cards.size(), cards) << what;
+                uint64_t placed = 0;
+                for (const auto &row : job.fleet.cards)
+                    placed += row.targets;
+                EXPECT_EQ(placed, job.stats.targets) << what;
+                if (!stealing)
+                    EXPECT_EQ(job.fleet.steals(), 0u) << what;
+            }
+        }
+    }
+}
+
 TEST(RealignJob, MatchesPerContigShim)
 {
     setQuiet(true);

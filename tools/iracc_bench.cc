@@ -1,9 +1,10 @@
 /**
  * @file
  * Perf-regression gate runner.  Executes the gated bench suites
- * (kernel_microbench, fig9_speedup), collects their iracc-bench-v1
- * reports, and diffs them against the committed baselines in
- * bench/baselines/ with the noise-aware rules in obs/bench_gate.hh.
+ * (kernel_microbench, fig9_speedup, fig7_scheduling,
+ * fig8_data_parallel), collects their iracc-bench-v1 reports, and
+ * diffs them against the committed baselines in bench/baselines/
+ * with the noise-aware rules in obs/bench_gate.hh.
  *
  * Workflow:
  *
@@ -62,6 +63,15 @@ suites()
         {"fig9_speedup", "BENCH_fig9.json",
          "IRACC_CHROMOSOMES=21,22 IRACC_SCALE=4000 ", "", false,
          obs::fig9GateRules()},
+        // Fully deterministic cycle models run once: fig7's
+        // self-contained toy (plus the multi-card fleet scaling
+        // section, whose 2-card speedup floor is the fleet
+        // acceptance bar) and fig8's width sweep at a pinned
+        // scale.
+        {"fig7_scheduling", "BENCH_fig7.json", "", "", false,
+         obs::fig7GateRules()},
+        {"fig8_data_parallel", "BENCH_fig8.json",
+         "IRACC_SCALE=4000 ", "", false, obs::fig8GateRules()},
     };
 }
 

@@ -55,6 +55,8 @@ struct Options
     bool pipelineOnly = false;
     uint64_t pipelineEvery = 10;
     bool minimize = true;
+    uint32_t cards = 1;
+    bool stealing = true;
 };
 
 void
@@ -74,7 +76,12 @@ usage(const char *argv0)
         "                      on every K'th seed (default 10)\n"
         "  --kernel-only       skip the pipeline differential\n"
         "  --pipeline-only     skip the kernel differential\n"
-        "  --no-minimize       emit repros without minimizing\n",
+        "  --no-minimize       emit repros without minimizing\n"
+        "  --cards N           run the fault differential's\n"
+        "                      hardened subject on an N-card fleet\n"
+        "                      (default 1)\n"
+        "  --no-stealing       disable cross-card work stealing\n"
+        "                      for the fleet subject\n",
         argv0);
 }
 
@@ -108,6 +115,12 @@ parseArgs(int argc, char **argv)
             opt.pipelineOnly = true;
         } else if (arg == "--no-minimize") {
             opt.minimize = false;
+        } else if (arg == "--cards") {
+            opt.cards = static_cast<uint32_t>(
+                std::strtoul(value(), nullptr, 0));
+            fatal_if(opt.cards == 0, "--cards must be >= 1");
+        } else if (arg == "--no-stealing") {
+            opt.stealing = false;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             std::exit(0);
@@ -199,9 +212,10 @@ reportFaultMismatch(const Options &opt, uint64_t seed,
         // the same schedule against its (smaller) event stream.
         repro.reads = minimizeReads(
             repro.reference, std::move(repro.reads),
-            [&plan](const ReferenceGenome &ref,
-                    const std::vector<Read> &reads) {
-                return diffFaultPlan(ref, reads, plan);
+            [&plan, &opt](const ReferenceGenome &ref,
+                          const std::vector<Read> &reads) {
+                return diffFaultPlan(ref, reads, plan, opt.cards,
+                                     opt.stealing);
             });
     }
     std::string path = saveReproCase(repro, opt.corpusDir);
@@ -251,7 +265,7 @@ main(int argc, char **argv)
 
     for (uint64_t n = 0; n < opt.faultSeeds; ++n) {
         uint64_t seed = opt.startSeed + n;
-        DiffResult r = diffFaultSeed(seed);
+        DiffResult r = diffFaultSeed(seed, opt.cards, opt.stealing);
         ++fault_runs;
         if (!r.ok) {
             ++mismatches;
