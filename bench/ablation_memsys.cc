@@ -97,6 +97,11 @@ main(int argc, char **argv)
                                       r.perf.channelBytes("ddr")) /
                                       1e6,
                                   1)});
+        // Modeled seconds are cycles / clock -- deterministic, so
+        // the perf gate can hold every sweep point exactly.
+        report.addValue("width" + std::to_string(bytes * 8) +
+                            ".fpgaSeconds",
+                        r.seconds);
     }
     widths.print();
 
@@ -116,6 +121,9 @@ main(int argc, char **argv)
                                    r.perf.channelBytes("ddr")) /
                                    1e6,
                                1)});
+        report.addValue("ddr" + std::to_string(ch) +
+                            ".fpgaSeconds",
+                        r.seconds);
     }
     ddr.print();
 
@@ -129,6 +137,13 @@ main(int argc, char **argv)
         ConfigResult r = runConfig(wl, chr, cfg);
         clock.addRow({Table::num(mhz, 0), Table::num(r.seconds, 4),
                       Table::speedup(base_time / r.seconds, 2)});
+        report.addValue("clock" + Table::num(mhz, 0) +
+                            ".fpgaSeconds",
+                        r.seconds);
+        if (mhz > 125.0)
+            report.addValue("clock" + Table::num(mhz, 0) +
+                                ".speedup",
+                            base_time / r.seconds);
     }
     clock.print();
 

@@ -187,6 +187,22 @@ main(int argc, char **argv)
                     sync_res.fpga.meanUnitUtilization);
     report.addValue("asyncUnitUtilization",
                     async_res.fpga.meanUnitUtilization);
+    // Per-target latency percentiles from the always-on flight
+    // recorder path (obs/latency_histogram.hh).  Cycle-domain, so
+    // the fig7 catch-all Exact rule gates them bit-for-bit; async
+    // scheduling shows up as a much shorter tail than sync.
+    report.addValue("syncTargetLatencyP50Cycles",
+                    static_cast<double>(
+                        sync_res.targetLatencyCycles.quantile(0.50)));
+    report.addValue("syncTargetLatencyP99Cycles",
+                    static_cast<double>(
+                        sync_res.targetLatencyCycles.quantile(0.99)));
+    report.addValue("asyncTargetLatencyP50Cycles",
+                    static_cast<double>(
+                        async_res.targetLatencyCycles.quantile(0.50)));
+    report.addValue("asyncTargetLatencyP99Cycles",
+                    static_cast<double>(
+                        async_res.targetLatencyCycles.quantile(0.99)));
 
     // --- Multi-card fleet scaling (Section VI deployment view) ---
     // 32 targets (four fresh draws of the Figure 7 generator, so

@@ -23,11 +23,13 @@
 #include <string>
 #include <vector>
 
+#include "core/postmortem.hh"
 #include "core/realign_job.hh"
 #include "core/realigner_api.hh"
 #include "core/workload.hh"
 #include "fault/fault.hh"
 #include "genomics/io.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/obs.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -199,6 +201,26 @@ cmdRealign(const Args &args)
     if (!fault_spec.empty())
         fault_plan = FaultPlan::parse(fault_spec);
 
+    // Flight recorder (always recording): --log-level tails events
+    // at or above the given severity to stderr as they happen.
+    std::string log_level = args.get("log-level", "");
+    if (!log_level.empty()) {
+        int level = -1;
+        if (log_level == "error")
+            level = 0;
+        else if (log_level == "warn")
+            level = 1;
+        else if (log_level == "info")
+            level = 2;
+        else if (log_level == "debug")
+            level = 3;
+        else
+            fatal("unknown --log-level '%s' (error, warn, info, "
+                  "debug)",
+                  log_level.c_str());
+        obs::FlightRecorder::instance().setLogLevel(level);
+    }
+
     // The registry is always on: its counters feed the exit
     // summary, and sampling a few histograms per contig is far off
     // the hot path.
@@ -215,6 +237,15 @@ cmdRealign(const Args &args)
     job_cfg.threads = static_cast<uint32_t>(
         args.getInt("job-threads", 1));
     job_cfg.obs = &ob;
+
+    // Post-mortem bundles (core/postmortem.hh): a Degraded or
+    // Failed run always writes one; --postmortem DIR picks the
+    // directory and forces a bundle even on an Ok run.
+    std::string postmortem_dir = args.get("postmortem", "");
+    job_cfg.postmortemAlways = !postmortem_dir.empty();
+    job_cfg.postmortemDir = postmortem_dir.empty()
+                                ? dir + "/iracc-postmortem"
+                                : postmortem_dir;
 
     // Fleet shape: --cards N leases an N-card fleet per contig
     // (accelerated backends only), --stealing 0 pins every shard
@@ -283,6 +314,31 @@ cmdRealign(const Args &args)
                 job.wallSeconds);
     }
     std::printf("wrote %s\n", out.c_str());
+
+    // Per-target latency percentiles (accelerated backends): the
+    // always-on dispatch-to-completion distribution, merged exactly
+    // over every contig.  The same histogram backs the registry's
+    // realign.target.latency_* metrics and --metrics exports.
+    if (job.targetLatencyCycles.count() > 0) {
+        const obs::LatencyHistogram &lc = job.targetLatencyCycles;
+        const obs::LatencyHistogram &ln = job.targetLatencyNanos;
+        std::printf(
+            "target latency: p50 %llu cy / p90 %llu cy / p99 %llu "
+            "cy / p99.9 %llu cy (max %llu)\n",
+            static_cast<unsigned long long>(lc.p50()),
+            static_cast<unsigned long long>(lc.p90()),
+            static_cast<unsigned long long>(lc.p99()),
+            static_cast<unsigned long long>(lc.p999()),
+            static_cast<unsigned long long>(lc.max()));
+        std::printf(
+            "                p50 %.1f us / p90 %.1f us / p99 %.1f "
+            "us / p99.9 %.1f us (modeled, %llu targets)\n",
+            static_cast<double>(ln.p50()) * 1e-3,
+            static_cast<double>(ln.p90()) * 1e-3,
+            static_cast<double>(ln.p99()) * 1e-3,
+            static_cast<double>(ln.p999()) * 1e-3,
+            static_cast<unsigned long long>(ln.count()));
+    }
 
     // Fleet dispatch summary: one row per card, merged over all
     // contig leases.  Busy cycles are each card's final simulated
@@ -386,6 +442,10 @@ cmdRealign(const Args &args)
             std::printf("failed contigs: %s\n",
                         contigList(job.failedContigs).c_str());
     }
+    if (!job.postmortemPath.empty())
+        std::printf("post-mortem bundle: %s (render with "
+                    "iracc_postmortem)\n",
+                    job.postmortemPath.c_str());
     if (job.status == RunStatus::Degraded)
         return 3;
     if (job.status == RunStatus::Failed)
@@ -480,7 +540,11 @@ usage()
         "            [--counters 1] [--trace trace.json]\n"
         "            [--metrics metrics.json|metrics.prom]\n"
         "            [--harden 1] [--fault-plan SPEC]\n"
-        "            (realign exits 0 ok / 3 degraded / 4 failed)\n"
+        "            [--log-level error|warn|info|debug]\n"
+        "            [--postmortem DIR]\n"
+        "            (realign exits 0 ok / 3 degraded / 4 failed;\n"
+        "             degraded/failed runs write a post-mortem\n"
+        "             bundle under --dir automatically)\n"
         "  call      --dir DIR [--ref F] [--reads F] [--out F]\n"
         "            [--lod X] [--min-depth N]\n"
         "  stats     --dir DIR [--ref F] [--reads F]\n\n"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hh"
 #include "util/logging.hh"
 
 namespace iracc {
@@ -45,14 +46,27 @@ FleetLease::FleetLease(const CardFleet *fleet)
         systems.push_back(
             std::make_unique<FpgaSystem>(fleet->config().card));
     }
+    obs::frEmit(obs::FrSeverity::Debug, obs::FrCategory::Fleet,
+                obs::FrCode::FleetLease, 0, -1, numCards,
+                fleet->config().card.numUnits);
 }
 
 FleetLease::~FleetLease()
 {
     // A moved-from lease has no owner; only the final holder posts
     // its accounting back.
-    if (owner != nullptr)
+    if (owner != nullptr) {
+        for (const FleetCardExecStats &row : stats.cards) {
+            obs::frEmit(obs::FrSeverity::Debug,
+                        obs::FrCategory::Fleet,
+                        obs::FrCode::FleetMerge, row.busyCycles,
+                        static_cast<int32_t>(row.card),
+                        row.targets, row.steals);
+        }
+        obs::frEmit(obs::FrSeverity::Debug, obs::FrCategory::Fleet,
+                    obs::FrCode::FleetRelease, 0, -1, numCards);
         owner->release(stats);
+    }
     owner = nullptr;
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <thread>
 
+#include "core/postmortem.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/obs.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -45,6 +47,11 @@ RealignSession::run(const ReferenceGenome &ref,
 {
     Timer wall;
     RealignJobResult job;
+
+    // The submitting thread gets driver coordinates (contig -1)
+    // for the job-lifecycle events; each contig's worker installs
+    // its own context in runOne below.
+    obs::FlightContext driverCtx(-1);
     if (contigs.empty()) {
         job.wallSeconds = wall.seconds();
         return job;
@@ -67,6 +74,12 @@ RealignSession::run(const ReferenceGenome &ref,
     for (const auto &kv : byContig)
         order.push_back(kv.first);
 
+    const FleetConfig *shape = be->fleetShape();
+    obs::frEmit(obs::FrSeverity::Info, obs::FrCategory::Job,
+                obs::FrCode::JobStart, 0, -1, order.size(),
+                reads.size(), shape ? shape->cards : 0,
+                shape && shape->stealing ? 1 : 0);
+
     // Workers beyond the contig count or the physical core count
     // only add contention (each accelerated contig runs its own
     // cycle-level simulation, a cache-heavy CPU-bound job), so cap
@@ -84,6 +97,10 @@ RealignSession::run(const ReferenceGenome &ref,
     std::vector<ContigJobResult> slots(order.size());
     auto runOne = [&](size_t i) {
         const int32_t contig = order[i];
+        obs::FlightContext fctx(contig);
+        obs::frEmit(obs::FrSeverity::Info, obs::FrCategory::Job,
+                    obs::FrCode::ContigStart, 0, -1,
+                    byContig[contig].size());
         obs::ScopedSpan span(obsv,
                              obsv && obsv->on()
                                  ? "contig " + std::to_string(contig)
@@ -95,6 +112,11 @@ RealignSession::run(const ReferenceGenome &ref,
         slots[i].run = runContigPipeline(
             ref, contig, reads, be->targetParams(), *exec,
             be->hostThreads(), &byContig[contig], cfg.seed, obsv);
+        obs::frEmit(obs::FrSeverity::Info, obs::FrCategory::Job,
+                    obs::FrCode::ContigDone, 0, -1,
+                    static_cast<uint64_t>(slots[i].run.status),
+                    slots[i].run.stats.targets,
+                    slots[i].run.fleet.busyCycles());
     };
 
     if (workers <= 1) {
@@ -115,6 +137,8 @@ RealignSession::run(const ReferenceGenome &ref,
         barrier.close();
     }
 
+    obs::frEmit(obs::FrSeverity::Info, obs::FrCategory::Job,
+                obs::FrCode::Barrier, 0, -1, order.size());
     if (obsv && obsv->metrics)
         obsv->metrics->counter("realign.job.contigs")
             .add(order.size());
@@ -136,12 +160,36 @@ RealignSession::run(const ReferenceGenome &ref,
                                               : 0);
         job.fleet.merge(c.run.fleet);
         job.recovery.merge(c.run.recovery);
+        job.targetLatencyCycles.merge(c.run.targetLatencyCycles);
+        job.targetLatencyNanos.merge(c.run.targetLatencyNanos);
         job.status = worseStatus(job.status, c.run.status);
         if (c.run.status == RunStatus::Degraded)
             job.degradedContigs.push_back(c.contig);
         else if (c.run.status == RunStatus::Failed)
             job.failedContigs.push_back(c.contig);
     }
+    obs::frEmit(obs::FrSeverity::Info, obs::FrCategory::Job,
+                obs::FrCode::JobDone, 0, -1,
+                static_cast<uint64_t>(job.status),
+                job.degradedContigs.size(),
+                job.failedContigs.size());
+
+    if (!cfg.postmortemDir.empty() &&
+        (cfg.postmortemAlways || job.status != RunStatus::Ok)) {
+        PostmortemOptions opt;
+        opt.dir = cfg.postmortemDir;
+        opt.backend = be->name();
+        opt.seed = cfg.seed;
+        if (shape != nullptr) {
+            opt.cards = shape->cards;
+            opt.stealing = shape->stealing;
+            for (const FaultPlan &plan : shape->cardPlans)
+                opt.faultPlans.push_back(plan.describe());
+        }
+        job.postmortemPath = writePostmortemBundle(
+            job, opt, obsv ? obsv->metrics : nullptr);
+    }
+
     job.wallSeconds = wall.seconds();
     return job;
 }

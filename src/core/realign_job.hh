@@ -65,6 +65,18 @@ struct RealignJobConfig
      * observability only reads timings and counts.
      */
     obs::Observability *obs = nullptr;
+
+    /**
+     * Post-mortem bundle directory (core/postmortem.hh).  When
+     * non-empty, a job that finishes Degraded or Failed writes a
+     * bundle there; empty (default) disables the writer.  The
+     * flight recorder itself is always on either way.
+     */
+    std::string postmortemDir;
+
+    /** Write the bundle even when the job finishes Ok (the CLI's
+     *  --postmortem switch). */
+    bool postmortemAlways = false;
 };
 
 /** One contig's slice of a job result. */
@@ -132,6 +144,18 @@ struct RealignJobResult
     RunStatus status = RunStatus::Ok;
     std::vector<int32_t> degradedContigs;
     std::vector<int32_t> failedContigs;
+
+    /**
+     * Per-target latency percentiles merged exactly over all
+     * contigs (accelerated backends; empty for software).  Cycle
+     * domain plus modeled nanoseconds -- see
+     * docs/OBSERVABILITY.md "Latency percentiles".
+     */
+    obs::LatencyHistogram targetLatencyCycles;
+    obs::LatencyHistogram targetLatencyNanos;
+
+    /** Path of the post-mortem bundle this run wrote ("" = none). */
+    std::string postmortemPath;
 };
 
 /**

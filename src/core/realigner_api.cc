@@ -75,6 +75,12 @@ class AcceleratedBackend : public RealignerBackend
         return std::make_unique<AcceleratedExecuteStage>(system);
     }
 
+    const FleetConfig *
+    fleetShape() const override
+    {
+        return &system.fleetConfig();
+    }
+
   private:
     std::string backendName;
     std::string desc;
@@ -104,6 +110,11 @@ class HardenedBackend : public RealignerBackend
         // contig-parallel runs stay deterministic.
         return std::make_unique<HardenedExecuteStage>(fleet,
                                                       policy);
+    }
+
+    const FleetConfig *fleetShape() const override
+    {
+        return &fleet.config();
     }
 
   private:

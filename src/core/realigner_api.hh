@@ -76,6 +76,13 @@ class RealignerBackend
     virtual uint32_t hostThreads() const { return 1; }
 
     /**
+     * Provisioned fleet shape, for accelerated backends; null for
+     * software backends (no device).  Post-mortem bundles record
+     * the shape and the per-card FaultPlans from it.
+     */
+    virtual const FleetConfig *fleetShape() const { return nullptr; }
+
+    /**
      * Realign one contig's reads in place -- a thin shim that
      * drives a one-contig staged pipeline (Plan -> Prepare ->
      * Execute -> Apply).  Genome-wide callers should prefer

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/flight_recorder.hh"
 #include "obs/obs.hh"
 #include "util/timer.hh"
 
@@ -47,6 +48,8 @@ AcceleratedExecuteStage::execute(const PreparedContig &prepared,
     }
     out.perf = std::move(run.perf);
     out.fleet = std::move(run.fleet);
+    out.targetLatencyCycles = run.targetLatencyCycles;
+    out.targetLatencyNanos = run.targetLatencyNanos;
     return out;
 }
 
@@ -75,6 +78,8 @@ HardenedExecuteStage::execute(const PreparedContig &prepared,
     out.recovery = run.recovery;
     out.status = run.status;
     out.fleet = std::move(run.fleet);
+    out.targetLatencyCycles = run.targetLatencyCycles;
+    out.targetLatencyNanos = run.targetLatencyNanos;
     return out;
 }
 
@@ -95,6 +100,8 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
                                 candidates);
     plan_span.close();
     out.stageTimes.planSeconds = t.seconds();
+    obs::frEmit(obs::FrSeverity::Debug, obs::FrCategory::Stage,
+                obs::FrCode::StagePlan, 0, -1, plan.targets.size());
 
     // Prepare: consensus generation (+ marshalling when the
     // Execute stage consumes byte images).
@@ -105,6 +112,9 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
                      exec.needsMarshalledTargets(), prepare_threads);
     prepare_span.close();
     out.stageTimes.prepareSeconds = t.seconds();
+    obs::frEmit(obs::FrSeverity::Debug, obs::FrCategory::Stage,
+                obs::FrCode::StagePrepare, 0, -1,
+                prepared.inputs.size());
 
     // Execute: the backend-specific kernel.  The span records host
     // wall-clock of the call (for accelerated backends that is the
@@ -114,6 +124,10 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
     ExecuteOutcome outcome = exec.execute(prepared, rng_seed);
     exec_span.close();
     out.stageTimes.executeSeconds = outcome.seconds;
+    obs::frEmit(obs::FrSeverity::Debug, obs::FrCategory::Stage,
+                obs::FrCode::StageExecute, 0, -1,
+                prepared.inputs.size(),
+                outcome.targetLatencyCycles.max());
 
     // Apply: decision writeback + stats assembly.
     t.restart();
@@ -121,6 +135,9 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
     out.stats = applyStage(prepared, outcome.decisions, reads);
     apply_span.close();
     out.stageTimes.applySeconds = t.seconds();
+    obs::frEmit(obs::FrSeverity::Debug, obs::FrCategory::Stage,
+                obs::FrCode::StageApply, 0, -1,
+                out.stats.readsRealigned);
 
     out.stats.whd = outcome.whd;
 
@@ -178,6 +195,15 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
         count("realign.contigs_failed",
               outcome.status == RunStatus::Failed ? 1 : 0);
 
+        // Per-target latency percentiles (accelerated backends
+        // only): exact merge into the job-wide distributions.
+        if (outcome.targetLatencyCycles.count() > 0) {
+            reg.latency("realign.target.latency_cycles")
+                .merge(outcome.targetLatencyCycles);
+            reg.latency("realign.target.latency_ns")
+                .merge(outcome.targetLatencyNanos);
+        }
+
         // Fleet dispatch accounting (accelerated backends only).
         if (outcome.fleet.enabled()) {
             reg.counter("fleet.card_busy_cycles")
@@ -199,6 +225,8 @@ runContigPipeline(const ReferenceGenome &ref, int32_t contig,
     out.recovery = outcome.recovery;
     out.status = outcome.status;
     out.fleet = std::move(outcome.fleet);
+    out.targetLatencyCycles = outcome.targetLatencyCycles;
+    out.targetLatencyNanos = outcome.targetLatencyNanos;
     return out;
 }
 

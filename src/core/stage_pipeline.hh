@@ -20,6 +20,7 @@
 
 #include "fault/fault.hh"
 #include "genomics/read.hh"
+#include "obs/latency_histogram.hh"
 #include "genomics/reference.hh"
 #include "host/accelerated_system.hh"
 #include "host/hardened_executor.hh"
@@ -97,6 +98,15 @@ struct BackendRunResult
      * `fleet.*`).
      */
     FleetExecStats fleet;
+
+    /**
+     * Accelerated backends: always-on per-target latency
+     * percentiles, dispatch to completion, in both clock domains
+     * (empty for software backends).  Mergeable exactly across
+     * contigs/runs; see docs/OBSERVABILITY.md.
+     */
+    obs::LatencyHistogram targetLatencyCycles;
+    obs::LatencyHistogram targetLatencyNanos;
 };
 
 /** Uniform outcome of a backend's Execute stage. */
@@ -129,6 +139,11 @@ struct ExecuteOutcome
 
     /** Accelerated backends: per-card fleet accounting. */
     FleetExecStats fleet;
+
+    /** Accelerated backends: always-on per-target latency from
+     *  dispatch to completion (cycle domain + modeled ns). */
+    obs::LatencyHistogram targetLatencyCycles;
+    obs::LatencyHistogram targetLatencyNanos;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <array>
 #include <sstream>
 
+#include "obs/flight_recorder.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -171,8 +172,34 @@ FaultPlan::random(uint64_t seed)
 FaultInjector::FaultInjector(FaultPlan plan)
 {
     armed.reserve(plan.specs.size());
-    for (FaultSpec &spec : plan.specs)
-        armed.push_back(Armed{std::move(spec), 0});
+    for (FaultSpec &spec : plan.specs) {
+        // Intern the spec's canonical text once so the recorder
+        // event is a fixed-size binary record.
+        FaultPlan one;
+        one.specs.push_back(spec);
+        uint32_t textId =
+            obs::FlightRecorder::instance().intern(one.describe());
+        armed.push_back(Armed{std::move(spec), 0, textId});
+    }
+}
+
+void
+FaultInjector::setObsContext(int32_t card,
+                             std::function<uint64_t()> now)
+{
+    obsCard = card;
+    obsNow = std::move(now);
+}
+
+void
+FaultInjector::noteInjected(const Armed &a)
+{
+    obs::frEmit(obs::FrSeverity::Warn, obs::FrCategory::Fault,
+                obs::FrCode::FaultInjected,
+                obsNow ? obsNow() : 0, obsCard,
+                static_cast<uint64_t>(&a - armed.data()),
+                static_cast<uint64_t>(a.spec.kind), a.seen,
+                a.textId);
 }
 
 bool
@@ -203,6 +230,7 @@ FaultInjector::corruptWrite(uint64_t addr, uint64_t len,
         *byte_off = bit / 8;
         *bit_mask = static_cast<uint8_t>(1u << (bit % 8));
         ++counts[static_cast<size_t>(FaultKind::CorruptWrite)];
+        noteInjected(a);
         return true;
     }
     return false;
@@ -221,6 +249,7 @@ FaultInjector::stallCycles(const std::string &channel)
             continue;
         extra += a.spec.stallCycles;
         ++counts[static_cast<size_t>(FaultKind::ChannelStall)];
+        noteInjected(a);
     }
     return extra;
 }
@@ -239,6 +268,7 @@ FaultInjector::hangUnit(uint32_t unit)
             continue;
         hit = true;
         ++counts[static_cast<size_t>(FaultKind::UnitHang)];
+        noteInjected(a);
     }
     return hit;
 }
@@ -257,6 +287,7 @@ FaultInjector::dropResponse(uint32_t unit)
             continue;
         hit = true;
         ++counts[static_cast<size_t>(FaultKind::DropResponse)];
+        noteInjected(a);
     }
     return hit;
 }
@@ -272,6 +303,7 @@ FaultInjector::dropDma()
             continue;
         hit = true;
         ++counts[static_cast<size_t>(FaultKind::DmaDrop)];
+        noteInjected(a);
     }
     return hit;
 }

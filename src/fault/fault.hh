@@ -39,6 +39,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -141,18 +142,33 @@ class FaultInjector
     /** Faults injected across all kinds. */
     uint64_t totalInjected() const;
 
+    /**
+     * Flight-recorder coordinates: the card this injector serves
+     * and a cycle-domain clock (usually the owning FpgaSystem's
+     * now()).  Every injected fault is then recorded with its spec
+     * index, occurrence number, and canonical spec text.
+     */
+    void setObsContext(int32_t card,
+                       std::function<uint64_t()> now);
+
   private:
     struct Armed
     {
         FaultSpec spec;
-        uint64_t seen = 0; ///< matching events observed
+        uint64_t seen = 0;    ///< matching events observed
+        uint32_t textId = 0;  ///< interned canonical spec text
     };
+
+    /** Emit the flight-recorder event for a fired spec. */
+    void noteInjected(const Armed &a);
 
     /** Occurrence bookkeeping shared by every hook. */
     bool fires(Armed &a);
 
     std::vector<Armed> armed;
     uint64_t counts[kNumFaultKinds] = {};
+    int32_t obsCard = -1;
+    std::function<uint64_t()> obsNow;
 };
 
 /**

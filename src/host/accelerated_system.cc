@@ -55,6 +55,8 @@ AcceleratedIrSystem::executeTargets(const PreparedContig &prepared) const
     out.timeline = std::move(sched.timeline);
     out.perf = std::move(sched.perf);
     out.fleet = std::move(sched.fleet);
+    out.targetLatencyCycles = sched.targetLatencyCycles;
+    out.targetLatencyNanos = sched.targetLatencyNanos;
     return out;
 }
 

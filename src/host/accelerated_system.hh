@@ -19,6 +19,7 @@
 #include "accel/card_fleet.hh"
 #include "accel/fpga_system.hh"
 #include "host/scheduler.hh"
+#include "obs/latency_histogram.hh"
 #include "realign/realigner.hh"
 #include "realign/stages.hh"
 
@@ -53,6 +54,11 @@ struct AccelExecuteResult
 
     /** Per-card dispatch accounting (shards, steals, busy). */
     FleetExecStats fleet;
+
+    /** Always-on per-target dispatch-to-completion latency
+     *  (cycle domain + modeled nanoseconds). */
+    obs::LatencyHistogram targetLatencyCycles;
+    obs::LatencyHistogram targetLatencyNanos;
 };
 
 /** Result of one accelerated realignment run. */

@@ -6,6 +6,7 @@
 
 #include "accel/ir_compute.hh"
 #include "host/scheduler.hh"
+#include "obs/flight_recorder.hh"
 #include "realign/marshal.hh"
 #include "util/logging.hh"
 
@@ -57,6 +58,11 @@ struct HardenedRun
     std::vector<UnitState> units;
     size_t unresolved = 0;
     size_t inFlight = 0;
+    int32_t card = -1; ///< fleet card id (recorder coordinates)
+
+    /** Cycle of each slot's first dispatch (latency percentiles
+     *  measure dispatch -> resolution, retries included). */
+    std::vector<Cycle> readyAt;
 
     /** Fleet only: targets handed off because this card wedged. */
     bool allowMigration = false;
@@ -155,6 +161,9 @@ struct HardenedRun
         (*whdGlobal)[t] = res.whd;
         ++out->recovery.softwareFallbacks;
         trace("fallback target " + std::to_string(t), t);
+        obs::frEmit(obs::FrSeverity::Warn, obs::FrCategory::Harden,
+                    obs::FrCode::Fallback, sys->now(), card, t,
+                    targets[slot].attempts);
         finish(slot);
     }
 
@@ -169,12 +178,19 @@ struct HardenedRun
         d.newOffset.assign(mt.numReads, 0);
         out->decisions[global(slot)] = std::move(d);
         ++out->recovery.failedTargets;
+        obs::frEmit(obs::FrSeverity::Error, obs::FrCategory::Harden,
+                    obs::FrCode::TargetFailed, sys->now(), card,
+                    global(slot), targets[slot].attempts);
         finish(slot);
     }
 
     void
     finish(size_t slot)
     {
+        Cycle waited = sys->now() - readyAt[slot];
+        out->targetLatencyCycles.record(waited);
+        out->targetLatencyNanos.record(static_cast<uint64_t>(
+            sys->cyclesToSeconds(waited) * 1e9));
         releaseUnit(slot);
         targets[slot].phase = TargetPhase::Resolved;
         --unresolved;
@@ -244,6 +260,9 @@ struct HardenedRun
         units[u].quarantined = true;
         ++out->recovery.quarantinedUnits;
         trace("quarantine unit " + std::to_string(u), u);
+        obs::frEmit(obs::FrSeverity::Warn, obs::FrCategory::Harden,
+                    obs::FrCode::Quarantine, sys->now(), card, u,
+                    units[u].strikes);
     }
 
     /**
@@ -290,6 +309,9 @@ HardenedRun::launch(size_t slot)
         deviceInputChecksum(slot) != inputChecksum(marshalled(slot))) {
         ++out->recovery.checksumInputCatches;
         trace("checksum-in target " + std::to_string(t), t);
+        obs::frEmit(obs::FrSeverity::Warn, obs::FrCategory::Harden,
+                    obs::FrCode::CrcMismatch, sys->now(), card, t,
+                    static_cast<uint64_t>(st.unit), 0);
         // The DMA path corrupted the images; the unit never ran,
         // so no unit is blamed.  Retry re-DMAs from the host copy.
         abandonAttempt(slot);
@@ -316,6 +338,10 @@ HardenedRun::launch(size_t slot)
                 ++out->recovery.checksumOutputCatches;
                 trace("checksum-out target " + std::to_string(t),
                       t);
+                obs::frEmit(obs::FrSeverity::Warn,
+                            obs::FrCategory::Harden,
+                            obs::FrCode::CrcMismatch, sys->now(),
+                            card, t, unit, 1);
                 // The unit's MemWriters corrupted the buffers; it
                 // finished (it is idle again) but takes a strike.
                 if (++units[unit].strikes >=
@@ -344,6 +370,11 @@ HardenedRun::dispatch(size_t slot, uint32_t unit)
         ++out->recovery.retries;
         trace("retry target " + std::to_string(global(slot)),
               global(slot));
+        obs::frEmit(obs::FrSeverity::Info, obs::FrCategory::Harden,
+                    obs::FrCode::Retry, sys->now(), card,
+                    global(slot), st.attempts + 1);
+    } else {
+        readyAt[slot] = sys->now();
     }
     ++st.attempts;
     st.phase = TargetPhase::Dispatched;
@@ -390,6 +421,12 @@ HardenedRun::watchdogSweep()
             ++out->recovery.watchdogCatches;
             trace("watchdog target " + std::to_string(global(slot)),
                   global(slot));
+            obs::frEmit(obs::FrSeverity::Warn,
+                        obs::FrCategory::Harden,
+                        obs::FrCode::WatchdogTrip, sys->now(),
+                        card, global(slot),
+                        static_cast<uint64_t>(-1),
+                        sys->now() - readyAt[slot]);
             abandonAttempt(slot);
         } else if (st.phase == TargetPhase::Launched) {
             // ir_start was accepted and no response came back: the
@@ -398,6 +435,12 @@ HardenedRun::watchdogSweep()
             ++out->recovery.watchdogCatches;
             trace("watchdog target " + std::to_string(global(slot)),
                   global(slot));
+            obs::frEmit(obs::FrSeverity::Warn,
+                        obs::FrCategory::Harden,
+                        obs::FrCode::WatchdogTrip, sys->now(),
+                        card, global(slot),
+                        static_cast<uint64_t>(st.unit),
+                        sys->now() - readyAt[slot]);
             quarantine(static_cast<uint32_t>(st.unit));
             abandonAttempt(slot);
         }
@@ -415,7 +458,7 @@ runCardHardened(FpgaSystem &sys, const PreparedContig &prepared,
                 const HardenPolicy &policy,
                 HardenedExecuteResult &out,
                 std::vector<WhdStats> &whd_global,
-                bool allow_migration)
+                bool allow_migration, int32_t card)
 {
     HardenedRun run;
     run.sys = &sys;
@@ -425,9 +468,11 @@ runCardHardened(FpgaSystem &sys, const PreparedContig &prepared,
     run.out = &out;
     run.whdGlobal = &whd_global;
     run.allowMigration = allow_migration;
+    run.card = card;
     run.targets.resize(order.size());
     run.units.resize(sys.numUnits());
     run.unresolved = order.size();
+    run.readyAt.resize(order.size(), 0);
     run.descriptors.reserve(order.size());
     for (size_t t : order)
         run.descriptors.push_back(
@@ -439,6 +484,12 @@ runCardHardened(FpgaSystem &sys, const PreparedContig &prepared,
     // round (injected stalls) simply extends into the next round.
     while (run.unresolved > 0) {
         size_t dispatched = run.dispatchRound();
+        if (dispatched > 0) {
+            obs::frEmit(obs::FrSeverity::Debug,
+                        obs::FrCategory::Sched,
+                        obs::FrCode::Dispatch, sys.now(), card,
+                        dispatched);
+        }
         if (run.inFlight == 0) {
             if (dispatched > 0)
                 continue; // all dispatches resolved synchronously
@@ -492,7 +543,10 @@ hardenedExecuteFleetTargets(FleetLease &lease,
     injectors.reserve(cards);
     for (uint32_t k = 0; k < cards; ++k) {
         injectors.emplace_back(lease.cardPlan(k));
-        lease.card(k).attachFaults(&injectors[k]);
+        FpgaSystem *sysk = &lease.card(k);
+        injectors[k].setObsContext(static_cast<int32_t>(k),
+                                   [sysk] { return sysk->now(); });
+        sysk->attachFaults(&injectors[k]);
     }
 
     // Static shard homes (shard s -> card s % cards); a one-card
@@ -524,9 +578,17 @@ hardenedExecuteFleetTargets(FleetLease &lease,
             carry = runCardHardened(lease.card(k), prepared, order,
                                     policy, out, whdGlobal,
                                     /*allow_migration=*/k + 1 <
-                                        cards);
-            if (!carry.empty())
+                                        cards,
+                                    static_cast<int32_t>(k));
+            if (!carry.empty()) {
                 ++out.recovery.quarantinedCards;
+                obs::frEmit(obs::FrSeverity::Error,
+                            obs::FrCategory::Harden,
+                            obs::FrCode::Migrate,
+                            lease.card(k).now(),
+                            static_cast<int32_t>(k + 1),
+                            carry.size(), k);
+            }
         }
         row.migrations = migrated_in;
         row.targets = order.size() - carry.size();

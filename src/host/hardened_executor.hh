@@ -46,6 +46,7 @@
 #include "accel/card_fleet.hh"
 #include "accel/fpga_system.hh"
 #include "fault/fault.hh"
+#include "obs/latency_histogram.hh"
 #include "realign/stages.hh"
 
 namespace iracc {
@@ -86,6 +87,15 @@ struct HardenedExecuteResult
 
     /** Per-card dispatch accounting (shards, migrations, busy). */
     FleetExecStats fleet;
+
+    /**
+     * Always-on per-target latency from first dispatch to
+     * resolution -- retries, watchdog waits, and fallbacks
+     * included, so the recovery machinery shows up in the tail
+     * percentiles.  Cycle domain plus modeled nanoseconds.
+     */
+    obs::LatencyHistogram targetLatencyCycles;
+    obs::LatencyHistogram targetLatencyNanos;
 };
 
 /**

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "accel/ir_compute.hh"
+#include "obs/flight_recorder.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -61,6 +62,10 @@ struct RunState
     size_t nextSlot = 0;
     size_t completed = 0;
 
+    /** Always-on per-target latency sinks (cycles / modeled ns). */
+    obs::LatencyHistogram *latCycles = nullptr;
+    obs::LatencyHistogram *latNanos = nullptr;
+
     /** Cycle each slot became ready to dispatch (perf). */
     std::vector<Cycle> readyAt;
 
@@ -90,8 +95,17 @@ struct RunState
         res.output = sys->readOutputs(descriptors[slot]);
         (*outResults)[t] = std::move(res);
         ++completed;
+        // Always-on: the percentile histograms cost two bucket
+        // increments per target, recorder or no recorder.
+        Cycle waited = sys->now() - readyAt[slot];
+        if (latCycles != nullptr)
+            latCycles->record(waited);
+        if (latNanos != nullptr) {
+            latNanos->record(static_cast<uint64_t>(
+                sys->cyclesToSeconds(waited) * 1e9));
+        }
         if (PerfMonitor *p = sys->perf()) {
-            p->sampleTargetLatency(sys->now() - readyAt[slot]);
+            p->sampleTargetLatency(waited);
             p->traceSpan("target " + std::to_string(t), "sched",
                          kTraceTidScheduler, readyAt[slot],
                          sys->now(), t);
@@ -198,14 +212,21 @@ runTargetSubset(FpgaSystem &sys,
                 const std::vector<size_t> &order,
                 const std::vector<IrComputeResult> &precomputed,
                 SchedulePolicy policy,
-                std::vector<IrComputeResult> &results)
+                std::vector<IrComputeResult> &results,
+                int32_t card, obs::LatencyHistogram *lat_cycles,
+                obs::LatencyHistogram *lat_nanos)
 {
+    obs::frEmit(obs::FrSeverity::Debug, obs::FrCategory::Sched,
+                obs::FrCode::Dispatch, sys.now(), card,
+                order.size());
     RunState st;
     st.sys = &sys;
     st.targets = &targets;
     st.precomputed = &precomputed;
     st.order = &order;
     st.outResults = &results;
+    st.latCycles = lat_cycles;
+    st.latNanos = lat_nanos;
     st.descriptors.reserve(order.size());
     st.readyAt.resize(order.size(), 0);
     for (size_t t : order)
@@ -271,7 +292,8 @@ scheduleTargets(FpgaSystem &sys,
     std::vector<size_t> order(targets.size());
     std::iota(order.begin(), order.end(), size_t{0});
     runTargetSubset(sys, targets, order, precomputed, policy,
-                    out.results);
+                    out.results, 0, &out.targetLatencyCycles,
+                    &out.targetLatencyNanos);
 
     out.makespan = sys.now();
     out.timeline = sys.timeline();
@@ -311,7 +333,9 @@ scheduleFleetTargets(FleetLease &lease,
         std::vector<size_t> order(targets.size());
         std::iota(order.begin(), order.end(), size_t{0});
         runTargetSubset(lease.card(0), targets, order, precomputed,
-                        policy, out.results);
+                        policy, out.results, 0,
+                        &out.targetLatencyCycles,
+                        &out.targetLatencyNanos);
         FleetCardExecStats &row = out.fleet.cardRow(0);
         row.targets = targets.size();
         row.shards = numShards;
@@ -324,11 +348,20 @@ scheduleFleetTargets(FleetLease &lease,
             uint64_t shards = 0;
             for (size_t s = k; s < numShards;
                  s += cards, ++shards) {
+                size_t before = order.size();
                 shardRange(s, order);
+                obs::frEmit(obs::FrSeverity::Debug,
+                            obs::FrCategory::Sched,
+                            obs::FrCode::ShardPlace, 0,
+                            static_cast<int32_t>(k), s,
+                            order.size() - before);
             }
             if (!order.empty()) {
                 runTargetSubset(lease.card(k), targets, order,
-                                precomputed, policy, out.results);
+                                precomputed, policy, out.results,
+                                static_cast<int32_t>(k),
+                                &out.targetLatencyCycles,
+                                &out.targetLatencyNanos);
             }
             FleetCardExecStats &row = out.fleet.cardRow(k);
             row.targets = order.size();
@@ -370,16 +403,31 @@ scheduleFleetTargets(FleetLease &lease,
                 if (load[k] < load[best])
                     best = k;
             }
+            size_t before = orders[best].size();
             shardRange(s, orders[best]);
+            obs::frEmit(obs::FrSeverity::Debug,
+                        obs::FrCategory::Sched,
+                        obs::FrCode::ShardPlace, 0,
+                        static_cast<int32_t>(best), s,
+                        orders[best].size() - before);
             load[best] += shardCost[s];
             ++shardCount[best];
-            if (best != static_cast<uint32_t>(s % cards))
+            if (best != static_cast<uint32_t>(s % cards)) {
                 ++out.fleet.cardRow(best).steals;
+                obs::frEmit(obs::FrSeverity::Info,
+                            obs::FrCategory::Sched,
+                            obs::FrCode::ShardSteal, 0,
+                            static_cast<int32_t>(best), s,
+                            s % cards);
+            }
         }
         for (uint32_t k = 0; k < cards; ++k) {
             if (!orders[k].empty()) {
                 runTargetSubset(lease.card(k), targets, orders[k],
-                                precomputed, policy, out.results);
+                                precomputed, policy, out.results,
+                                static_cast<int32_t>(k),
+                                &out.targetLatencyCycles,
+                                &out.targetLatencyNanos);
             }
             FleetCardExecStats &row = out.fleet.cardRow(k);
             row.targets = orders[k].size();

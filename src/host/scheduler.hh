@@ -26,6 +26,7 @@
 
 #include "accel/card_fleet.hh"
 #include "accel/fpga_system.hh"
+#include "obs/latency_histogram.hh"
 #include "realign/marshal.hh"
 
 namespace iracc {
@@ -59,6 +60,14 @@ struct ScheduleResult
      * the AccelConfig asked for counters/tracing).
      */
     PerfReport perf;
+
+    /**
+     * Always-on per-target latency (dispatch-ready to response
+     * collected), in the cycle domain and in modeled nanoseconds.
+     * Deterministic; merges exactly up through contigs and jobs.
+     */
+    obs::LatencyHistogram targetLatencyCycles;
+    obs::LatencyHistogram targetLatencyNanos;
 };
 
 /**
@@ -106,6 +115,11 @@ struct FleetScheduleResult
 
     /** Per-card dispatch accounting (shards, steals, busy). */
     FleetExecStats fleet;
+
+    /** Always-on per-target latency over every card (cycle domain
+     *  and modeled nanoseconds); exact merge of the cards. */
+    obs::LatencyHistogram targetLatencyCycles;
+    obs::LatencyHistogram targetLatencyNanos;
 };
 
 /**

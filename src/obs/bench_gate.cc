@@ -203,6 +203,36 @@ fig8GateRules()
     };
 }
 
+std::vector<GateRule>
+ablationPruningGateRules()
+{
+    // Comparison and cycle counters are exact functions of the
+    // pinned workload.  The mean eliminated fraction is the paper's
+    // headline pruning claim (>50 % of computations eliminated);
+    // the small relative slack only covers a refreshed baseline's
+    // rounding, never a real drop below the floor.
+    return {
+        {"eliminatedFractionMean", GateClass::HigherBetter, 0.02,
+         0.50, true},
+        {"", GateClass::Exact, 0.0, 0.0, true},
+    };
+}
+
+std::vector<GateRule>
+ablationMemsysGateRules()
+{
+    // All sweep points are modeled seconds (cycles / clock), fully
+    // deterministic at the pinned scale.  The 250 MHz point's
+    // speedup over the 125 MHz base keeps an explicit floor: the
+    // model is compute-bound, so doubling the clock must keep
+    // buying well over 1.5x.
+    return {
+        {"clock250.speedup", GateClass::HigherBetter, 0.05, 1.5,
+         true},
+        {"", GateClass::Exact, 0.0, 0.0, true},
+    };
+}
+
 void
 scaleGateSlack(std::vector<GateRule> &rules, double factor)
 {

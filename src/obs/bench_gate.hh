@@ -104,6 +104,17 @@ std::vector<GateRule> fig7GateRules();
  *  cycle counts at a pinned IRACC_SCALE). */
 std::vector<GateRule> fig8GateRules();
 
+/** Rules for ablation_pruning reports: exact comparison/cycle
+ *  counters per chromosome; the mean eliminated fraction carries
+ *  the paper's >50 % pruning claim as an absolute floor. */
+std::vector<GateRule> ablationPruningGateRules();
+
+/** Rules for ablation_memsys reports: every sweep point is a
+ *  modeled (cycle-exact) runtime, so the default is Exact; the
+ *  250 MHz speedup keeps a floor because frequency must keep
+ *  scaling performance in the compute-bound model. */
+std::vector<GateRule> ablationMemsysGateRules();
+
 /** Multiply every rule's relSlack by @p factor (gate tightening
  *  or loosening from the command line). */
 void scaleGateSlack(std::vector<GateRule> &rules, double factor);

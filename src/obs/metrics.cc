@@ -79,7 +79,8 @@ Counter &
 MetricsRegistry::counter(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mtx);
-    panic_if(gauges.count(name) || hists.count(name),
+    panic_if(gauges.count(name) || hists.count(name) ||
+                 lats.count(name),
              "metric '%s' already registered with another kind",
              name.c_str());
     auto &slot = counters[name];
@@ -92,7 +93,8 @@ Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mtx);
-    panic_if(counters.count(name) || hists.count(name),
+    panic_if(counters.count(name) || hists.count(name) ||
+                 lats.count(name),
              "metric '%s' already registered with another kind",
              name.c_str());
     auto &slot = gauges[name];
@@ -106,7 +108,8 @@ MetricsRegistry::histogram(const std::string &name,
                            std::vector<double> bounds)
 {
     std::lock_guard<std::mutex> lock(mtx);
-    panic_if(counters.count(name) || gauges.count(name),
+    panic_if(counters.count(name) || gauges.count(name) ||
+                 lats.count(name),
              "metric '%s' already registered with another kind",
              name.c_str());
     auto &slot = hists[name];
@@ -115,6 +118,20 @@ MetricsRegistry::histogram(const std::string &name,
             bounds.empty() ? defaultSecondsBounds()
                            : std::move(bounds));
     }
+    return *slot;
+}
+
+LatencyMetric &
+MetricsRegistry::latency(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    panic_if(counters.count(name) || gauges.count(name) ||
+                 hists.count(name),
+             "metric '%s' already registered with another kind",
+             name.c_str());
+    auto &slot = lats[name];
+    if (!slot)
+        slot = std::make_unique<LatencyMetric>();
     return *slot;
 }
 
@@ -148,6 +165,15 @@ MetricsRegistry::histogramCount(const std::string &name) const
     std::lock_guard<std::mutex> lock(mtx);
     auto it = hists.find(name);
     return it == hists.end() ? 0 : it->second->count();
+}
+
+LatencyHistogram
+MetricsRegistry::latencySnapshot(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = lats.find(name);
+    return it == lats.end() ? LatencyHistogram()
+                            : it->second->snapshotHist();
 }
 
 namespace {
@@ -209,6 +235,18 @@ MetricsRegistry::writeJson(std::ostream &os) const
         os << "]}";
         first = false;
     }
+    os << "},\"latencies\":{";
+    first = true;
+    for (const auto &[name, l] : lats) {
+        LatencyHistogram h = l->snapshotHist();
+        os << (first ? "" : ",") << jsonQuote(name)
+           << ":{\"count\":" << h.count()
+           << ",\"sum\":" << h.total() << ",\"min\":" << h.min()
+           << ",\"max\":" << h.max() << ",\"p50\":" << h.p50()
+           << ",\"p90\":" << h.p90() << ",\"p99\":" << h.p99()
+           << ",\"p999\":" << h.p999() << "}";
+        first = false;
+    }
     os << "}}";
 }
 
@@ -260,6 +298,17 @@ MetricsRegistry::writePrometheus(std::ostream &os) const
         os << p << "_bucket{le=\"+Inf\"} " << h->count() << "\n"
            << p << "_sum " << h->sum() << "\n"
            << p << "_count " << h->count() << "\n";
+    }
+    for (const auto &[name, l] : lats) {
+        LatencyHistogram h = l->snapshotHist();
+        std::string p = promName(name);
+        os << "# TYPE " << p << " summary\n";
+        os << p << "{quantile=\"0.5\"} " << h.p50() << "\n"
+           << p << "{quantile=\"0.9\"} " << h.p90() << "\n"
+           << p << "{quantile=\"0.99\"} " << h.p99() << "\n"
+           << p << "{quantile=\"0.999\"} " << h.p999() << "\n"
+           << p << "_sum " << h.total() << "\n"
+           << p << "_count " << h.count() << "\n";
     }
 }
 

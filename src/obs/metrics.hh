@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/latency_histogram.hh"
+
 namespace iracc {
 namespace obs {
 
@@ -153,6 +155,45 @@ class HistogramMetric
 std::vector<double> defaultSecondsBounds();
 
 /**
+ * Percentile-capable latency metric: a mutex-guarded
+ * LatencyHistogram (obs/latency_histogram.hh).  Unlike the
+ * fixed-bucket HistogramMetric, quantiles carry bounded relative
+ * error at any magnitude, and whole per-run histograms merge in
+ * exactly.  Values are raw uint64 in whatever unit the metric
+ * name declares (cycles, nanoseconds).
+ */
+class LatencyMetric
+{
+  public:
+    void
+    record(uint64_t v)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        h.record(v);
+    }
+
+    /** Exact merge of a per-run/per-contig histogram. */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        h.merge(other);
+    }
+
+    /** Consistent copy for rendering. */
+    LatencyHistogram
+    snapshotHist() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return h;
+    }
+
+  private:
+    mutable std::mutex m;
+    LatencyHistogram h;
+};
+
+/**
  * The thread-safe metric registry.  Lookup-or-create by name;
  * handles stay valid for the registry's lifetime.  A name is bound
  * to one metric kind; requesting it as another kind panics.
@@ -173,11 +214,16 @@ class MetricsRegistry
     HistogramMetric &histogram(const std::string &name,
                                std::vector<double> bounds = {});
 
+    /** Percentile latency distribution (see LatencyMetric). */
+    LatencyMetric &latency(const std::string &name);
+
     // -- convenience readers (0 / empty semantics when absent) --
     uint64_t counterValue(const std::string &name) const;
     int64_t gaugeValue(const std::string &name) const;
     double histogramSum(const std::string &name) const;
     uint64_t histogramCount(const std::string &name) const;
+    /** Empty histogram when the metric is absent. */
+    LatencyHistogram latencySnapshot(const std::string &name) const;
 
     /** One JSON object: {"counters":{...},"gauges":{...},
      *  "histograms":{...}}.  Names escaped via util/json. */
@@ -192,6 +238,7 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<HistogramMetric>> hists;
+    std::map<std::string, std::unique_ptr<LatencyMetric>> lats;
 };
 
 } // namespace obs

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for obs::LatencyHistogram: the bucketing must preserve
+ * order and bound relative error, quantiles must track the true
+ * order statistics within one sub-bucket width, and merge() must
+ * be exact (associative, commutative, equal to recording the
+ * union) -- that is what lets per-card and per-contig histograms
+ * collapse into the job-level percentiles without approximation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/latency_histogram.hh"
+#include "util/rng.hh"
+
+namespace iracc {
+namespace {
+
+using obs::LatencyHistogram;
+
+/** True order statistic at quantile q (rank ceil(q*n), 1-based). */
+uint64_t
+exactQuantile(std::vector<uint64_t> xs, double q)
+{
+    std::sort(xs.begin(), xs.end());
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(xs.size())));
+    if (rank == 0)
+        rank = 1;
+    return xs[rank - 1];
+}
+
+TEST(LatencyHistogram, BucketIndexIsOrderPreservingInverse)
+{
+    // Lower bound must invert the index, indices must be
+    // monotone, and a value must land at or above its bucket's
+    // lower bound but below the next bucket's.
+    std::vector<uint64_t> probes;
+    for (uint64_t v = 0; v < 4096; ++v)
+        probes.push_back(v);
+    for (uint32_t shift = 12; shift < 64; ++shift) {
+        probes.push_back(uint64_t{1} << shift);
+        probes.push_back((uint64_t{1} << shift) + 1);
+        probes.push_back((uint64_t{1} << shift) |
+                         (uint64_t{1} << (shift - 3)));
+    }
+    probes.push_back(UINT64_MAX);
+
+    uint32_t prev_idx = 0;
+    uint64_t prev_v = 0;
+    std::sort(probes.begin(), probes.end());
+    for (uint64_t v : probes) {
+        uint32_t idx = LatencyHistogram::bucketIndex(v);
+        ASSERT_LT(idx, LatencyHistogram::kBuckets) << v;
+        EXPECT_LE(LatencyHistogram::bucketLowerBound(idx), v);
+        if (idx + 1 < LatencyHistogram::kBuckets)
+            EXPECT_LT(v,
+                      LatencyHistogram::bucketLowerBound(idx + 1));
+        if (v > prev_v)
+            EXPECT_GE(idx, prev_idx)
+                << prev_v << " -> " << v;
+        prev_idx = idx;
+        prev_v = v;
+    }
+
+    // Exact region: values below kSubBuckets are their own bucket.
+    for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+        EXPECT_EQ(LatencyHistogram::bucketIndex(v), v);
+        EXPECT_EQ(LatencyHistogram::bucketLowerBound(
+                      static_cast<uint32_t>(v)),
+                  v);
+    }
+}
+
+TEST(LatencyHistogram, QuantilesTrackOrderStatisticsWithinABucket)
+{
+    // Log-uniform samples over ~9 decades: the documented bound is
+    // one sub-bucket width, i.e. 1/kSubBuckets = 6.25 % relative,
+    // independent of magnitude.
+    Rng rng(0x1A7E4C1);
+    LatencyHistogram h;
+    std::vector<uint64_t> xs;
+    for (int i = 0; i < 20000; ++i) {
+        uint32_t shift = static_cast<uint32_t>(rng.below(30));
+        uint64_t v = (uint64_t{1} << shift) + rng.below(1u << 20);
+        xs.push_back(v);
+        h.record(v);
+    }
+    ASSERT_EQ(h.count(), xs.size());
+
+    for (double q : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999}) {
+        uint64_t want = exactQuantile(xs, q);
+        uint64_t got = h.quantile(q);
+        double rel =
+            std::fabs(static_cast<double>(got) -
+                      static_cast<double>(want)) /
+            static_cast<double>(want);
+        EXPECT_LE(rel, 1.0 / LatencyHistogram::kSubBuckets)
+            << "q=" << q << " want " << want << " got " << got;
+    }
+
+    // Extremes are exact, not bucketed: the quantile clamps to the
+    // observed min/max.
+    std::sort(xs.begin(), xs.end());
+    EXPECT_EQ(h.min(), xs.front());
+    EXPECT_EQ(h.max(), xs.back());
+    EXPECT_EQ(h.quantile(0.0), h.min());
+    EXPECT_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogram, MergeIsExactAssociativeAndCommutative)
+{
+    Rng rng(0xBEEF);
+    LatencyHistogram parts[3], whole;
+    std::vector<uint64_t> xs;
+    for (int p = 0; p < 3; ++p) {
+        for (int i = 0; i < 1000 * (p + 1); ++i) {
+            uint64_t v = rng.below(1u << (8 + 7 * p)) + p;
+            parts[p].record(v);
+            whole.record(v);
+            xs.push_back(v);
+        }
+    }
+
+    // (a + b) + c
+    LatencyHistogram left = parts[0];
+    left.merge(parts[1]);
+    left.merge(parts[2]);
+    // a + (b + c)
+    LatencyHistogram bc = parts[1];
+    bc.merge(parts[2]);
+    LatencyHistogram right = parts[0];
+    right.merge(bc);
+    // c + b + a
+    LatencyHistogram rev = parts[2];
+    rev.merge(parts[1]);
+    rev.merge(parts[0]);
+
+    EXPECT_TRUE(left == right);
+    EXPECT_TRUE(left == rev);
+    // Merging is indistinguishable from having recorded the union
+    // on one histogram -- bins, count, sum, min, max, quantiles.
+    EXPECT_TRUE(left == whole);
+    EXPECT_EQ(left.count(), xs.size());
+    for (double q : {0.5, 0.9, 0.99})
+        EXPECT_EQ(left.quantile(q), whole.quantile(q));
+
+    // Merging an empty histogram is the identity.
+    LatencyHistogram empty, copy = whole;
+    copy.merge(empty);
+    EXPECT_TRUE(copy == whole);
+    empty.merge(whole);
+    EXPECT_TRUE(empty == whole);
+}
+
+TEST(LatencyHistogram, EmptyAndSingleton)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+
+    h.record(123456789);
+    EXPECT_EQ(h.count(), 1u);
+    for (double q : {0.0, 0.5, 0.999, 1.0})
+        EXPECT_EQ(h.quantile(q), 123456789u);
+    EXPECT_EQ(h.total(), 123456789u);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(h == LatencyHistogram());
+}
+
+} // namespace
+} // namespace iracc

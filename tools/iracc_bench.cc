@@ -2,9 +2,10 @@
  * @file
  * Perf-regression gate runner.  Executes the gated bench suites
  * (kernel_microbench, fig9_speedup, fig7_scheduling,
- * fig8_data_parallel), collects their iracc-bench-v1 reports, and
- * diffs them against the committed baselines in bench/baselines/
- * with the noise-aware rules in obs/bench_gate.hh.
+ * fig8_data_parallel, ablation_pruning, ablation_memsys),
+ * collects their iracc-bench-v1 reports, and diffs them against
+ * the committed baselines in bench/baselines/ with the
+ * noise-aware rules in obs/bench_gate.hh.
  *
  * Workflow:
  *
@@ -72,6 +73,17 @@ suites()
          obs::fig7GateRules()},
         {"fig8_data_parallel", "BENCH_fig8.json",
          "IRACC_SCALE=4000 ", "", false, obs::fig8GateRules()},
+        // The ablation benches report deterministic modeled
+        // metrics (comparison counts, cycle-exact runtimes), so
+        // they gate the same way at a pinned workload: pruning on
+        // the two smallest chromosomes, memsys on its built-in
+        // chromosome-20 sweep.
+        {"ablation_pruning", "BENCH_ablation_pruning.json",
+         "IRACC_CHROMOSOMES=21,22 IRACC_SCALE=4000 ", "", false,
+         obs::ablationPruningGateRules()},
+        {"ablation_memsys", "BENCH_ablation_memsys.json",
+         "IRACC_SCALE=4000 ", "", false,
+         obs::ablationMemsysGateRules()},
     };
 }
 

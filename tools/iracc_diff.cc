@@ -6,9 +6,10 @@
  * runs every registered backend design point on each, and asserts
  * bit-equality of realigned outputs, min-WHD grids, work counters,
  * and downstream variant calls (testing/differential.hh).  On a
- * mismatch it greedily minimizes the workload and writes a
+ * mismatch it greedily minimizes the workload, writes a
  * self-contained repro case (testing/corpus.hh) for committing to
- * tests/corpus/, then exits non-zero.
+ * tests/corpus/ plus a post-mortem bundle (core/postmortem.hh)
+ * right beside it, then exits non-zero.
  *
  *   iracc_diff --seeds 200                      # CI budget
  *   iracc_diff --seeds 5000 --start-seed 1000   # longer local run
@@ -35,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "core/realign_job.hh"
+#include "obs/flight_recorder.hh"
 #include "testing/corpus.hh"
 #include "testing/differential.hh"
 #include "testing/workload_gen.hh"
@@ -132,6 +135,44 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+/** Bundle directory derived from a repro case path:
+ *  repro-foo.case -> repro-foo-postmortem/ right beside it. */
+std::string
+bundleDirFor(const std::string &case_path)
+{
+    std::string dir = case_path;
+    if (dir.size() > 5 &&
+        dir.compare(dir.size() - 5, 5, ".case") == 0)
+        dir.resize(dir.size() - 5);
+    return dir + "-postmortem";
+}
+
+/**
+ * Re-run a minimized repro through @p backend with the flight
+ * recorder freshly cleared and write a post-mortem bundle next to
+ * the repro case: the canonical event log of the failing run
+ * ships with the case (render it with iracc_postmortem).
+ */
+void
+writeReproBundle(std::unique_ptr<const RealignerBackend> backend,
+                 const std::string &case_path,
+                 const ReproCase &repro)
+{
+    obs::FlightRecorder::instance().clear();
+    RealignJobConfig cfg;
+    cfg.postmortemDir = bundleDirFor(case_path);
+    cfg.postmortemAlways = true; // the mismatch was vs another
+                                 // backend, not necessarily a
+                                 // Degraded run
+    RealignSession session(std::move(backend), cfg);
+    std::vector<Read> reads = repro.reads;
+    RealignJobResult job = session.run(repro.reference, reads);
+    std::fprintf(stderr,
+                 "  post-mortem bundle written to %s (render with "
+                 "iracc_postmortem)\n",
+                 job.postmortemPath.c_str());
+}
+
 /** Capture, minimize, and persist one kernel mismatch. */
 void
 reportKernelMismatch(const Options &opt, uint64_t seed,
@@ -184,6 +225,12 @@ reportPipelineMismatch(const Options &opt, uint64_t seed,
     }
     std::string path = saveReproCase(repro, opt.corpusDir);
     std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+    writeReproBundle(
+        makeAcceleratedBackend(
+            "diff-pipeline-repro", "pipeline repro post-mortem run",
+            AccelConfig::paperOptimized(),
+            SchedulePolicy::AsynchronousParallel),
+        path, repro);
 }
 
 /** Capture, minimize, and persist one fault-plan mismatch. */
@@ -220,6 +267,17 @@ reportFaultMismatch(const Options &opt, uint64_t seed,
     }
     std::string path = saveReproCase(repro, opt.corpusDir);
     std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+
+    FleetConfig fleet =
+        FleetConfig::singleCard(AccelConfig::paperOptimized());
+    fleet.cards = opt.cards;
+    fleet.stealing = opt.stealing;
+    fleet.cardPlans = {plan};
+    writeReproBundle(
+        makeHardenedBackend("diff-fault-repro",
+                            "fault repro post-mortem run",
+                            std::move(fleet)),
+        path, repro);
 }
 
 } // anonymous namespace
