@@ -31,6 +31,7 @@
 #include "genomics/io.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/obs.hh"
+#include "util/argparse.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "variant/caller.hh"
@@ -40,60 +41,29 @@ using namespace iracc;
 
 namespace {
 
-/** --key value argument bag. */
-class Args
-{
-  public:
-    Args(int argc, char **argv, int first)
-    {
-        for (int i = first; i < argc; ++i) {
-            std::string key = argv[i];
-            fatal_if(key.rfind("--", 0) != 0,
-                     "expected --option, got '%s'", key.c_str());
-            fatal_if(i + 1 >= argc, "option %s needs a value",
-                     key.c_str());
-            values[key.substr(2)] = argv[++i];
-        }
-    }
-
-    std::string
-    get(const std::string &key, const std::string &dflt) const
-    {
-        auto it = values.find(key);
-        return it == values.end() ? dflt : it->second;
-    }
-
-    int64_t
-    getInt(const std::string &key, int64_t dflt) const
-    {
-        auto it = values.find(key);
-        return it == values.end() ? dflt
-                                  : std::atoll(it->second.c_str());
-    }
-
-    double
-    getDouble(const std::string &key, double dflt) const
-    {
-        auto it = values.find(key);
-        return it == values.end() ? dflt
-                                  : std::atof(it->second.c_str());
-    }
-
-  private:
-    std::map<std::string, std::string> values;
-};
+// Numeric flags parse strictly through util/argparse: "--cards abc"
+// and "--job-threads -1" are usage errors (exit 2), not silent
+// zeros -- atoi-family parsing used to pass both through to the
+// fleet/thread-pool constructors unvalidated.
+using Args = ArgParser;
 
 std::vector<int>
 parseChromosomes(const std::string &spec)
 {
     std::vector<int> out;
     size_t pos = 0;
-    while (pos < spec.size()) {
+    while (pos <= spec.size()) {
         size_t comma = spec.find(',', pos);
         if (comma == std::string::npos)
             comma = spec.size();
-        out.push_back(std::atoi(spec.substr(pos, comma - pos)
-                                    .c_str()));
+        std::string tok = spec.substr(pos, comma - pos);
+        int64_t v = 0;
+        if (!parseInt64(tok, &v) || v < 1 || v > 22) {
+            usageError("iracc_cli: --chromosomes entry '%s' is not "
+                       "a chromosome number (1..22)",
+                       tok.c_str());
+        }
+        out.push_back(static_cast<int>(v));
         pos = comma + 1;
     }
     return out;
@@ -118,15 +88,17 @@ loadReads(const std::string &path, const ReferenceGenome &ref)
 int
 cmdSimulate(const Args &args)
 {
-    std::string out = args.get("out", ".");
+    std::string out = args.get("--out", ".");
     WorkloadParams params;
-    params.seed = static_cast<uint64_t>(args.getInt("seed",
-                                                    0xADA12878));
-    params.scaleDivisor = args.getInt("scale", 1000);
-    params.coverage = args.getDouble("coverage", 30.0);
-    params.normalCoverage = args.getDouble("normal-coverage", 0.0);
-    params.readSim.pairedEnd = args.getInt("paired", 0) != 0;
-    std::string chroms = args.get("chromosomes", "");
+    params.seed = args.getUint("--seed", 0xADA12878);
+    params.scaleDivisor =
+        args.getInt("--scale", 1000, 1, 100000000);
+    params.coverage =
+        args.getDouble("--coverage", 30.0, 0.1, 10000.0);
+    params.normalCoverage =
+        args.getDouble("--normal-coverage", 0.0, 0.0, 10000.0);
+    params.readSim.pairedEnd = args.getFlag("--paired", false);
+    std::string chroms = args.get("--chromosomes", "");
     if (!chroms.empty())
         params.chromosomes = parseChromosomes(chroms);
 
@@ -169,12 +141,22 @@ cmdSimulate(const Args &args)
 int
 cmdRealign(const Args &args)
 {
-    std::string dir = args.get("dir", ".");
-    std::string backend_name = args.get("backend", "iracc");
+    std::string dir = args.get("--dir", ".");
+    std::string backend_name = args.get("--backend", "iracc");
+
+    // Validate every numeric flag before touching the filesystem,
+    // so a typo'd flag is a fast usage error (exit 2) rather than
+    // one discovered after minutes of dataset loading.
+    const uint32_t job_threads = static_cast<uint32_t>(
+        args.getInt("--job-threads", 1, 1, 1024));
+    const uint32_t cards =
+        static_cast<uint32_t>(args.getInt("--cards", 1, 1, 64));
+    const bool stealing = args.getFlag("--stealing", true);
+
     ReferenceGenome ref = loadReference(
-        args.get("ref", dir + "/ref.fa"));
+        args.get("--ref", dir + "/ref.fa"));
     std::vector<Read> reads = loadReads(
-        args.get("reads", dir + "/aligned.samlite"), ref);
+        args.get("--reads", dir + "/aligned.samlite"), ref);
 
     // Observability: --counters 1 prints the performance-counter
     // summary; --trace FILE records both the host-side spans and
@@ -182,10 +164,10 @@ cmdRealign(const Args &args)
     // into one Chrome trace-event JSON; --metrics FILE exports the
     // host metrics registry as JSON, or as Prometheus text when
     // FILE ends in ".prom".
-    std::string trace_path = args.get("trace", "");
-    std::string metrics_path = args.get("metrics", "");
+    std::string trace_path = args.get("--trace", "");
+    std::string metrics_path = args.get("--metrics", "");
     bool trace = !trace_path.empty();
-    bool counters = trace || args.getInt("counters", 0) != 0;
+    bool counters = trace || args.getFlag("--counters", false);
 
     // Hardened execution: --harden 1 routes an accelerated backend
     // through the self-healing path (host/hardened_executor.hh);
@@ -194,16 +176,16 @@ cmdRealign(const Args &args)
     // The exit code reports the run's health: 0 ok, 3 degraded
     // (recovery fired, output still exact), 4 failed (targets left
     // unrealigned).
-    std::string fault_spec = args.get("fault-plan", "");
+    std::string fault_spec = args.get("--fault-plan", "");
     bool harden = !fault_spec.empty() ||
-                  args.getInt("harden", 0) != 0;
+                  args.getFlag("--harden", false);
     FaultPlan fault_plan;
     if (!fault_spec.empty())
         fault_plan = FaultPlan::parse(fault_spec);
 
     // Flight recorder (always recording): --log-level tails events
     // at or above the given severity to stderr as they happen.
-    std::string log_level = args.get("log-level", "");
+    std::string log_level = args.get("--log-level", "");
     if (!log_level.empty()) {
         int level = -1;
         if (log_level == "error")
@@ -234,14 +216,13 @@ cmdRealign(const Args &args)
     }
 
     RealignJobConfig job_cfg;
-    job_cfg.threads = static_cast<uint32_t>(
-        args.getInt("job-threads", 1));
+    job_cfg.threads = job_threads;
     job_cfg.obs = &ob;
 
     // Post-mortem bundles (core/postmortem.hh): a Degraded or
     // Failed run always writes one; --postmortem DIR picks the
     // directory and forces a bundle even on an Ok run.
-    std::string postmortem_dir = args.get("postmortem", "");
+    std::string postmortem_dir = args.get("--postmortem", "");
     job_cfg.postmortemAlways = !postmortem_dir.empty();
     job_cfg.postmortemDir = postmortem_dir.empty()
                                 ? dir + "/iracc-postmortem"
@@ -250,9 +231,6 @@ cmdRealign(const Args &args)
     // Fleet shape: --cards N leases an N-card fleet per contig
     // (accelerated backends only), --stealing 0 pins every shard
     // to its home card.  Results are bit-identical either way.
-    uint32_t cards = static_cast<uint32_t>(args.getInt("cards", 1));
-    bool stealing = args.getInt("stealing", 1) != 0;
-
     RealignSession session(
         harden ? makeHardenedBackend(backend_name, counters, trace,
                                      fault_plan, {}, cards, stealing)
@@ -278,7 +256,7 @@ cmdRealign(const Args &args)
     const RealignStats &total = job.stats;
     const PerfReport &perf = job.perf;
     double seconds = job.seconds;
-    std::string out = args.get("out", dir + "/realigned.samlite");
+    std::string out = args.get("--out", dir + "/realigned.samlite");
     std::ofstream f(out);
     fatal_if(!f, "cannot write '%s'", out.c_str());
     writeSamLite(f, ref, reads);
@@ -456,16 +434,17 @@ cmdRealign(const Args &args)
 int
 cmdCall(const Args &args)
 {
-    std::string dir = args.get("dir", ".");
+    std::string dir = args.get("--dir", ".");
     ReferenceGenome ref = loadReference(
-        args.get("ref", dir + "/ref.fa"));
+        args.get("--ref", dir + "/ref.fa"));
     std::vector<Read> reads = loadReads(
-        args.get("reads", dir + "/realigned.samlite"), ref);
+        args.get("--reads", dir + "/realigned.samlite"), ref);
 
     CallerParams params;
-    params.lodThreshold = args.getDouble("lod", 6.3);
+    params.lodThreshold =
+        args.getDouble("--lod", 6.3, 0.0, 1000.0);
     params.minDepth = static_cast<uint32_t>(
-        args.getInt("min-depth", 8));
+        args.getInt("--min-depth", 8, 1, 1000000));
 
     std::vector<CalledVariant> all_calls;
     for (size_t c = 0; c < ref.numContigs(); ++c) {
@@ -476,7 +455,7 @@ cmdCall(const Args &args)
                          calls.end());
     }
 
-    std::string out = args.get("out", dir + "/calls.vcf");
+    std::string out = args.get("--out", dir + "/calls.vcf");
     std::ofstream f(out);
     fatal_if(!f, "cannot write '%s'", out.c_str());
     writeVcf(f, ref, all_calls);
@@ -494,11 +473,11 @@ cmdCall(const Args &args)
 int
 cmdStats(const Args &args)
 {
-    std::string dir = args.get("dir", ".");
+    std::string dir = args.get("--dir", ".");
     ReferenceGenome ref = loadReference(
-        args.get("ref", dir + "/ref.fa"));
+        args.get("--ref", dir + "/ref.fa"));
     std::vector<Read> reads = loadReads(
-        args.get("reads", dir + "/aligned.samlite"), ref);
+        args.get("--reads", dir + "/aligned.samlite"), ref);
 
     Table t({"Contig", "Length", "Reads", "Coverage", "WithIndel",
              "Duplicates"});
@@ -560,10 +539,10 @@ main(int argc, char **argv)
     setQuiet(true);
     if (argc < 2) {
         usage();
-        return 1;
+        return 2;
     }
     std::string cmd = argv[1];
-    Args args(argc, argv, 2);
+    Args args(argc, argv, 2, "iracc_cli");
     if (cmd == "simulate")
         return cmdSimulate(args);
     if (cmd == "realign")
@@ -573,5 +552,5 @@ main(int argc, char **argv)
     if (cmd == "stats")
         return cmdStats(args);
     usage();
-    return 1;
+    return 2;
 }

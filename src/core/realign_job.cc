@@ -27,6 +27,22 @@ RealignJobResult
 RealignSession::run(const ReferenceGenome &ref,
                     std::vector<Read> &reads) const
 {
+    return run(ref, reads, cfg);
+}
+
+RealignJobResult
+RealignSession::run(const ReferenceGenome &ref,
+                    const std::vector<int32_t> &contigs,
+                    std::vector<Read> &reads) const
+{
+    return run(ref, contigs, reads, cfg);
+}
+
+RealignJobResult
+RealignSession::run(const ReferenceGenome &ref,
+                    std::vector<Read> &reads,
+                    const RealignJobConfig &job_cfg) const
+{
     std::vector<int32_t> contigs;
     contigs.reserve(8);
     for (const Read &r : reads) {
@@ -37,14 +53,19 @@ RealignSession::run(const ReferenceGenome &ref,
                            r.contig);
         }
     }
-    return run(ref, contigs, reads);
+    return run(ref, contigs, reads, job_cfg);
 }
 
 RealignJobResult
 RealignSession::run(const ReferenceGenome &ref,
                     const std::vector<int32_t> &contigs,
-                    std::vector<Read> &reads) const
+                    std::vector<Read> &reads,
+                    const RealignJobConfig &job_cfg) const
 {
+    // Shadow the session config on purpose: everything below reads
+    // the per-call configuration.
+    const RealignJobConfig &cfg = job_cfg;
+    fatal_if(cfg.threads == 0, "realign job needs >= 1 thread");
     Timer wall;
     RealignJobResult job;
 
@@ -95,9 +116,46 @@ RealignSession::run(const ReferenceGenome &ref,
     // is bit-identical for any worker count.
     obs::Observability *obsv = cfg.obs;
     std::vector<ContigJobResult> slots(order.size());
+    // Skip markers for cooperatively cancelled contigs; written by
+    // the worker that owned the slot, read after the barrier.
+    std::vector<uint8_t> skipped(order.size(), 0);
+    std::atomic<uint64_t> contigsDone{0};
+    auto notifyProgress = [&](size_t i, bool skip) {
+        if (!cfg.onProgress)
+            return;
+        RealignJobProgress p;
+        p.contig = order[i];
+        p.contigsDone =
+            contigsDone.fetch_add(1, std::memory_order_relaxed) + 1;
+        p.contigsTotal = order.size();
+        p.skipped = skip;
+        if (skip) {
+            p.status = RunStatus::Failed;
+        } else {
+            p.status = slots[i].run.status;
+            p.targets = slots[i].run.stats.targets;
+            p.vtime = slots[i].run.fleet.busyCycles();
+        }
+        cfg.onProgress(p);
+    };
     auto runOne = [&](size_t i) {
         const int32_t contig = order[i];
         obs::FlightContext fctx(contig);
+        slots[i].contig = contig;
+        // Cooperative cancellation: a contig that has not started
+        // when the token trips is skipped outright -- its reads
+        // stay unrealigned (the Failed semantic) and the worker
+        // never touches the fleet.
+        if (cfg.cancel &&
+            cfg.cancel->load(std::memory_order_relaxed)) {
+            skipped[i] = 1;
+            slots[i].run.status = RunStatus::Failed;
+            obs::frEmit(obs::FrSeverity::Warn, obs::FrCategory::Job,
+                        obs::FrCode::ContigSkipped, 0, -1,
+                        byContig[contig].size());
+            notifyProgress(i, true);
+            return;
+        }
         obs::frEmit(obs::FrSeverity::Info, obs::FrCategory::Job,
                     obs::FrCode::ContigStart, 0, -1,
                     byContig[contig].size());
@@ -108,7 +166,6 @@ RealignSession::run(const ReferenceGenome &ref,
                              "realign.job",
                              "realign.job.contig_seconds");
         auto exec = be->makeExecuteStage(workers);
-        slots[i].contig = contig;
         slots[i].run = runContigPipeline(
             ref, contig, reads, be->targetParams(), *exec,
             be->hostThreads(), &byContig[contig], cfg.seed, obsv);
@@ -117,6 +174,7 @@ RealignSession::run(const ReferenceGenome &ref,
                     static_cast<uint64_t>(slots[i].run.status),
                     slots[i].run.stats.targets,
                     slots[i].run.fleet.busyCycles());
+        notifyProgress(i, false);
     };
 
     if (workers <= 1) {
@@ -145,6 +203,12 @@ RealignSession::run(const ReferenceGenome &ref,
 
     // Barrier reached: deterministic in-order reduction.
     job.contigs = std::move(slots);
+    for (size_t i = 0; i < job.contigs.size(); ++i) {
+        if (!skipped[i])
+            continue;
+        job.cancelled = true;
+        job.skippedContigs.push_back(job.contigs[i].contig);
+    }
     for (const ContigJobResult &c : job.contigs) {
         job.stats.merge(c.run.stats);
         job.seconds += c.run.seconds;
@@ -167,6 +231,11 @@ RealignSession::run(const ReferenceGenome &ref,
             job.degradedContigs.push_back(c.contig);
         else if (c.run.status == RunStatus::Failed)
             job.failedContigs.push_back(c.contig);
+    }
+    if (job.cancelled) {
+        obs::frEmit(obs::FrSeverity::Warn, obs::FrCategory::Job,
+                    obs::FrCode::JobCancelled, 0, -1,
+                    job.skippedContigs.size(), order.size());
     }
     obs::frEmit(obs::FrSeverity::Info, obs::FrCategory::Job,
                 obs::FrCode::JobDone, 0, -1,

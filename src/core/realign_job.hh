@@ -21,6 +21,8 @@
 #ifndef IRACC_CORE_REALIGN_JOB_HH
 #define IRACC_CORE_REALIGN_JOB_HH
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,6 +34,38 @@ namespace iracc {
 namespace obs {
 struct Observability;
 }
+
+/**
+ * One contig's completion notice, delivered through
+ * RealignJobConfig::onProgress while a job runs.  Coordinates
+ * match the flight recorder's (contig id, card-busy virtual time,
+ * per-job completion sequence), so a consumer can correlate the
+ * stream with a post-mortem event log.
+ */
+struct RealignJobProgress
+{
+    int32_t contig = 0;
+
+    /** Contigs finished so far, including this one. */
+    uint64_t contigsDone = 0;
+
+    /** Contigs the job will run in total. */
+    uint64_t contigsTotal = 0;
+
+    /** The contig's health (Ok unless recovery fired). */
+    RunStatus status = RunStatus::Ok;
+
+    /** Targets realigned on this contig. */
+    uint64_t targets = 0;
+
+    /** Virtual (cycle-domain) completion time of the contig; 0 for
+     *  software backends and for skipped contigs. */
+    uint64_t vtime = 0;
+
+    /** True when the contig was skipped by a cancellation request
+     *  instead of being realigned. */
+    bool skipped = false;
+};
 
 /** Configuration of a genome-level realignment job. */
 struct RealignJobConfig
@@ -77,6 +111,28 @@ struct RealignJobConfig
     /** Write the bundle even when the job finishes Ok (the CLI's
      *  --postmortem switch). */
     bool postmortemAlways = false;
+
+    /**
+     * Cooperative cancellation token.  When non-null, every worker
+     * checks it before starting a contig; once it reads true, not-
+     * yet-started contigs are *skipped* -- their reads stay
+     * unrealigned, exactly the Failed-contig semantic -- while
+     * contigs already executing run to completion (the pipeline is
+     * never torn down mid-contig, so partial output cannot leak).
+     * A job with skipped contigs reports cancelled = true and
+     * status Failed, and releases its fleet leases and worker
+     * threads normally.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /**
+     * Per-contig progress stream.  When set, invoked once per
+     * contig right after the contig completes (or is skipped by a
+     * cancellation), from the worker thread that ran it; the
+     * callback must be thread-safe.  Keep it cheap -- it runs
+     * between contigs on the job's critical path.
+     */
+    std::function<void(const RealignJobProgress &)> onProgress;
 };
 
 /** One contig's slice of a job result. */
@@ -146,6 +202,15 @@ struct RealignJobResult
     std::vector<int32_t> failedContigs;
 
     /**
+     * True when a cancellation request skipped at least one
+     * contig.  Skipped contigs are listed in `skippedContigs` (a
+     * subset of `failedContigs`: their reads were left unrealigned)
+     * and the job's status is Failed.
+     */
+    bool cancelled = false;
+    std::vector<int32_t> skippedContigs;
+
+    /**
      * Per-target latency percentiles merged exactly over all
      * contigs (accelerated backends; empty for software).  Cycle
      * domain plus modeled nanoseconds -- see
@@ -185,6 +250,24 @@ class RealignSession
     RealignJobResult run(const ReferenceGenome &ref,
                          const std::vector<int32_t> &contigs,
                          std::vector<Read> &reads) const;
+
+    /**
+     * Per-call configuration overloads: run one job with @p job_cfg
+     * instead of the session-bound config, sharing the session's
+     * backend (and hence its CardFleet).  This is what makes the
+     * session a scheduler substrate -- the server runs many
+     * tenants' jobs, each with its own thread count, seed,
+     * cancellation token, and progress sink, through one session
+     * (src/server/job_scheduler.hh).
+     */
+    RealignJobResult run(const ReferenceGenome &ref,
+                         std::vector<Read> &reads,
+                         const RealignJobConfig &job_cfg) const;
+
+    RealignJobResult run(const ReferenceGenome &ref,
+                         const std::vector<int32_t> &contigs,
+                         std::vector<Read> &reads,
+                         const RealignJobConfig &job_cfg) const;
 
     /** One-contig convenience (what the realignContig shim uses). */
     RealignJobResult runContig(const ReferenceGenome &ref,

@@ -282,6 +282,10 @@ frCodeName(uint16_t code)
         return "contig_done";
     case FrCode::Barrier:
         return "barrier";
+    case FrCode::ContigSkipped:
+        return "contig_skipped";
+    case FrCode::JobCancelled:
+        return "job_cancelled";
     case FrCode::StagePlan:
         return "plan";
     case FrCode::StagePrepare:
@@ -372,6 +376,13 @@ FlightRecorder::formatText(const FrEvent &e) const
         break;
     case FrCode::Barrier:
         out += " contigs=" + u64s(a[0]);
+        break;
+    case FrCode::ContigSkipped:
+        out += " reads=" + u64s(a[0]);
+        break;
+    case FrCode::JobCancelled:
+        out += " skipped=" + u64s(a[0]) +
+               " contigs=" + u64s(a[1]);
         break;
     case FrCode::StagePlan:
         out += " targets=" + u64s(a[0]);

@@ -58,6 +58,8 @@ enum class FrCode : uint16_t {
     ContigStart = 3,  // a0=reads
     ContigDone = 4,   // a0=status a1=targets a2=busyCycles
     Barrier = 5,      // a0=contigs
+    ContigSkipped = 6, // a0=reads (cancellation skipped the contig)
+    JobCancelled = 7,  // a0=skipped contigs a1=total contigs
     // Stage transitions (category Stage).
     StagePlan = 10,    // a0=targets planned
     StagePrepare = 11, // a0=targets

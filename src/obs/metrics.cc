@@ -289,25 +289,43 @@ MetricsRegistry::writePrometheus(std::ostream &os) const
     for (const auto &[name, h] : hists) {
         std::string p = promName(name);
         os << "# TYPE " << p << " histogram\n";
+        // One pass over the bins builds a self-consistent
+        // cumulative series.  The le="+Inf" bucket and _count MUST
+        // both equal the cumulative total of the emitted buckets:
+        // reading h->count() separately races with concurrent
+        // sample() calls (the n and bin updates are independent
+        // atomics) and can emit a "+Inf" smaller than the last
+        // bucket -- a non-monotone series scrapers reject.
         uint64_t cum = 0;
         for (size_t i = 0; i < h->bounds().size(); ++i) {
             cum += h->bucketCount(i);
             os << p << "_bucket{le=\"" << h->bounds()[i] << "\"} "
                << cum << "\n";
         }
-        os << p << "_bucket{le=\"+Inf\"} " << h->count() << "\n"
+        cum += h->bucketCount(h->bounds().size());
+        os << p << "_bucket{le=\"+Inf\"} " << cum << "\n"
            << p << "_sum " << h->sum() << "\n"
-           << p << "_count " << h->count() << "\n";
+           << p << "_count " << cum << "\n";
     }
     for (const auto &[name, l] : lats) {
         LatencyHistogram h = l->snapshotHist();
         std::string p = promName(name);
         os << "# TYPE " << p << " summary\n";
-        os << p << "{quantile=\"0.5\"} " << h.p50() << "\n"
-           << p << "{quantile=\"0.9\"} " << h.p90() << "\n"
-           << p << "{quantile=\"0.99\"} " << h.p99() << "\n"
-           << p << "{quantile=\"0.999\"} " << h.p999() << "\n"
-           << p << "_sum " << h.total() << "\n"
+        if (h.count() == 0) {
+            // Prometheus convention: a summary with no
+            // observations exposes NaN quantiles, not 0 (a
+            // scraper cannot tell "empty" from "really 0" --
+            // dashboards would plot phantom zero latencies).
+            for (const char *q : {"0.5", "0.9", "0.99", "0.999"})
+                os << p << "{quantile=\"" << q << "\"} NaN\n";
+        } else {
+            os << p << "{quantile=\"0.5\"} " << h.p50() << "\n"
+               << p << "{quantile=\"0.9\"} " << h.p90() << "\n"
+               << p << "{quantile=\"0.99\"} " << h.p99() << "\n"
+               << p << "{quantile=\"0.999\"} " << h.p999()
+               << "\n";
+        }
+        os << p << "_sum " << h.total() << "\n"
            << p << "_count " << h.count() << "\n";
     }
 }

@@ -1,0 +1,145 @@
+#include "server/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace iracc {
+namespace server {
+
+ServerClient::~ServerClient() { close(); }
+
+void
+ServerClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+ServerClient::connect(const std::string &host, uint16_t port,
+                      std::string *error)
+{
+    close();
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        *error = "bad host address '" + host + "'";
+        close();
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        *error = "connect " + host + ":" + std::to_string(port) +
+                 ": " + std::strerror(errno);
+        close();
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+}
+
+bool
+ServerClient::call(const Request &req, Response *resp,
+                   std::string *error)
+{
+    if (fd < 0) {
+        *error = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd, encodeRequest(req), error))
+        return false;
+    std::string payload;
+    if (!readFrame(fd, &payload, error))
+        return false;
+    return decodeResponse(payload, resp, error);
+}
+
+bool
+ServerClient::ping(Response *resp, std::string *error)
+{
+    Request req;
+    req.type = RequestType::Ping;
+    return call(req, resp, error);
+}
+
+bool
+ServerClient::submit(const std::string &tenant,
+                     const JobSpec &spec, Response *resp,
+                     std::string *error)
+{
+    Request req;
+    req.type = RequestType::Submit;
+    req.tenant = tenant;
+    req.spec = spec;
+    return call(req, resp, error);
+}
+
+bool
+ServerClient::status(uint64_t job_id, uint64_t progress_since,
+                     Response *resp, std::string *error)
+{
+    Request req;
+    req.type = RequestType::Status;
+    req.jobId = job_id;
+    req.progressSince = progress_since;
+    return call(req, resp, error);
+}
+
+bool
+ServerClient::cancel(uint64_t job_id, Response *resp,
+                     std::string *error)
+{
+    Request req;
+    req.type = RequestType::Cancel;
+    req.jobId = job_id;
+    return call(req, resp, error);
+}
+
+bool
+ServerClient::result(uint64_t job_id, Response *resp,
+                     std::string *error)
+{
+    Request req;
+    req.type = RequestType::Result;
+    req.jobId = job_id;
+    return call(req, resp, error);
+}
+
+bool
+ServerClient::metrics(const std::string &format, Response *resp,
+                      std::string *error)
+{
+    Request req;
+    req.type = RequestType::Metrics;
+    req.metricsFormat = format;
+    return call(req, resp, error);
+}
+
+bool
+ServerClient::shutdown(bool drain, Response *resp,
+                       std::string *error)
+{
+    Request req;
+    req.type = RequestType::Shutdown;
+    req.drain = drain;
+    return call(req, resp, error);
+}
+
+} // namespace server
+} // namespace iracc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Client side of the iracc_server protocol: one blocking TCP
+ * connection speaking length-prefixed JSON frames
+ * (server/protocol.hh).  Used by tools/iracc_client.cc and by the
+ * end-to-end server tests; keeping it a library means the wire
+ * handling is tested once, not re-implemented per caller.
+ */
+
+#ifndef IRACC_SERVER_CLIENT_HH
+#define IRACC_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.hh"
+
+namespace iracc {
+namespace server {
+
+class ServerClient
+{
+  public:
+    ServerClient() = default;
+    ~ServerClient();
+
+    ServerClient(const ServerClient &) = delete;
+    ServerClient &operator=(const ServerClient &) = delete;
+
+    /** Connect to @p host : @p port.  @return false with *error. */
+    bool connect(const std::string &host, uint16_t port,
+                 std::string *error);
+
+    bool connected() const { return fd >= 0; }
+    void close();
+
+    /** One request/response exchange (blocking).  @return false
+     *  with *error on transport failures; protocol-level failures
+     *  come back as resp->ok = false with resp->reason set. */
+    bool call(const Request &req, Response *resp,
+              std::string *error);
+
+    // -- conveniences over call() ---------------------------------
+    bool ping(Response *resp, std::string *error);
+    bool submit(const std::string &tenant, const JobSpec &spec,
+                Response *resp, std::string *error);
+    bool status(uint64_t job_id, uint64_t progress_since,
+                Response *resp, std::string *error);
+    bool cancel(uint64_t job_id, Response *resp,
+                std::string *error);
+    /** Blocks server-side until the job is terminal. */
+    bool result(uint64_t job_id, Response *resp,
+                std::string *error);
+    bool metrics(const std::string &format, Response *resp,
+                 std::string *error);
+    bool shutdown(bool drain, Response *resp, std::string *error);
+
+  private:
+    int fd = -1;
+};
+
+} // namespace server
+} // namespace iracc
+
+#endif // IRACC_SERVER_CLIENT_HH

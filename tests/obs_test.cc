@@ -171,6 +171,88 @@ TEST(Metrics, PrometheusExportSanitizesNames)
     EXPECT_EQ(text.find("realign.pool"), std::string::npos);
 }
 
+TEST(Metrics, PrometheusHistogramSeriesIsCumulativeAndConsistent)
+{
+    obs::MetricsRegistry reg;
+    auto &h = reg.histogram("job.seconds", {0.1, 1.0, 10.0});
+    h.sample(0.05);
+    h.sample(0.5);
+    h.sample(0.5);
+    h.sample(5.0);
+    h.sample(50.0);
+
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    const std::string text = os.str();
+
+    // Exposition-format contract: _bucket series are cumulative
+    // (each le bound counts every sample <= it), monotone
+    // non-decreasing, and le="+Inf" equals _count exactly.
+    EXPECT_NE(text.find("job_seconds_bucket{le=\"0.1\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("job_seconds_bucket{le=\"1\"} 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("job_seconds_bucket{le=\"10\"} 4"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("job_seconds_bucket{le=\"+Inf\"} 5"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("job_seconds_count 5"), std::string::npos)
+        << text;
+
+    uint64_t inf_bucket = 0, count = 0;
+    std::istringstream lines(text);
+    std::string line;
+    uint64_t prev = 0;
+    while (std::getline(lines, line)) {
+        if (line.rfind("job_seconds_bucket", 0) == 0) {
+            uint64_t v =
+                std::stoull(line.substr(line.rfind(' ') + 1));
+            EXPECT_GE(v, prev) << "non-monotone series:\n" << text;
+            prev = v;
+            if (line.find("+Inf") != std::string::npos)
+                inf_bucket = v;
+        } else if (line.rfind("job_seconds_count", 0) == 0) {
+            count = std::stoull(line.substr(line.rfind(' ') + 1));
+        }
+    }
+    EXPECT_EQ(inf_bucket, count);
+}
+
+TEST(Metrics, PrometheusEmptySummaryExposesNaNQuantiles)
+{
+    obs::MetricsRegistry reg;
+    reg.latency("idle.usecs"); // registered, never recorded
+    auto &busy = reg.latency("busy.usecs");
+    busy.record(100);
+    busy.record(200);
+
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    const std::string text = os.str();
+
+    // An observation-free summary must expose NaN quantiles -- a
+    // scraper cannot distinguish "no data" from "latency really is
+    // 0" otherwise -- while _sum/_count stay numeric.
+    for (const char *q : {"0.5", "0.9", "0.99", "0.999"}) {
+        std::string want = std::string("idle_usecs{quantile=\"") +
+                           q + "\"} NaN";
+        EXPECT_NE(text.find(want), std::string::npos)
+            << "missing '" << want << "' in:\n" << text;
+    }
+    EXPECT_NE(text.find("idle_usecs_count 0"), std::string::npos);
+    EXPECT_NE(text.find("idle_usecs_sum 0"), std::string::npos);
+
+    // A populated summary still emits numeric quantiles.
+    EXPECT_EQ(text.find("busy_usecs{quantile=\"0.5\"} NaN"),
+              std::string::npos);
+    EXPECT_NE(text.find("busy_usecs_count 2"), std::string::npos);
+}
+
+
 // ---- Span tracing ------------------------------------------------
 
 TEST(Spans, ScopedSpanIsInertWhenNull)

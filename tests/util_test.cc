@@ -1,7 +1,8 @@
 /**
  * @file
  * Tests for the util library: RNG determinism and distributions,
- * statistics containers, thread pool, and table rendering.
+ * statistics containers, thread pool, table rendering, and strict
+ * command-line numeric parsing.
  */
 
 #include <gtest/gtest.h>
@@ -10,6 +11,7 @@
 #include <cmath>
 #include <set>
 
+#include "util/argparse.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -250,6 +252,96 @@ TEST(Table, RenderAligned)
     EXPECT_NE(s.find("alpha"), std::string::npos);
     EXPECT_NE(s.find("-----"), std::string::npos);
 }
+
+// ---- Strict argument parsing (util/argparse) ---------------------
+//
+// The CLI bugfix contract: numeric flags must parse the whole
+// token or fail -- atoi-family parsing accepted "--cards abc" as 0
+// and "--job-threads -1" as a huge unsigned, and both reached the
+// fleet/thread-pool constructors unvalidated.
+
+TEST(ArgParse, ParseInt64AcceptsWholeTokensOnly)
+{
+    int64_t v = 0;
+    EXPECT_TRUE(parseInt64("42", &v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt64("-7", &v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(parseInt64("0x10", &v));
+    EXPECT_EQ(v, 16);
+
+    EXPECT_FALSE(parseInt64("", &v));
+    EXPECT_FALSE(parseInt64("abc", &v));
+    EXPECT_FALSE(parseInt64("12abc", &v));
+    EXPECT_FALSE(parseInt64("12 ", &v));
+    EXPECT_FALSE(parseInt64(" 12", &v));
+    EXPECT_FALSE(parseInt64("1e3", &v));
+    // Overflow must fail, not saturate silently.
+    EXPECT_FALSE(parseInt64("99999999999999999999999", &v));
+}
+
+TEST(ArgParse, ParseUint64RejectsNegatives)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(parseUint64("18446744073709551615", &v));
+    EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+    // strtoull would happily wrap "-1" to UINT64_MAX.
+    EXPECT_FALSE(parseUint64("-1", &v));
+    EXPECT_FALSE(parseUint64("", &v));
+    EXPECT_FALSE(parseUint64("1.5", &v));
+}
+
+TEST(ArgParse, ParseDoubleRejectsJunkAndNonFinite)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseDouble("2.5", &v));
+    EXPECT_DOUBLE_EQ(v, 2.5);
+    EXPECT_TRUE(parseDouble("1e-3", &v));
+    EXPECT_DOUBLE_EQ(v, 1e-3);
+    EXPECT_FALSE(parseDouble("abc", &v));
+    EXPECT_FALSE(parseDouble("2.5x", &v));
+    EXPECT_FALSE(parseDouble("", &v));
+    EXPECT_FALSE(parseDouble("inf", &v));
+    EXPECT_FALSE(parseDouble("nan", &v));
+}
+
+TEST(ArgParse, BagParsesPairsAndBareSwitches)
+{
+    const char *argv[] = {"tool", "cmd",    "--port", "7733",
+                          "--wait", "--out", "x.sam"};
+    ArgParser args(7, const_cast<char **>(argv), 2, "tool");
+    EXPECT_EQ(args.getInt("--port", 0, 1, 65535), 7733);
+    EXPECT_TRUE(args.getFlag("--wait", false));
+    EXPECT_EQ(args.get("--out", ""), "x.sam");
+    EXPECT_FALSE(args.has("--missing"));
+    EXPECT_EQ(args.getInt("--missing", 9), 9);
+}
+
+using ArgParseDeath = ::testing::Test;
+
+TEST(ArgParseDeath, MalformedIntegerExitsWithUsageError)
+{
+    const char *argv[] = {"tool", "--cards", "abc"};
+    ArgParser args(3, const_cast<char **>(argv), 1, "tool");
+    EXPECT_EXIT(args.getInt("--cards", 1, 1, 64),
+                ::testing::ExitedWithCode(2), "expects an integer");
+}
+
+TEST(ArgParseDeath, OutOfRangeValueExitsWithUsageError)
+{
+    const char *argv[] = {"tool", "--job-threads", "-1"};
+    ArgParser args(3, const_cast<char **>(argv), 1, "tool");
+    EXPECT_EXIT(args.getInt("--job-threads", 1, 1, 1024),
+                ::testing::ExitedWithCode(2), "out of range");
+}
+
+TEST(ArgParseDeath, NonOptionTokenExitsWithUsageError)
+{
+    const char *argv[] = {"tool", "oops"};
+    EXPECT_EXIT(ArgParser(2, const_cast<char **>(argv), 1, "tool"),
+                ::testing::ExitedWithCode(2), "expected --option");
+}
+
 
 TEST(Table, Formatters)
 {

@@ -33,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,7 @@
 #include "testing/corpus.hh"
 #include "testing/differential.hh"
 #include "testing/workload_gen.hh"
+#include "util/argparse.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -94,24 +96,41 @@ parseArgs(int argc, char **argv)
     Options opt;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        auto value = [&]() -> const char * {
-            fatal_if(i + 1 >= argc, "missing value for %s",
-                     arg.c_str());
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usageError("iracc_diff: missing value for %s",
+                           arg.c_str());
+            }
             return argv[++i];
         };
+        // Strict numeric parsing (util/argparse): malformed or
+        // out-of-range values are usage errors (exit 2), not the
+        // silent zeros strtoull used to produce.
+        auto uintValue = [&](uint64_t min_v,
+                             uint64_t max_v) -> uint64_t {
+            std::string text = value();
+            uint64_t v = 0;
+            if (!parseUint64(text, &v) || v < min_v || v > max_v) {
+                usageError("iracc_diff: %s expects an integer in "
+                           "[%llu, %llu], got '%s'",
+                           arg.c_str(),
+                           static_cast<unsigned long long>(min_v),
+                           static_cast<unsigned long long>(max_v),
+                           text.c_str());
+            }
+            return v;
+        };
         if (arg == "--seeds") {
-            opt.seeds = std::strtoull(value(), nullptr, 0);
+            opt.seeds = uintValue(0, 100000000);
         } else if (arg == "--fault-seeds") {
-            opt.faultSeeds = std::strtoull(value(), nullptr, 0);
+            opt.faultSeeds = uintValue(0, 100000000);
         } else if (arg == "--start-seed") {
-            opt.startSeed = std::strtoull(value(), nullptr, 0);
+            opt.startSeed =
+                uintValue(0, std::numeric_limits<uint64_t>::max());
         } else if (arg == "--corpus") {
             opt.corpusDir = value();
         } else if (arg == "--pipeline-every") {
-            opt.pipelineEvery =
-                std::strtoull(value(), nullptr, 0);
-            fatal_if(opt.pipelineEvery == 0,
-                     "--pipeline-every must be >= 1");
+            opt.pipelineEvery = uintValue(1, 100000000);
         } else if (arg == "--kernel-only") {
             opt.kernelOnly = true;
         } else if (arg == "--pipeline-only") {
@@ -119,9 +138,7 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--no-minimize") {
             opt.minimize = false;
         } else if (arg == "--cards") {
-            opt.cards = static_cast<uint32_t>(
-                std::strtoul(value(), nullptr, 0));
-            fatal_if(opt.cards == 0, "--cards must be >= 1");
+            opt.cards = static_cast<uint32_t>(uintValue(1, 64));
         } else if (arg == "--no-stealing") {
             opt.stealing = false;
         } else if (arg == "--help" || arg == "-h") {
@@ -129,7 +146,8 @@ parseArgs(int argc, char **argv)
             std::exit(0);
         } else {
             usage(argv[0]);
-            fatal("unknown option '%s'", arg.c_str());
+            usageError("iracc_diff: unknown option '%s'",
+                       arg.c_str());
         }
     }
     return opt;
