@@ -153,10 +153,21 @@ cmdRealign(const Args &args)
         static_cast<uint32_t>(args.getInt("--cards", 1, 1, 64));
     const bool stealing = args.getFlag("--stealing", true);
 
+    // --stream 1: bounded-memory ingest.  Reads are pulled off the
+    // SAM-lite file one contig at a time and realigned in groups of
+    // --job-threads contigs; peak memory is independent of genome
+    // size and the output is byte-identical to the in-memory path
+    // (docs/TESTING.md, "Streaming bit-equality").  Requires
+    // contig-grouped input (what simulate and realign write).
+    const bool stream = args.getFlag("--stream", false);
+
     ReferenceGenome ref = loadReference(
         args.get("--ref", dir + "/ref.fa"));
-    std::vector<Read> reads = loadReads(
-        args.get("--reads", dir + "/aligned.samlite"), ref);
+    const std::string reads_path =
+        args.get("--reads", dir + "/aligned.samlite");
+    std::vector<Read> reads;
+    if (!stream)
+        reads = loadReads(reads_path, ref);
 
     // Observability: --counters 1 prints the performance-counter
     // summary; --trace FILE records both the host-side spans and
@@ -249,17 +260,47 @@ cmdRealign(const Args &args)
         std::printf("fault plan: %s\n",
                     fault_plan.describe().c_str());
 
-    std::vector<int32_t> contigs;
-    for (size_t c = 0; c < ref.numContigs(); ++c)
-        contigs.push_back(static_cast<int32_t>(c));
-    RealignJobResult job = session.run(ref, contigs, reads);
+    std::string out = args.get("--out", dir + "/realigned.samlite");
+    RealignJobResult job;
+    if (stream) {
+        std::ifstream rf(reads_path);
+        fatal_if(!rf, "cannot open reads '%s'",
+                 reads_path.c_str());
+        std::ofstream f(out);
+        fatal_if(!f, "cannot write '%s'", out.c_str());
+        SamLiteBatchSource source(rf, ref);
+        StreamRealignResult sr = session.runStreamed(
+            ref, source, [&](std::vector<Read> &group) {
+                writeSamLite(f, ref, group);
+            });
+        if (!sr.parseOk) {
+            // Never leave a half-written output behind a parse
+            // failure.
+            f.close();
+            std::remove(out.c_str());
+            fatal("streaming ingest of '%s' failed [%s]: %s",
+                  reads_path.c_str(),
+                  streamErrorName(sr.parseError.code),
+                  sr.parseError.describe().c_str());
+        }
+        job = std::move(sr.job);
+        std::printf("streamed %llu reads in %llu contig batches "
+                    "(bounded memory)\n",
+                    static_cast<unsigned long long>(
+                        sr.readsStreamed),
+                    static_cast<unsigned long long>(sr.batches));
+    } else {
+        std::vector<int32_t> contigs;
+        for (size_t c = 0; c < ref.numContigs(); ++c)
+            contigs.push_back(static_cast<int32_t>(c));
+        job = session.run(ref, contigs, reads);
+        std::ofstream f(out);
+        fatal_if(!f, "cannot write '%s'", out.c_str());
+        writeSamLite(f, ref, reads);
+    }
     const RealignStats &total = job.stats;
     const PerfReport &perf = job.perf;
     double seconds = job.seconds;
-    std::string out = args.get("--out", dir + "/realigned.samlite");
-    std::ofstream f(out);
-    fatal_if(!f, "cannot write '%s'", out.c_str());
-    writeSamLite(f, ref, reads);
 
     std::printf("targets: %llu, reads realigned: %llu / %llu "
                 "considered\n",
@@ -515,7 +556,7 @@ usage()
         "            [--paired 1] [--seed N]\n"
         "  realign   --dir DIR [--backend NAME] [--ref F]\n"
         "            [--reads F] [--out F] [--job-threads N]\n"
-        "            [--cards N] [--stealing 0|1]\n"
+        "            [--cards N] [--stealing 0|1] [--stream 1]\n"
         "            [--counters 1] [--trace trace.json]\n"
         "            [--metrics metrics.json|metrics.prom]\n"
         "            [--harden 1] [--fault-plan SPEC]\n"

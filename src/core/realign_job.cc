@@ -270,6 +270,133 @@ RealignSession::runContig(const ReferenceGenome &ref, int32_t contig,
     return run(ref, std::vector<int32_t>{contig}, reads);
 }
 
+namespace {
+
+/**
+ * Fold one group's job result into the streaming aggregate.  Every
+ * component reduction is commutative and associative (counters add,
+ * statuses take the worst, histograms add bucket counts), so the
+ * aggregate is independent of how the stream was cut into groups --
+ * the heart of the streaming/in-memory bit-equality contract.
+ */
+void
+mergeJobResult(RealignJobResult *agg, RealignJobResult &&part)
+{
+    for (ContigJobResult &c : part.contigs)
+        agg->contigs.push_back(std::move(c));
+    agg->stats.merge(part.stats);
+    agg->seconds += part.seconds;
+    agg->wallSeconds += part.wallSeconds;
+    agg->criticalPathSeconds =
+        std::max(agg->criticalPathSeconds, part.criticalPathSeconds);
+    agg->fpgaSeconds += part.fpgaSeconds;
+    agg->simulated = agg->simulated || part.simulated;
+    // trace_pid 0 with stride 1 appends part's trace events with
+    // their per-contig pids intact.
+    agg->perf.merge(part.perf, 0, 1);
+    agg->perf.pidSpan = std::max(agg->perf.pidSpan, part.perf.pidSpan);
+    agg->fleet.merge(part.fleet);
+    agg->recovery.merge(part.recovery);
+    agg->targetLatencyCycles.merge(part.targetLatencyCycles);
+    agg->targetLatencyNanos.merge(part.targetLatencyNanos);
+    agg->status = worseStatus(agg->status, part.status);
+    for (int32_t c : part.degradedContigs)
+        agg->degradedContigs.push_back(c);
+    for (int32_t c : part.failedContigs)
+        agg->failedContigs.push_back(c);
+    agg->cancelled = agg->cancelled || part.cancelled;
+    for (int32_t c : part.skippedContigs)
+        agg->skippedContigs.push_back(c);
+    if (!part.postmortemPath.empty())
+        agg->postmortemPath = part.postmortemPath;
+}
+
+} // namespace
+
+StreamRealignResult
+RealignSession::runStreamed(
+    const ReferenceGenome &ref, ReadBatchSource &source,
+    const std::function<void(std::vector<Read> &reads)> &sink) const
+{
+    return runStreamed(ref, source, sink, cfg);
+}
+
+StreamRealignResult
+RealignSession::runStreamed(
+    const ReferenceGenome &ref, ReadBatchSource &source,
+    const std::function<void(std::vector<Read> &reads)> &sink,
+    const RealignJobConfig &job_cfg) const
+{
+    fatal_if(job_cfg.threads == 0, "realign job needs >= 1 thread");
+    Timer wall;
+    StreamRealignResult out;
+    uint64_t contigsDoneBefore = 0;
+
+    // Groups of up to `threads` contig batches keep every worker
+    // busy while bounding memory at threads x the largest batch.
+    const size_t groupSize = job_cfg.threads;
+    bool end = false;
+    while (!end) {
+        if (job_cfg.cancel &&
+            job_cfg.cancel->load(std::memory_order_relaxed)) {
+            out.job.cancelled = true;
+            break;
+        }
+        std::vector<int32_t> contigs;
+        std::vector<Read> reads;
+        while (contigs.size() < groupSize) {
+            int32_t contig = 0;
+            std::vector<Read> batch;
+            StreamStatus st =
+                source.nextBatch(&contig, &batch, &out.parseError);
+            if (st == StreamStatus::End) {
+                end = true;
+                break;
+            }
+            if (st == StreamStatus::Error) {
+                // Discard the partially collected group: the
+                // caller fails the job, so realigning it would
+                // only waste cycles on output that gets dropped.
+                out.parseOk = false;
+                out.job.wallSeconds = wall.seconds();
+                return out;
+            }
+            contigs.push_back(contig);
+            ++out.batches;
+            reads.reserve(reads.size() + batch.size());
+            for (Read &r : batch)
+                reads.push_back(std::move(r));
+        }
+        if (contigs.empty())
+            break;
+
+        RealignJobConfig groupCfg = job_cfg;
+        if (job_cfg.onProgress) {
+            const uint64_t base = contigsDoneBefore;
+            const uint64_t seen = base + contigs.size();
+            groupCfg.onProgress =
+                [base, seen,
+                 &job_cfg](const RealignJobProgress &p) {
+                    RealignJobProgress q = p;
+                    q.contigsDone += base;
+                    // Lower bound: the stream's length is unknown.
+                    q.contigsTotal = seen;
+                    job_cfg.onProgress(q);
+                };
+        }
+        mergeJobResult(&out.job,
+                       run(ref, contigs, reads, groupCfg));
+        contigsDoneBefore += contigs.size();
+        out.readsStreamed += reads.size();
+        sink(reads);
+        if (out.job.cancelled)
+            break;
+    }
+
+    out.job.wallSeconds = wall.seconds();
+    return out;
+}
+
 RealignSession
 makeSession(const std::string &backend_name, RealignJobConfig config,
             bool perf_counters, bool perf_trace)

@@ -28,6 +28,7 @@
 
 #include "core/realigner_api.hh"
 #include "core/stage_pipeline.hh"
+#include "genomics/stream_io.hh"
 
 namespace iracc {
 
@@ -224,6 +225,31 @@ struct RealignJobResult
 };
 
 /**
+ * Result of a streaming realignment run: the aggregate job result
+ * plus the ingest outcome.  A parse error does not abort the
+ * process -- groups realigned before the error are merged into
+ * `job` and already delivered to the sink; the caller decides what
+ * to do with the partial output (the CLI and server both fail the
+ * job and discard it).
+ */
+struct StreamRealignResult
+{
+    RealignJobResult job;
+
+    /** False when ingest stopped on malformed input. */
+    bool parseOk = true;
+
+    /** The rejection, valid when !parseOk. */
+    ParseError parseError;
+
+    /** Contig batches consumed from the source. */
+    uint64_t batches = 0;
+
+    /** Reads realigned and delivered to the sink. */
+    uint64_t readsStreamed = 0;
+};
+
+/**
  * A reusable genome-level realignment session binding one backend
  * to a job configuration.  Thread-compatible: run() may be called
  * repeatedly; each call is internally parallel.
@@ -273,6 +299,42 @@ class RealignSession
     RealignJobResult runContig(const ReferenceGenome &ref,
                                int32_t contig,
                                std::vector<Read> &reads) const;
+
+    /**
+     * Bounded-memory streaming run: pull contig batches from
+     * @p source, realign up to job_cfg.threads contigs' worth at a
+     * time (one group), and hand each group's realigned reads --
+     * in input order -- to @p sink before pulling the next.  Peak
+     * resident memory is therefore bounded by `threads` times the
+     * largest contig batch, independent of genome size, which is
+     * the property the CI streaming-ingest job asserts.
+     *
+     * Bit-equality contract (asserted by tests/stream_io_test.cc
+     * and docs/TESTING.md): for contig-grouped input, concatenating
+     * the sink payloads reproduces the in-memory run's realigned
+     * read sequence byte for byte, and the merged RealignStats are
+     * identical -- per-contig results depend only on (seed, contig)
+     * and the stats reduction is purely additive, so the grouping
+     * is unobservable in the output.
+     *
+     * Differences from run(): progress callbacks report
+     * contigsTotal as the count of contigs *seen so far* (a lower
+     * bound -- the stream's length is unknown); a post-mortem
+     * bundle may be written per group, with the last path kept.
+     * Cancellation stops the stream after the current group.  On a
+     * parse error the partially collected group is discarded
+     * unrealigned and the result carries parseOk = false.
+     */
+    StreamRealignResult runStreamed(
+        const ReferenceGenome &ref, ReadBatchSource &source,
+        const std::function<void(std::vector<Read> &reads)> &sink,
+        const RealignJobConfig &job_cfg) const;
+
+    /** Streaming run with the session-bound configuration. */
+    StreamRealignResult runStreamed(
+        const ReferenceGenome &ref, ReadBatchSource &source,
+        const std::function<void(std::vector<Read> &reads)> &sink)
+        const;
 
   private:
     std::unique_ptr<const RealignerBackend> be;

@@ -1,6 +1,7 @@
 #include "genomics/cigar.hh"
 
 #include <cctype>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -46,25 +47,49 @@ Cigar::Cigar(std::vector<CigarElem> raw)
 Cigar
 Cigar::fromString(const std::string &s)
 {
+    Cigar out;
+    panic_if(!tryFromString(s, &out), "malformed CIGAR string '%s'",
+             s.c_str());
+    return out;
+}
+
+bool
+Cigar::tryFromString(const std::string &s, Cigar *out)
+{
     std::vector<CigarElem> elems;
-    if (s == "*" || s.empty())
-        return Cigar();
-    uint32_t len = 0;
+    if (s == "*" || s.empty()) {
+        *out = Cigar();
+        return true;
+    }
+    uint64_t len = 0;
     bool have_len = false;
     for (char c : s) {
         if (std::isdigit(static_cast<unsigned char>(c))) {
-            len = len * 10 + static_cast<uint32_t>(c - '0');
+            len = len * 10 + static_cast<uint64_t>(c - '0');
+            if (len > std::numeric_limits<uint32_t>::max())
+                return false;
             have_len = true;
         } else {
-            panic_if(!have_len, "CIGAR op '%c' without a length", c);
-            elems.push_back({len, charToCigarOp(c)});
+            if (!have_len)
+                return false;
+            CigarOp op;
+            switch (c) {
+              case 'M': op = CigarOp::Match; break;
+              case 'I': op = CigarOp::Insert; break;
+              case 'D': op = CigarOp::Delete; break;
+              case 'S': op = CigarOp::SoftClip; break;
+              default:
+                return false;
+            }
+            elems.push_back({static_cast<uint32_t>(len), op});
             len = 0;
             have_len = false;
         }
     }
-    panic_if(have_len, "trailing length in CIGAR string '%s'",
-             s.c_str());
-    return Cigar(std::move(elems));
+    if (have_len)
+        return false;
+    *out = Cigar(std::move(elems));
+    return true;
 }
 
 Cigar

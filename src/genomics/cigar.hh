@@ -56,8 +56,19 @@ class Cigar
     /** Build from elements; merges adjacent same-op runs. */
     explicit Cigar(std::vector<CigarElem> elems);
 
-    /** Parse a SAM CIGAR string like "45M2I53M". */
+    /** Parse a SAM CIGAR string like "45M2I53M"; panics on
+     *  malformed input (internal callers with trusted data). */
     static Cigar fromString(const std::string &s);
+
+    /**
+     * Non-terminating parse for untrusted input (the streaming SAM
+     * readers).  Rejects unknown ops, ops without a length, a
+     * trailing length, and element lengths that overflow uint32 --
+     * the unchecked fromString accumulator used to wrap silently on
+     * inputs like "4294967296M".  @return false without touching
+     * @p out on malformed input.
+     */
+    static bool tryFromString(const std::string &s, Cigar *out);
 
     /** Convenience: a pure-match CIGAR of the given read length. */
     static Cigar simpleMatch(uint32_t read_length);

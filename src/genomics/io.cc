@@ -2,8 +2,8 @@
 
 #include <istream>
 #include <ostream>
-#include <sstream>
 
+#include "genomics/stream_io.hh"
 #include "util/logging.hh"
 
 namespace iracc {
@@ -64,26 +64,19 @@ writeFastq(std::ostream &os, const std::vector<Read> &reads)
 std::vector<Read>
 readFastq(std::istream &is)
 {
+    // Batch convenience over the validating streaming reader, so
+    // legacy callers get the same strict rejection (with the
+    // machine-readable code in the message) instead of the old
+    // trusting parse.
     std::vector<Read> reads;
-    std::string header, bases, plus, quals;
-    while (std::getline(is, header)) {
-        if (header.empty())
-            continue;
-        fatal_if(header[0] != '@', "malformed FASTQ header '%s'",
-                 header.c_str());
-        fatal_if(!std::getline(is, bases) || !std::getline(is, plus) ||
-                 !std::getline(is, quals),
-                 "truncated FASTQ record '%s'", header.c_str());
-        fatal_if(bases.size() != quals.size(),
-                 "FASTQ record '%s': base/quality length mismatch",
-                 header.c_str());
-        Read r;
-        r.name = header.substr(1);
-        r.bases = bases;
-        r.quals = asciiToQuals(quals);
-        r.cigar = Cigar();
+    FastqStreamReader reader(is);
+    Read r;
+    ParseError err;
+    StreamStatus st;
+    while ((st = reader.next(&r, &err)) == StreamStatus::Record)
         reads.push_back(std::move(r));
-    }
+    fatal_if(st == StreamStatus::Error, "FASTQ parse failed: %s",
+             err.describe().c_str());
     return reads;
 }
 
@@ -111,35 +104,19 @@ writeSamLite(std::ostream &os, const ReferenceGenome &ref,
 std::vector<Read>
 readSamLite(std::istream &is, const ReferenceGenome &ref)
 {
+    // The old implementation parsed with istringstream >>, which
+    // accepts partial tokens ("12x" -> 12) and lets malformed
+    // numerics cascade into panics deeper in the pipeline.  Parse
+    // through the validating streaming reader instead.
     std::vector<Read> reads;
-    std::string line;
-    while (std::getline(is, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        std::istringstream fields(line);
-        std::string name, contig_name, cigar_str, bases, qual_str;
-        int64_t pos1;
-        int mapq, flags;
-        fatal_if(!(fields >> name >> contig_name >> pos1 >> mapq >>
-                   cigar_str >> flags >> bases >> qual_str),
-                 "malformed SAM-lite line '%s'", line.c_str());
-        Read r;
-        r.name = name;
-        r.contig = ref.findContig(contig_name);
-        fatal_if(r.contig < 0, "unknown contig '%s' in SAM-lite",
-                 contig_name.c_str());
-        r.pos = pos1 - 1;
-        r.mapq = static_cast<uint8_t>(mapq);
-        r.cigar = Cigar::fromString(cigar_str);
-        r.reverse = (flags & 0x10) != 0;
-        r.duplicate = (flags & 0x400) != 0;
-        r.paired = (flags & 0x1) != 0;
-        r.firstOfPair = (flags & 0x40) != 0;
-        r.bases = bases;
-        r.quals = asciiToQuals(qual_str);
-        r.assertValid();
+    SamLiteStreamReader reader(is, ref);
+    Read r;
+    ParseError err;
+    StreamStatus st;
+    while ((st = reader.next(&r, &err)) == StreamStatus::Record)
         reads.push_back(std::move(r));
-    }
+    fatal_if(st == StreamStatus::Error, "SAM-lite parse failed: %s",
+             err.describe().c_str());
     return reads;
 }
 

@@ -65,4 +65,19 @@ asciiToQuals(const std::string &s)
     return out;
 }
 
+bool
+tryAsciiToQuals(const std::string &s, QualSeq *out)
+{
+    QualSeq quals;
+    quals.reserve(s.size());
+    for (char c : s) {
+        int q = static_cast<unsigned char>(c) - 33;
+        if (q < 0 || q > kMaxPhred)
+            return false;
+        quals.push_back(static_cast<uint8_t>(q));
+    }
+    *out = std::move(quals);
+    return true;
+}
+
 } // namespace iracc

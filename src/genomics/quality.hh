@@ -46,6 +46,15 @@ std::string qualsToAscii(const QualSeq &quals);
 /** Decode a FASTQ quality string into raw scores. */
 QualSeq asciiToQuals(const std::string &s);
 
+/**
+ * Non-terminating decode for untrusted input (the streaming FASTQ/
+ * SAM readers): asciiToQuals panics on any character outside the
+ * Sanger range, which an attacker-controlled file must never be
+ * able to trigger.  @return false without touching @p out when any
+ * character is out of range.
+ */
+bool tryAsciiToQuals(const std::string &s, QualSeq *out);
+
 } // namespace iracc
 
 #endif // IRACC_GENOMICS_QUALITY_HH

@@ -1,0 +1,394 @@
+#include "genomics/stream_io.hh"
+
+#include <istream>
+
+#include "genomics/base.hh"
+#include "util/argparse.hh"
+#include "util/logging.hh"
+
+namespace iracc {
+
+const char *
+streamErrorName(StreamErrorCode code)
+{
+    switch (code) {
+      case StreamErrorCode::None:            return "ok";
+      case StreamErrorCode::OversizedLine:   return "oversized-line";
+      case StreamErrorCode::TruncatedRecord: return "truncated-record";
+      case StreamErrorCode::MalformedRecord: return "malformed-record";
+      case StreamErrorCode::WrongFieldCount: return "wrong-field-count";
+      case StreamErrorCode::MalformedField:  return "malformed-field";
+      case StreamErrorCode::FieldOutOfRange: return "field-out-of-range";
+      case StreamErrorCode::MalformedCigar:  return "malformed-cigar";
+      case StreamErrorCode::CigarMismatch:   return "cigar-mismatch";
+      case StreamErrorCode::InvalidBase:     return "invalid-base";
+      case StreamErrorCode::InvalidQuality:  return "invalid-quality";
+      case StreamErrorCode::LengthMismatch:  return "length-mismatch";
+      case StreamErrorCode::UnknownContig:   return "unknown-contig";
+      case StreamErrorCode::PositionOutOfRange:
+        return "position-out-of-range";
+      case StreamErrorCode::UngroupedInput:  return "ungrouped-input";
+    }
+    panic("invalid StreamErrorCode %d", static_cast<int>(code));
+}
+
+std::string
+ParseError::describe() const
+{
+    std::string out = streamErrorName(code);
+    if (line > 0) {
+        out += ": line ";
+        out += std::to_string(line);
+    }
+    if (!message.empty()) {
+        out += ": ";
+        out += message;
+    }
+    return out;
+}
+
+namespace {
+
+void
+setError(ParseError *err, StreamErrorCode code, uint64_t line,
+         std::string message)
+{
+    if (!err)
+        return;
+    err->code = code;
+    err->line = line;
+    err->message = std::move(message);
+}
+
+} // namespace
+
+LineScanner::LineScanner(std::istream &is, StreamLimits limits)
+    : in(is), lim(limits)
+{
+}
+
+bool
+LineScanner::next(std::string *line, ParseError *err)
+{
+    // Character-wise pull so an oversized line is rejected at the
+    // limit instead of being buffered whole -- the reader's memory
+    // bound must hold against hostile input too.
+    std::streambuf *buf = in.rdbuf();
+    line->clear();
+    int c = buf->sbumpc();
+    if (c == std::streambuf::traits_type::eof())
+        return false;
+    ++lineno;
+    while (c != std::streambuf::traits_type::eof() && c != '\n') {
+        if (line->size() >= lim.maxLineBytes) {
+            setError(err, StreamErrorCode::OversizedLine, lineno,
+                     "line exceeds " +
+                         std::to_string(lim.maxLineBytes) + " bytes");
+            return false;
+        }
+        line->push_back(static_cast<char>(c));
+        c = buf->sbumpc();
+    }
+    if (!line->empty() && line->back() == '\r')
+        line->pop_back();
+    return true;
+}
+
+FastqStreamReader::FastqStreamReader(std::istream &is,
+                                     StreamLimits limits)
+    : scanner(is, limits)
+{
+}
+
+StreamStatus
+FastqStreamReader::next(Read *out, ParseError *err)
+{
+    std::string header;
+    ParseError scanErr;
+    // Tolerate blank lines between records (batch-reader parity).
+    do {
+        if (!scanner.next(&header, &scanErr)) {
+            if (!scanErr.ok()) {
+                if (err)
+                    *err = scanErr;
+                return StreamStatus::Error;
+            }
+            return StreamStatus::End;
+        }
+    } while (header.empty());
+
+    if (header[0] != '@' || header.size() < 2) {
+        setError(err, StreamErrorCode::MalformedRecord,
+                 scanner.lineNumber(),
+                 "expected '@name' FASTQ header");
+        return StreamStatus::Error;
+    }
+
+    std::string bases, plus, quals;
+    for (std::string *l : {&bases, &plus, &quals}) {
+        if (!scanner.next(l, &scanErr)) {
+            if (!scanErr.ok()) {
+                if (err)
+                    *err = scanErr;
+            } else {
+                setError(err, StreamErrorCode::TruncatedRecord,
+                         scanner.lineNumber(),
+                         "EOF inside FASTQ record '" + header + "'");
+            }
+            return StreamStatus::Error;
+        }
+    }
+    if (plus.empty() || plus[0] != '+') {
+        setError(err, StreamErrorCode::MalformedRecord,
+                 scanner.lineNumber() - 1,
+                 "expected '+' FASTQ separator");
+        return StreamStatus::Error;
+    }
+    if (!isValidSequence(bases)) {
+        setError(err, StreamErrorCode::InvalidBase,
+                 scanner.lineNumber() - 2,
+                 "base outside A/C/G/T/N in '" + header + "'");
+        return StreamStatus::Error;
+    }
+    QualSeq qualSeq;
+    if (!tryAsciiToQuals(quals, &qualSeq)) {
+        setError(err, StreamErrorCode::InvalidQuality,
+                 scanner.lineNumber(),
+                 "quality char outside Sanger range in '" + header +
+                     "'");
+        return StreamStatus::Error;
+    }
+    if (bases.size() != qualSeq.size()) {
+        setError(err, StreamErrorCode::LengthMismatch,
+                 scanner.lineNumber(),
+                 std::to_string(bases.size()) + " bases but " +
+                     std::to_string(qualSeq.size()) + " qualities");
+        return StreamStatus::Error;
+    }
+
+    Read r;
+    r.name = header.substr(1);
+    r.bases = bases;
+    r.quals = std::move(qualSeq);
+    r.cigar = Cigar();
+    *out = std::move(r);
+    ++count;
+    return StreamStatus::Record;
+}
+
+namespace {
+
+/** Split on runs of tabs/spaces (what the batch reader accepted). */
+std::vector<std::string>
+splitFields(const std::string &line)
+{
+    std::vector<std::string> fields;
+    size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() &&
+               (line[i] == '\t' || line[i] == ' '))
+            ++i;
+        size_t start = i;
+        while (i < line.size() && line[i] != '\t' && line[i] != ' ')
+            ++i;
+        if (i > start)
+            fields.push_back(line.substr(start, i - start));
+    }
+    return fields;
+}
+
+} // namespace
+
+SamLiteStreamReader::SamLiteStreamReader(std::istream &is,
+                                         const ReferenceGenome &ref,
+                                         StreamLimits limits)
+    : scanner(is, limits), genome(ref)
+{
+}
+
+StreamStatus
+SamLiteStreamReader::next(Read *out, ParseError *err)
+{
+    std::string line;
+    ParseError scanErr;
+    do {
+        if (!scanner.next(&line, &scanErr)) {
+            if (!scanErr.ok()) {
+                if (err)
+                    *err = scanErr;
+                return StreamStatus::Error;
+            }
+            return StreamStatus::End;
+        }
+    } while (line.empty() || line[0] == '#');
+
+    const uint64_t lineno = scanner.lineNumber();
+    std::vector<std::string> f = splitFields(line);
+    if (f.size() != 8) {
+        setError(err, StreamErrorCode::WrongFieldCount, lineno,
+                 "expected 8 fields, found " +
+                     std::to_string(f.size()));
+        return StreamStatus::Error;
+    }
+
+    const int32_t contig = genome.findContig(f[1]);
+    if (contig < 0) {
+        setError(err, StreamErrorCode::UnknownContig, lineno,
+                 "contig '" + f[1] + "' not in the reference");
+        return StreamStatus::Error;
+    }
+    const int64_t contigLen =
+        static_cast<int64_t>(genome.contig(contig).seq.size());
+
+    int64_t pos1 = 0;
+    if (!parseInt64(f[2], &pos1)) {
+        setError(err, StreamErrorCode::MalformedField, lineno,
+                 "POS '" + f[2] + "' is not a whole integer");
+        return StreamStatus::Error;
+    }
+    if (pos1 < 1 || pos1 - 1 >= contigLen) {
+        setError(err, StreamErrorCode::PositionOutOfRange, lineno,
+                 "POS " + f[2] + " outside contig '" + f[1] +
+                     "' (length " + std::to_string(contigLen) + ")");
+        return StreamStatus::Error;
+    }
+
+    int64_t mapq = 0;
+    if (!parseInt64(f[3], &mapq)) {
+        setError(err, StreamErrorCode::MalformedField, lineno,
+                 "MAPQ '" + f[3] + "' is not a whole integer");
+        return StreamStatus::Error;
+    }
+    if (mapq < 0 || mapq > 255) {
+        setError(err, StreamErrorCode::FieldOutOfRange, lineno,
+                 "MAPQ " + f[3] + " outside [0, 255]");
+        return StreamStatus::Error;
+    }
+
+    Cigar cigar;
+    if (!Cigar::tryFromString(f[4], &cigar)) {
+        setError(err, StreamErrorCode::MalformedCigar, lineno,
+                 "malformed CIGAR '" + f[4] + "'");
+        return StreamStatus::Error;
+    }
+
+    int64_t flags = 0;
+    if (!parseInt64(f[5], &flags)) {
+        setError(err, StreamErrorCode::MalformedField, lineno,
+                 "FLAG '" + f[5] + "' is not a whole integer");
+        return StreamStatus::Error;
+    }
+    if (flags < 0 || flags > 0xFFFF) {
+        setError(err, StreamErrorCode::FieldOutOfRange, lineno,
+                 "FLAG " + f[5] + " outside [0, 65535]");
+        return StreamStatus::Error;
+    }
+
+    if (!isValidSequence(f[6])) {
+        setError(err, StreamErrorCode::InvalidBase, lineno,
+                 "base outside A/C/G/T/N in read '" + f[0] + "'");
+        return StreamStatus::Error;
+    }
+
+    QualSeq quals;
+    if (!tryAsciiToQuals(f[7], &quals)) {
+        setError(err, StreamErrorCode::InvalidQuality, lineno,
+                 "quality char outside Sanger range in read '" +
+                     f[0] + "'");
+        return StreamStatus::Error;
+    }
+    if (quals.size() != f[6].size()) {
+        setError(err, StreamErrorCode::LengthMismatch, lineno,
+                 std::to_string(f[6].size()) + " bases but " +
+                     std::to_string(quals.size()) + " qualities");
+        return StreamStatus::Error;
+    }
+    if (!cigar.empty() && cigar.readLength() != f[6].size()) {
+        setError(err, StreamErrorCode::CigarMismatch, lineno,
+                 "CIGAR '" + f[4] + "' consumes " +
+                     std::to_string(cigar.readLength()) +
+                     " bases, sequence has " +
+                     std::to_string(f[6].size()));
+        return StreamStatus::Error;
+    }
+
+    Read r;
+    r.name = std::move(f[0]);
+    r.contig = contig;
+    r.pos = pos1 - 1;
+    r.mapq = static_cast<uint8_t>(mapq);
+    r.cigar = std::move(cigar);
+    r.reverse = (flags & 0x10) != 0;
+    r.duplicate = (flags & 0x400) != 0;
+    r.paired = (flags & 0x1) != 0;
+    r.firstOfPair = (flags & 0x40) != 0;
+    r.bases = std::move(f[6]);
+    r.quals = std::move(quals);
+    // Every invariant assertValid checks was validated above, so
+    // this cannot fire on untrusted input.
+    r.assertValid();
+    *out = std::move(r);
+    ++count;
+    return StreamStatus::Record;
+}
+
+SamLiteBatchSource::SamLiteBatchSource(std::istream &is,
+                                       const ReferenceGenome &ref,
+                                       StreamLimits limits)
+    : reader(is, ref, limits)
+{
+}
+
+StreamStatus
+SamLiteBatchSource::nextBatch(int32_t *contig,
+                              std::vector<Read> *reads,
+                              ParseError *err)
+{
+    reads->clear();
+    if (finished)
+        return StreamStatus::End;
+
+    Read r;
+    if (!havePending) {
+        StreamStatus st = reader.next(&r, err);
+        if (st != StreamStatus::Record) {
+            finished = true;
+            return st;
+        }
+        pending = std::move(r);
+        havePending = true;
+    }
+
+    const int32_t batchContig = pending.contig;
+    if (!seenContigs.insert(batchContig).second) {
+        finished = true;
+        setError(err, StreamErrorCode::UngroupedInput, 0,
+                 "reads for contig id " +
+                     std::to_string(batchContig) +
+                     " are not adjacent; streaming input must be "
+                     "contig-grouped");
+        return StreamStatus::Error;
+    }
+
+    reads->push_back(std::move(pending));
+    havePending = false;
+    for (;;) {
+        StreamStatus st = reader.next(&r, err);
+        if (st == StreamStatus::End)
+            break;
+        if (st == StreamStatus::Error) {
+            finished = true;
+            return st;
+        }
+        if (r.contig != batchContig) {
+            pending = std::move(r);
+            havePending = true;
+            break;
+        }
+        reads->push_back(std::move(r));
+    }
+    *contig = batchContig;
+    return StreamStatus::Record;
+}
+
+} // namespace iracc

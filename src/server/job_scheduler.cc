@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 
 #include "core/workload.hh"
@@ -206,11 +207,19 @@ void
 JobScheduler::runJob(JobRecord *job)
 {
     // Load (or synthesize) the dataset outside the scheduler lock.
+    // File jobs load only the reference here: their reads are
+    // pulled off disk contig-by-contig through the streaming batch
+    // source below, so a job's peak memory is bounded by the
+    // largest contig's read set, not the file size -- and a
+    // malformed record fails that one job with a machine-readable
+    // error instead of taking the daemon down the way the old
+    // readSamLite (fatal on parse error) did.
     ReferenceGenome ref;
     std::vector<Read> reads;
     std::string load_error;
     const JobSpec &spec = job->spec;
-    if (spec.synthScale > 0) {
+    const bool file_job = spec.synthScale <= 0;
+    if (!file_job) {
         WorkloadParams params;
         params.seed = spec.synthSeed;
         params.scaleDivisor = spec.synthScale;
@@ -229,13 +238,6 @@ JobScheduler::runJob(JobRecord *job)
                 "cannot open reference '" + spec.refPath + "'";
         } else {
             ref = readFasta(fa);
-            std::ifstream sam(spec.readsPath);
-            if (!sam) {
-                load_error =
-                    "cannot open reads '" + spec.readsPath + "'";
-            } else {
-                reads = readSamLite(sam, ref);
-            }
         }
     }
     if (!load_error.empty()) {
@@ -279,16 +281,55 @@ JobScheduler::runJob(JobRecord *job)
             cfg.onProgress(job->id, p);
     };
 
-    RealignJobResult result = session->run(ref, reads, run_cfg);
-
-    std::string write_error;
-    if (!job->spec.outPath.empty() && !result.cancelled) {
-        std::ofstream out(job->spec.outPath);
-        if (!out) {
-            write_error =
-                "cannot write '" + job->spec.outPath + "'";
-        } else {
-            writeSamLite(out, ref, reads);
+    RealignJobResult result;
+    std::string run_error;
+    if (file_job) {
+        // Streamed ingest: realigned groups are appended to the
+        // output as they finish, so the job never holds more than
+        // one thread-group of contigs in memory.  A parse failure
+        // or a cancellation removes the partial output -- callers
+        // either get the complete byte-exact file or nothing.
+        std::ifstream sam(spec.readsPath);
+        const bool want_out = !spec.outPath.empty();
+        std::ofstream out;
+        if (!sam) {
+            run_error =
+                "cannot open reads '" + spec.readsPath + "'";
+        } else if (want_out) {
+            out.open(spec.outPath);
+            if (!out)
+                run_error = "cannot write '" + spec.outPath + "'";
+        }
+        if (run_error.empty()) {
+            SamLiteBatchSource source(sam, ref);
+            StreamRealignResult sr = session->runStreamed(
+                ref, source,
+                [&](std::vector<Read> &group) {
+                    if (want_out)
+                        writeSamLite(out, ref, group);
+                },
+                run_cfg);
+            result = std::move(sr.job);
+            if (!sr.parseOk) {
+                run_error = std::string("stream parse error [") +
+                            streamErrorName(sr.parseError.code) +
+                            "]: " + sr.parseError.describe();
+            }
+            if (want_out && (!sr.parseOk || result.cancelled)) {
+                out.close();
+                std::remove(spec.outPath.c_str());
+            }
+        }
+    } else {
+        result = session->run(ref, reads, run_cfg);
+        if (!spec.outPath.empty() && !result.cancelled) {
+            std::ofstream out(spec.outPath);
+            if (!out) {
+                run_error =
+                    "cannot write '" + spec.outPath + "'";
+            } else {
+                writeSamLite(out, ref, reads);
+            }
         }
     }
 
@@ -301,8 +342,8 @@ JobScheduler::runJob(JobRecord *job)
     job->postmortemPath = result.postmortemPath;
     job->cancelled = result.cancelled;
     job->status = statusName(result.status);
-    if (!write_error.empty()) {
-        job->error = write_error;
+    if (!run_error.empty()) {
+        job->error = run_error;
         job->status = statusName(RunStatus::Failed);
     }
     finishJob(job, result.cancelled ? JobState::Cancelled

@@ -8,6 +8,7 @@
 
 #include "accel/ir_compute.hh"
 #include "core/realign_job.hh"
+#include "genomics/io.hh"
 #include "realign/marshal.hh"
 #include "realign/score.hh"
 #include "realign/whd.hh"
@@ -644,6 +645,176 @@ diffFaultSeed(uint64_t seed, uint32_t cards, bool stealing)
         r.detail = fmt("seed %llu plan '%s': %s",
                        static_cast<unsigned long long>(seed),
                        plan.describe().c_str(), r.detail.c_str());
+    }
+    return r;
+}
+
+DiffResult
+diffScenarioSeed(ScenarioProfile profile, uint64_t seed)
+{
+    ScenarioWorkload wl = makeScenarioWorkload(profile, seed);
+    DiffResult r = diffPipeline(wl.reference, wl.reads);
+    if (r.ok)
+        r = diffHardenedPipeline(wl.reference, wl.reads);
+    if (!r.ok) {
+        r.detail = fmt("scenario %s seed %llu: %s",
+                       scenarioName(profile),
+                       static_cast<unsigned long long>(seed),
+                       r.detail.c_str());
+    }
+    return r;
+}
+
+DiffResult
+diffScenarioFaultSeed(ScenarioProfile profile, uint64_t seed,
+                      uint32_t cards, bool stealing)
+{
+    ScenarioWorkload wl = makeScenarioWorkload(profile, seed);
+    FaultPlan plan = FaultPlan::random(seed);
+    DiffResult r = diffFaultPlan(wl.reference, wl.reads, plan, cards,
+                                 stealing);
+    if (!r.ok) {
+        r.detail = fmt("scenario %s seed %llu plan '%s': %s",
+                       scenarioName(profile),
+                       static_cast<unsigned long long>(seed),
+                       plan.describe().c_str(), r.detail.c_str());
+    }
+    return r;
+}
+
+namespace {
+
+/** One design point's streaming-vs-in-memory comparison. */
+DiffResult
+diffStreamingVariant(const BackendVariant &variant,
+                     const ReferenceGenome &ref,
+                     const std::string &input_sam)
+{
+    const std::string label = variant.label + "/streamed";
+
+    // In-memory arm: batch-load the same serialized bytes so both
+    // arms parse identical records, realign, serialize.
+    std::istringstream mem_in(input_sam);
+    std::vector<Read> mem_reads = readSamLite(mem_in, ref);
+    RealignJobConfig cfg;
+    cfg.threads = variant.jobThreads;
+    RealignSession mem_session(makeVariantBackend(variant), cfg);
+    RealignJobResult mem_result = mem_session.run(ref, mem_reads);
+    std::ostringstream mem_out;
+    writeSamLite(mem_out, ref, mem_reads);
+
+    // Streaming arm: contig batches pulled off the same bytes,
+    // realigned group-by-group, serialized as the groups complete.
+    std::istringstream stream_in(input_sam);
+    SamLiteBatchSource source(stream_in, ref);
+    RealignSession stream_session(makeVariantBackend(variant), cfg);
+    std::ostringstream stream_out;
+    StreamRealignResult stream_result = stream_session.runStreamed(
+        ref, source, [&](std::vector<Read> &group) {
+            writeSamLite(stream_out, ref, group);
+        });
+
+    if (!stream_result.parseOk) {
+        return DiffResult::fail(
+            label, fmt("streaming ingest rejected its own "
+                       "serialization: %s",
+                       stream_result.parseError.describe().c_str()));
+    }
+    if (stream_result.readsStreamed != mem_reads.size()) {
+        return DiffResult::fail(
+            label,
+            fmt("streamed %llu reads, in-memory load has %zu",
+                static_cast<unsigned long long>(
+                    stream_result.readsStreamed),
+                mem_reads.size()));
+    }
+    if (stream_out.str() != mem_out.str()) {
+        const std::string &a = stream_out.str();
+        const std::string &b = mem_out.str();
+        size_t n = std::min(a.size(), b.size());
+        size_t at = n;
+        for (size_t i = 0; i < n; ++i) {
+            if (a[i] != b[i]) {
+                at = i;
+                break;
+            }
+        }
+        return DiffResult::fail(
+            label,
+            fmt("realigned SAM-lite output diverges at byte %zu "
+                "(%zu vs %zu bytes total)",
+                at, a.size(), b.size()));
+    }
+    const RealignStats &s = stream_result.job.stats;
+    const RealignStats &m = mem_result.stats;
+    if (s.targets != m.targets ||
+        s.readsConsidered != m.readsConsidered ||
+        s.readsRealigned != m.readsRealigned ||
+        s.consensusesEvaluated != m.consensusesEvaluated ||
+        !statsEqual(s.whd, m.whd)) {
+        return DiffResult::fail(
+            label,
+            fmt("RealignStats diverge: targets %llu/%llu "
+                "considered %llu/%llu realigned %llu/%llu "
+                "consensuses %llu/%llu whd %s vs %s",
+                static_cast<unsigned long long>(s.targets),
+                static_cast<unsigned long long>(m.targets),
+                static_cast<unsigned long long>(s.readsConsidered),
+                static_cast<unsigned long long>(m.readsConsidered),
+                static_cast<unsigned long long>(s.readsRealigned),
+                static_cast<unsigned long long>(m.readsRealigned),
+                static_cast<unsigned long long>(
+                    s.consensusesEvaluated),
+                static_cast<unsigned long long>(
+                    m.consensusesEvaluated),
+                statsString(s.whd).c_str(),
+                statsString(m.whd).c_str()));
+    }
+    return {};
+}
+
+} // anonymous namespace
+
+DiffResult
+diffStreamingIngest(const ReferenceGenome &ref,
+                    const std::vector<Read> &reads,
+                    const std::vector<BackendVariant> &variants)
+{
+    std::ostringstream input;
+    writeSamLite(input, ref, reads);
+    const std::string input_sam = input.str();
+
+    for (const BackendVariant &variant : variants) {
+        DiffResult r;
+        if (!variant.kernel.empty()) {
+            WhdKernel kernel;
+            panic_if(!parseWhdKernel(variant.kernel, &kernel),
+                     "variant '%s' names unknown WHD kernel '%s'",
+                     variant.label.c_str(), variant.kernel.c_str());
+            ScopedWhdKernel scope(kernel);
+            r = diffStreamingVariant(variant, ref, input_sam);
+        } else {
+            r = diffStreamingVariant(variant, ref, input_sam);
+        }
+        if (!r.ok)
+            return r;
+    }
+    return {};
+}
+
+DiffResult
+diffStreamingIngestSeed(uint64_t seed)
+{
+    GenomeWorkload workload = makeDiffGenome(seed);
+    std::vector<Read> reads;
+    for (const ChromosomeWorkload &chrom : workload.chromosomes)
+        reads.insert(reads.end(), chrom.reads.begin(),
+                     chrom.reads.end());
+    DiffResult r = diffStreamingIngest(workload.reference, reads);
+    if (!r.ok) {
+        r.detail = fmt("seed %llu: %s",
+                       static_cast<unsigned long long>(seed),
+                       r.detail.c_str());
     }
     return r;
 }

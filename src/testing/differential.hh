@@ -52,6 +52,7 @@
 #include "genomics/read.hh"
 #include "genomics/reference.hh"
 #include "realign/consensus.hh"
+#include "testing/workload_gen.hh"
 
 namespace iracc {
 namespace difftest {
@@ -157,6 +158,44 @@ DiffResult diffFaultPlan(const ReferenceGenome &ref,
  */
 DiffResult diffFaultSeed(uint64_t seed, uint32_t cards = 1,
                          bool stealing = true);
+
+/**
+ * Scenario differential: the full cross-backend pipeline check
+ * (every differentialVariants design point) plus the hardened
+ * fault-free transparency check, over one hostile-workload
+ * scenario profile (workload_gen.hh).  This is what makes each
+ * profile a named design point of the harness
+ * (tools/iracc_diff --scenario-seeds).
+ */
+DiffResult diffScenarioSeed(ScenarioProfile profile, uint64_t seed);
+
+/**
+ * Scenario fault soak: realign one scenario workload through the
+ * hardened path under FaultPlan::random(seed) and require the
+ * plain accelerated backend's bit-exact output
+ * (tools/iracc_diff --scenario-fault-seeds).
+ */
+DiffResult diffScenarioFaultSeed(ScenarioProfile profile,
+                                 uint64_t seed, uint32_t cards = 1,
+                                 bool stealing = true);
+
+/**
+ * Streaming-ingest differential: serialize @p reads as SAM-lite,
+ * realign them again through SamLiteBatchSource +
+ * RealignSession::runStreamed, and require byte-identical SAM-lite
+ * output and a fully identical RealignStats against the in-memory
+ * run of the same design point -- for every variant in
+ * @p variants (the default matrix spans 1 and 4 job threads).
+ * This is the executable form of the streaming bit-equality
+ * contract (docs/TESTING.md).
+ */
+DiffResult diffStreamingIngest(
+    const ReferenceGenome &ref, const std::vector<Read> &reads,
+    const std::vector<BackendVariant> &variants =
+        differentialVariants());
+
+/** Streaming-ingest differential over the genome of a seed. */
+DiffResult diffStreamingIngestSeed(uint64_t seed);
 
 /**
  * Greedy repro minimization for a pipeline mismatch: drop whole

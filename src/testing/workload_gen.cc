@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "realign/limits.hh"
+#include "util/logging.hh"
 
 namespace iracc {
 namespace difftest {
@@ -287,6 +288,252 @@ makeKernelInputs(uint64_t seed)
     for (size_t i = 0; i < randomized; ++i)
         out.push_back(randomTarget(rng));
     return out;
+}
+
+namespace {
+
+/** Stream tag keeping scenario generation independent of the
+ *  kernel and pipeline streams. */
+constexpr uint64_t kScenarioStream = 0xD1FF5CE2ull;
+
+/** Flatten a workload into one contig-grouped read vector:
+ *  per chromosome, tumor/sample reads then the matched normal. */
+std::vector<Read>
+flattenReads(GenomeWorkload &wl)
+{
+    std::vector<Read> reads;
+    for (ChromosomeWorkload &chrom : wl.chromosomes) {
+        for (Read &r : chrom.reads)
+            reads.push_back(std::move(r));
+        for (Read &r : chrom.normalReads)
+            reads.push_back(std::move(r));
+    }
+    return reads;
+}
+
+/** Shared sizing: one scaled Ch22 (or a compact corpus-sized one). */
+WorkloadParams
+scenarioBaseParams(uint64_t seed, bool compact)
+{
+    WorkloadParams p;
+    p.seed = 0x5CE2ADA12878ull ^ (seed * 0x9E3779B97F4A7C15ull);
+    p.scaleDivisor = 20000;
+    p.minContigLength = compact ? 6000 : 15000;
+    p.chromosomes = {22};
+    p.coverage = compact ? 4.0 : 8.0;
+    return p;
+}
+
+/**
+ * Low-complexity reference: homopolymer runs, dinucleotide and
+ * triplet tandem repeats, separated by short random spacers.
+ */
+BaseSeq
+lowComplexitySequence(Rng &rng, int64_t length)
+{
+    static const char alphabet[4] = {'A', 'C', 'G', 'T'};
+    BaseSeq seq;
+    seq.reserve(static_cast<size_t>(length));
+    while (static_cast<int64_t>(seq.size()) < length) {
+        switch (rng.below(4)) {
+          case 0: { // homopolymer run
+            char b = alphabet[rng.below(4)];
+            size_t run = 20 + rng.below(60);
+            seq.append(run, b);
+            break;
+          }
+          case 1: { // dinucleotide repeat
+            char a = alphabet[rng.below(4)];
+            char b = alphabet[rng.below(4)];
+            size_t units = 12 + rng.below(30);
+            for (size_t i = 0; i < units; ++i) {
+                seq.push_back(a);
+                seq.push_back(b);
+            }
+            break;
+          }
+          case 2: { // short tandem repeat (3-6 bp unit)
+            size_t unit_len = 3 + rng.below(4);
+            BaseSeq unit;
+            for (size_t i = 0; i < unit_len; ++i)
+                unit.push_back(alphabet[rng.below(4)]);
+            size_t units = 8 + rng.below(20);
+            for (size_t i = 0; i < units; ++i)
+                seq += unit;
+            break;
+          }
+          default: { // random spacer
+            size_t run = 40 + rng.below(120);
+            for (size_t i = 0; i < run; ++i)
+                seq.push_back(alphabet[rng.below(4)]);
+            break;
+          }
+        }
+    }
+    seq.resize(static_cast<size_t>(length));
+    return seq;
+}
+
+ScenarioWorkload
+makeLowComplexity(uint64_t seed, bool compact)
+{
+    Rng rng = Rng::stream(kScenarioStream, seed ^ 0x10c0ull);
+    ScenarioWorkload out;
+    const int64_t length = compact ? 6000 : 15000;
+    int32_t contig = out.reference.addContig(
+        "Ch22", lowComplexitySequence(rng, length));
+
+    VariantGenParams vp;
+    vp.insRate = 1.2e-3;
+    vp.delRate = 1.2e-3;
+    vp.maxIndelLen = 12;
+    vp.clusterProb = 0.5;
+    std::vector<Variant> truth = generateVariants(
+        out.reference.contig(contig).seq, contig, vp, rng);
+
+    ReadSimParams sim;
+    sim.readLength = 100;
+    sim.coverage = compact ? 4.0 : 8.0;
+    // Repeats make placement ambiguous even at normal quality;
+    // a slightly degraded model adds realistic noise on top.
+    sim.qualMean = 28.0;
+    sim.indelShiftProb = 0.5;
+    ReadSimulator simulator(sim, rng.next());
+    out.reads =
+        simulator.simulateContig(out.reference, contig, truth).reads;
+    return out;
+}
+
+ScenarioWorkload
+makeContaminated(uint64_t seed, bool compact)
+{
+    WorkloadParams p = scenarioBaseParams(seed, compact);
+    p.variants.insRate = 1e-3;
+    p.variants.delRate = 1e-3;
+    p.variants.maxIndelLen = 14;
+    GenomeWorkload wl = buildWorkload(p);
+
+    ScenarioWorkload out;
+    out.reads = flattenReads(wl);
+    out.reference = std::move(wl.reference);
+
+    // The contaminant: a second donor on the same reference with
+    // its own (disjoint-by-construction) variant stream, at ~12 %
+    // of the sample's depth.  Its reads carry germline-looking
+    // alleles the main donor does not have -- exactly the
+    // low-allele-fraction noise a contaminated library shows.
+    Rng crng = Rng::stream(kScenarioStream, seed ^ 0xC047ull);
+    for (ChromosomeWorkload &chrom : wl.chromosomes) {
+        VariantGenParams vp = p.variants;
+        std::vector<Variant> donor2 = generateVariants(
+            out.reference.contig(chrom.contig).seq, chrom.contig,
+            vp, crng);
+        ReadSimParams sim = p.readSim;
+        sim.coverage = p.coverage * 0.12;
+        ReadSimulator simulator(sim, crng.next());
+        SimulatedReads sr = simulator.simulateContig(
+            out.reference, chrom.contig, donor2);
+        for (Read &r : sr.reads) {
+            r.name = "C" + r.name;
+            out.reads.push_back(std::move(r));
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::vector<ScenarioProfile>
+allScenarioProfiles()
+{
+    return {ScenarioProfile::LongRead, ScenarioProfile::SvDense,
+            ScenarioProfile::LowComplexity,
+            ScenarioProfile::TumorNormal,
+            ScenarioProfile::Contaminated};
+}
+
+const char *
+scenarioName(ScenarioProfile profile)
+{
+    switch (profile) {
+      case ScenarioProfile::LongRead:      return "long-read";
+      case ScenarioProfile::SvDense:       return "sv-dense";
+      case ScenarioProfile::LowComplexity: return "low-complexity";
+      case ScenarioProfile::TumorNormal:   return "tumor-normal";
+      case ScenarioProfile::Contaminated:  return "contaminated";
+    }
+    panic("invalid ScenarioProfile %d", static_cast<int>(profile));
+}
+
+bool
+parseScenario(const std::string &name, ScenarioProfile *out)
+{
+    for (ScenarioProfile p : allScenarioProfiles()) {
+        if (name == scenarioName(p)) {
+            *out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+ScenarioWorkload
+makeScenarioWorkload(ScenarioProfile profile, uint64_t seed,
+                     bool compact)
+{
+    switch (profile) {
+      case ScenarioProfile::LongRead: {
+        WorkloadParams p = scenarioBaseParams(seed, compact);
+        // kMaxReadLen-bounded long reads with a fast-decaying,
+        // jittery quality model: high per-base error rates.
+        p.readSim.readLength = 250;
+        p.readSim.qualMean = 16.0;
+        p.readSim.qualDecay = 14.0;
+        p.readSim.qualJitter = 6.0;
+        p.readSim.indelShiftProb = 0.5;
+        p.variants.insRate = 1e-3;
+        p.variants.delRate = 1e-3;
+        p.variants.maxIndelLen = 18;
+        GenomeWorkload wl = buildWorkload(p);
+        ScenarioWorkload out;
+        out.reads = flattenReads(wl);
+        out.reference = std::move(wl.reference);
+        return out;
+      }
+      case ScenarioProfile::SvDense: {
+        WorkloadParams p = scenarioBaseParams(seed, compact);
+        p.variants.insRate = 3e-3;
+        p.variants.delRate = 3e-3;
+        p.variants.maxIndelLen = 40;
+        p.variants.minIndelSpacing = 120;
+        p.variants.clusterProb = 0.8;
+        p.variants.clusterMaxExtra = 4;
+        p.variants.clusterSpacingMax = 200;
+        GenomeWorkload wl = buildWorkload(p);
+        ScenarioWorkload out;
+        out.reads = flattenReads(wl);
+        out.reference = std::move(wl.reference);
+        return out;
+      }
+      case ScenarioProfile::LowComplexity:
+        return makeLowComplexity(seed, compact);
+      case ScenarioProfile::TumorNormal: {
+        WorkloadParams p = scenarioBaseParams(seed, compact);
+        p.normalCoverage = compact ? 3.0 : 6.0;
+        p.variants.somaticFraction = 0.85;
+        p.variants.insRate = 1.5e-3;
+        p.variants.delRate = 1.5e-3;
+        p.variants.maxIndelLen = 16;
+        GenomeWorkload wl = buildWorkload(p);
+        ScenarioWorkload out;
+        out.reads = flattenReads(wl);
+        out.reference = std::move(wl.reference);
+        return out;
+      }
+      case ScenarioProfile::Contaminated:
+        return makeContaminated(seed, compact);
+    }
+    panic("invalid ScenarioProfile %d", static_cast<int>(profile));
 }
 
 GenomeWorkload

@@ -26,6 +26,7 @@
 #define IRACC_TESTING_WORKLOAD_GEN_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/workload.hh"
@@ -50,6 +51,70 @@ std::vector<IrTargetInput> makeKernelInputs(uint64_t seed);
  * indel parameters.
  */
 GenomeWorkload makeDiffGenome(uint64_t seed);
+
+/**
+ * Hostile-workload scenario profiles: the input shapes a deployed
+ * realignment service sees that the benign default synthesizer
+ * never produces.  Each is a named design point in the differential
+ * harness (tools/iracc_diff --scenario-seeds, the ScenarioSweep in
+ * tests/differential_test.cc) and a fault-soak workload; every
+ * backend must stay bit-equal on all of them.
+ */
+enum class ScenarioProfile
+{
+    /** Long reads (architectural-limit length) with a degraded,
+     *  fast-decaying quality model: high per-base error rates feed
+     *  the WHD kernel near-saturating scores. */
+    LongRead,
+
+    /** Structural-variant dense: large indels, aggressively
+     *  clustered, so IR targets grow many-consensus windows. */
+    SvDense,
+
+    /** Low-complexity reference built from homopolymer runs and
+     *  short tandem repeats -- the regions where placement is
+     *  maximally ambiguous and pruning tie-breaks matter. */
+    LowComplexity,
+
+    /** Tumor-normal pair: a somatic-heavy sample plus its matched
+     *  normal (germline haplotype only) realigned together. */
+    TumorNormal,
+
+    /** Sample contaminated with ~12 % reads from a second donor
+     *  carrying a disjoint variant set on the same reference. */
+    Contaminated,
+};
+
+/** All profiles, in declaration order. */
+std::vector<ScenarioProfile> allScenarioProfiles();
+
+/** Stable CLI/corpus token, e.g. "long-read". */
+const char *scenarioName(ScenarioProfile profile);
+
+/** Parse a scenarioName token.  @return false on unknown names. */
+bool parseScenario(const std::string &name, ScenarioProfile *out);
+
+/**
+ * One scenario instance: a reference plus a flattened, contig-
+ * grouped read set (tumor + matched normal + contaminant reads
+ * where the profile has them) -- directly consumable by
+ * diffPipeline and by the streaming ingest path.
+ */
+struct ScenarioWorkload
+{
+    ReferenceGenome reference;
+    std::vector<Read> reads;
+};
+
+/**
+ * Build one scenario workload, deterministic in (profile, seed).
+ * @p compact shrinks the genome/coverage to corpus-case size (the
+ * committed tests/corpus/ cases replay every design point per
+ * ctest run, so they must stay cheap).
+ */
+ScenarioWorkload makeScenarioWorkload(ScenarioProfile profile,
+                                      uint64_t seed,
+                                      bool compact = false);
 
 } // namespace difftest
 } // namespace iracc

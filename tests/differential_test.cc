@@ -40,6 +40,52 @@ TEST(Differential, PipelineSeedSweep)
     EXPECT_TRUE(r.ok) << "[" << r.variant << "] " << r.detail;
 }
 
+TEST(Differential, ScenarioProfileSweep)
+{
+    // Every hostile-workload scenario profile is a named design
+    // point: full cross-backend pipeline differential plus the
+    // hardened transparency check (iracc_diff --scenario-seeds
+    // sweeps many more seeds in CI).
+    for (difftest::ScenarioProfile profile :
+         difftest::allScenarioProfiles()) {
+        DiffResult r = difftest::diffScenarioSeed(profile, 1);
+        EXPECT_TRUE(r.ok)
+            << difftest::scenarioName(profile) << ": ["
+            << r.variant << "] " << r.detail;
+    }
+}
+
+TEST(Differential, ScenarioNamesRoundTrip)
+{
+    for (difftest::ScenarioProfile profile :
+         difftest::allScenarioProfiles()) {
+        difftest::ScenarioProfile back{};
+        ASSERT_TRUE(difftest::parseScenario(
+            difftest::scenarioName(profile), &back));
+        EXPECT_EQ(back, profile);
+        // Same profile + seed => bit-identical workload; the
+        // scenario is a reproducible design point, not a one-off.
+        difftest::ScenarioWorkload a =
+            difftest::makeScenarioWorkload(profile, 5, true);
+        difftest::ScenarioWorkload b =
+            difftest::makeScenarioWorkload(profile, 5, true);
+        ASSERT_EQ(a.reads.size(), b.reads.size());
+        for (size_t i = 0; i < a.reads.size(); ++i) {
+            EXPECT_EQ(a.reads[i].name, b.reads[i].name);
+            EXPECT_EQ(a.reads[i].bases, b.reads[i].bases);
+            EXPECT_EQ(a.reads[i].pos, b.reads[i].pos);
+        }
+    }
+    difftest::ScenarioProfile ignored{};
+    EXPECT_FALSE(difftest::parseScenario("no-such", &ignored));
+}
+
+TEST(Differential, StreamingIngestSweep)
+{
+    DiffResult r = difftest::diffStreamingIngestSeed(1);
+    EXPECT_TRUE(r.ok) << "[" << r.variant << "] " << r.detail;
+}
+
 TEST(Differential, GeneratorIsDeterministic)
 {
     auto a = difftest::makeKernelInputs(42);

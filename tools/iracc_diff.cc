@@ -27,6 +27,20 @@
  * accelerated backend's bit-exact output (testing/differential.hh,
  * diffFaultSeed).  Divergences are minimized with the fault plan
  * held fixed and land as kind-"fault" corpus cases.
+ *
+ * Every pipeline seed also runs the streaming-ingest differential
+ * (diffStreamingIngest): the workload is serialized to SAM-lite,
+ * re-ingested through the bounded-memory streaming path, and must
+ * produce byte-identical realigned output on every design point
+ * (--no-stream skips it).
+ *
+ * --scenario-seeds N fuzzes the hostile-workload scenario profiles
+ * (workload_gen.hh: long-read, sv-dense, low-complexity,
+ * tumor-normal, contaminated); --scenario-fault-seeds N soaks the
+ * same profiles through the hardened path under random fault
+ * plans.  --scenario NAME restricts both to one profile.
+ * --emit-scenario-corpus DIR writes one compact, verified corpus
+ * case per profile (what tests/corpus/ commits) and exits.
  */
 
 #include <cstdint>
@@ -54,14 +68,19 @@ struct Options
 {
     uint64_t seeds = 20;
     uint64_t faultSeeds = 0;
+    uint64_t scenarioSeeds = 0;
+    uint64_t scenarioFaultSeeds = 0;
     uint64_t startSeed = 1;
     std::string corpusDir = "iracc-diff-repros";
+    std::string emitScenarioCorpus;
     bool kernelOnly = false;
     bool pipelineOnly = false;
     uint64_t pipelineEvery = 10;
     bool minimize = true;
+    bool stream = true;
     uint32_t cards = 1;
     bool stealing = true;
+    std::vector<ScenarioProfile> profiles = allScenarioProfiles();
 };
 
 void
@@ -81,6 +100,21 @@ usage(const char *argv0)
         "                      on every K'th seed (default 10)\n"
         "  --kernel-only       skip the pipeline differential\n"
         "  --pipeline-only     skip the kernel differential\n"
+        "  --no-stream         skip the streaming-ingest\n"
+        "                      differential on pipeline seeds\n"
+        "  --scenario-seeds N  seeds fuzzing the hostile-workload\n"
+        "                      scenario profiles (default 0)\n"
+        "  --scenario-fault-seeds N\n"
+        "                      seeds soaking the scenario profiles\n"
+        "                      through the hardened path under\n"
+        "                      random fault plans (default 0)\n"
+        "  --scenario NAME     restrict scenario runs to one\n"
+        "                      profile (long-read, sv-dense,\n"
+        "                      low-complexity, tumor-normal,\n"
+        "                      contaminated)\n"
+        "  --emit-scenario-corpus DIR\n"
+        "                      write one compact verified corpus\n"
+        "                      case per profile into DIR and exit\n"
         "  --no-minimize       emit repros without minimizing\n"
         "  --cards N           run the fault differential's\n"
         "                      hardened subject on an N-card fleet\n"
@@ -135,6 +169,22 @@ parseArgs(int argc, char **argv)
             opt.kernelOnly = true;
         } else if (arg == "--pipeline-only") {
             opt.pipelineOnly = true;
+        } else if (arg == "--no-stream") {
+            opt.stream = false;
+        } else if (arg == "--scenario-seeds") {
+            opt.scenarioSeeds = uintValue(0, 100000000);
+        } else if (arg == "--scenario-fault-seeds") {
+            opt.scenarioFaultSeeds = uintValue(0, 100000000);
+        } else if (arg == "--scenario") {
+            std::string name = value();
+            ScenarioProfile profile;
+            if (!parseScenario(name, &profile)) {
+                usageError("iracc_diff: unknown scenario profile "
+                           "'%s'", name.c_str());
+            }
+            opt.profiles = {profile};
+        } else if (arg == "--emit-scenario-corpus") {
+            opt.emitScenarioCorpus = value();
         } else if (arg == "--no-minimize") {
             opt.minimize = false;
         } else if (arg == "--cards") {
@@ -251,6 +301,120 @@ reportPipelineMismatch(const Options &opt, uint64_t seed,
         path, repro);
 }
 
+/** Capture, minimize, and persist one streaming-ingest mismatch. */
+void
+reportStreamMismatch(const Options &opt, uint64_t seed,
+                     const DiffResult &result)
+{
+    std::fprintf(stderr,
+                 "MISMATCH (stream) seed %llu [%s]: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 result.variant.c_str(), result.detail.c_str());
+    GenomeWorkload workload = makeDiffGenome(seed);
+    ReproCase repro;
+    repro.kind = "pipeline";
+    repro.seed = seed;
+    repro.variant = result.variant;
+    repro.detail = "streaming ingest: " + result.detail;
+    repro.reference = workload.reference;
+    for (const ChromosomeWorkload &chrom : workload.chromosomes)
+        repro.reads.insert(repro.reads.end(), chrom.reads.begin(),
+                           chrom.reads.end());
+    if (opt.minimize) {
+        repro.reads = minimizeReads(
+            repro.reference, std::move(repro.reads),
+            [](const ReferenceGenome &ref,
+               const std::vector<Read> &reads) {
+                return diffStreamingIngest(ref, reads);
+            });
+    }
+    std::string path = saveReproCase(repro, opt.corpusDir);
+    std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+}
+
+/** Capture, minimize, and persist one scenario mismatch. */
+void
+reportScenarioMismatch(const Options &opt, ScenarioProfile profile,
+                       uint64_t seed, const DiffResult &result,
+                       bool fault)
+{
+    std::fprintf(stderr,
+                 "MISMATCH (scenario %s%s) seed %llu [%s]: %s\n",
+                 scenarioName(profile), fault ? "/fault" : "",
+                 static_cast<unsigned long long>(seed),
+                 result.variant.c_str(), result.detail.c_str());
+    ScenarioWorkload wl = makeScenarioWorkload(profile, seed);
+    FaultPlan plan = FaultPlan::random(seed);
+    ReproCase repro;
+    repro.kind = fault ? "fault" : "pipeline";
+    repro.seed = seed;
+    repro.variant = result.variant;
+    repro.detail = std::string("scenario ") + scenarioName(profile) +
+                   ": " + result.detail;
+    if (fault)
+        repro.faultPlan = plan.describe();
+    repro.reference = wl.reference;
+    repro.reads = std::move(wl.reads);
+    if (opt.minimize) {
+        repro.reads = minimizeReads(
+            repro.reference, std::move(repro.reads),
+            [&](const ReferenceGenome &ref,
+                const std::vector<Read> &reads) {
+                return fault ? diffFaultPlan(ref, reads, plan,
+                                             opt.cards, opt.stealing)
+                             : diffPipeline(ref, reads);
+            });
+    }
+    std::string path = saveReproCase(repro, opt.corpusDir);
+    std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+}
+
+/**
+ * Emit one compact corpus case per scenario profile: the committed
+ * tests/corpus/ seed set.  Each case is verified to pass the full
+ * pipeline + streaming differential before it is written, so a
+ * fresh checkout replays green.
+ */
+int
+emitScenarioCorpus(const Options &opt)
+{
+    int failures = 0;
+    for (ScenarioProfile profile : opt.profiles) {
+        ScenarioWorkload wl =
+            makeScenarioWorkload(profile, opt.startSeed, true);
+        DiffResult r = diffPipeline(wl.reference, wl.reads);
+        if (r.ok)
+            r = diffStreamingIngest(wl.reference, wl.reads);
+        if (!r.ok) {
+            std::fprintf(stderr,
+                         "scenario %s seed %llu FAILS [%s]: %s\n",
+                         scenarioName(profile),
+                         static_cast<unsigned long long>(
+                             opt.startSeed),
+                         r.variant.c_str(), r.detail.c_str());
+            ++failures;
+            continue;
+        }
+        ReproCase repro;
+        repro.kind = "pipeline";
+        repro.seed = opt.startSeed;
+        repro.variant = std::string("scenario/") +
+                        scenarioName(profile);
+        repro.detail = std::string("scenario profile '") +
+                       scenarioName(profile) +
+                       "' regression anchor (compact workload, "
+                       "passes all design points at capture time)";
+        repro.reference = wl.reference;
+        repro.reads = std::move(wl.reads);
+        std::string path =
+            saveReproCase(repro, opt.emitScenarioCorpus);
+        std::fprintf(stderr, "scenario %-15s -> %s (%zu reads)\n",
+                     scenarioName(profile), path.c_str(),
+                     repro.reads.size());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 /** Capture, minimize, and persist one fault-plan mismatch. */
 void
 reportFaultMismatch(const Options &opt, uint64_t seed,
@@ -305,9 +469,14 @@ main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
 
+    if (!opt.emitScenarioCorpus.empty())
+        return emitScenarioCorpus(opt);
+
     uint64_t kernel_targets = 0;
     uint64_t pipeline_runs = 0;
+    uint64_t stream_runs = 0;
     uint64_t fault_runs = 0;
+    uint64_t scenario_runs = 0;
     uint64_t mismatches = 0;
 
     for (uint64_t n = 0; n < opt.seeds; ++n) {
@@ -327,6 +496,14 @@ main(int argc, char **argv)
             if (!r.ok) {
                 ++mismatches;
                 reportPipelineMismatch(opt, seed, r);
+            }
+            if (opt.stream) {
+                DiffResult s = diffStreamingIngestSeed(seed);
+                ++stream_runs;
+                if (!s.ok) {
+                    ++mismatches;
+                    reportStreamMismatch(opt, seed, s);
+                }
             }
         }
         if ((n + 1) % 50 == 0) {
@@ -357,15 +534,60 @@ main(int argc, char **argv)
         }
     }
 
+    for (uint64_t n = 0; n < opt.scenarioSeeds; ++n) {
+        uint64_t seed = opt.startSeed + n;
+        for (ScenarioProfile profile : opt.profiles) {
+            DiffResult r = diffScenarioSeed(profile, seed);
+            ++scenario_runs;
+            if (!r.ok) {
+                ++mismatches;
+                reportScenarioMismatch(opt, profile, seed, r, false);
+            }
+        }
+        if ((n + 1) % 10 == 0) {
+            std::fprintf(
+                stderr,
+                "... %llu/%llu scenario seeds, %llu mismatches\n",
+                static_cast<unsigned long long>(n + 1),
+                static_cast<unsigned long long>(opt.scenarioSeeds),
+                static_cast<unsigned long long>(mismatches));
+        }
+    }
+
+    for (uint64_t n = 0; n < opt.scenarioFaultSeeds; ++n) {
+        uint64_t seed = opt.startSeed + n;
+        for (ScenarioProfile profile : opt.profiles) {
+            DiffResult r = diffScenarioFaultSeed(
+                profile, seed, opt.cards, opt.stealing);
+            ++scenario_runs;
+            if (!r.ok) {
+                ++mismatches;
+                reportScenarioMismatch(opt, profile, seed, r, true);
+            }
+        }
+        if ((n + 1) % 10 == 0) {
+            std::fprintf(stderr,
+                         "... %llu/%llu scenario fault seeds, %llu "
+                         "mismatches\n",
+                         static_cast<unsigned long long>(n + 1),
+                         static_cast<unsigned long long>(
+                             opt.scenarioFaultSeeds),
+                         static_cast<unsigned long long>(
+                             mismatches));
+        }
+    }
+
     size_t variants = differentialVariants().size();
     std::printf(
         "iracc_diff: %llu seeds (%llu kernel targets, %llu pipeline "
-        "workloads x %zu variants, %llu fault plans): %llu "
-        "mismatches\n",
+        "workloads x %zu variants, %llu streaming checks, %llu "
+        "fault plans, %llu scenario runs): %llu mismatches\n",
         static_cast<unsigned long long>(opt.seeds),
         static_cast<unsigned long long>(kernel_targets),
         static_cast<unsigned long long>(pipeline_runs), variants,
+        static_cast<unsigned long long>(stream_runs),
         static_cast<unsigned long long>(fault_runs),
+        static_cast<unsigned long long>(scenario_runs),
         static_cast<unsigned long long>(mismatches));
     return mismatches == 0 ? 0 : 1;
 }
